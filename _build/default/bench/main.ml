@@ -1,0 +1,458 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation, runs the ablation studies from DESIGN.md, and
+   measures instrumentation overhead with Bechamel.
+
+     dune exec bench/main.exe                 # everything, default budget
+     dune exec bench/main.exe -- --quick      # small budgets (seconds)
+     dune exec bench/main.exe -- figure-2     # one section
+     dune exec bench/main.exe -- --budget 10000000 --seeds 1,2,3
+
+   Sections: table-1 table-2 table-3 table-4 figure-2 figure-3 headline
+             ablation-dyck ablation-heuristic ablation-grammar micro *)
+
+module Render = Pdf_util.Render
+module Rng = Pdf_util.Rng
+module Coverage = Pdf_instr.Coverage
+module Subject = Pdf_subjects.Subject
+module Catalog = Pdf_subjects.Catalog
+module Pfuzzer = Pdf_core.Pfuzzer
+module Heuristic = Pdf_core.Heuristic
+module Experiment = Pdf_eval.Experiment
+module Report = Pdf_eval.Report
+module Token_report = Pdf_eval.Token_report
+
+let ppf = Format.std_formatter
+
+type options = { budget : int; seeds : int list; sections : string list }
+
+let parse_args () =
+  let budget = ref 4_000_000 in
+  let seeds = ref [ 1 ] in
+  let sections = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      budget := 400_000;
+      go rest
+    | "--budget" :: v :: rest ->
+      budget := int_of_string v;
+      go rest
+    | "--seeds" :: v :: rest ->
+      seeds := List.map int_of_string (String.split_on_char ',' v);
+      go rest
+    | section :: rest ->
+      sections := section :: !sections;
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  { budget = !budget; seeds = !seeds; sections = List.rev !sections }
+
+let wants options section =
+  options.sections = [] || List.mem section options.sections
+
+(* {1 Static tables} *)
+
+let table_1 () =
+  Render.section ppf "table-1: evaluation subjects (paper Table 1)";
+  Report.table_1 ppf Catalog.evaluation
+
+let table_tokens name section =
+  Render.section ppf (Printf.sprintf "%s: token inventory" section);
+  Report.token_inventory ppf (Catalog.find name)
+
+(* {1 The main experiment: Figures 2 and 3, headline numbers} *)
+
+let experiment_result = ref None
+
+let get_experiment options =
+  match !experiment_result with
+  | Some e -> e
+  | None ->
+    let config =
+      { Experiment.budget_units = options.budget; seeds = options.seeds; verbose = true }
+    in
+    Format.fprintf ppf
+      "@.Running the evaluation grid: budget %d units per (tool, subject),@.\
+       seeds %s; AFL pays 1 unit per execution, pFuzzer/KLEE pay 100.@."
+      options.budget
+      (String.concat "," (List.map string_of_int options.seeds));
+    let e = Experiment.run config Catalog.evaluation in
+    experiment_result := Some e;
+    e
+
+let figure_2 options =
+  Render.section ppf "figure-2: branch coverage per subject and tool";
+  Report.figure_2 ppf (get_experiment options)
+
+let figure_3 options =
+  Render.section ppf "figure-3: tokens generated, by token length";
+  Report.figure_3 ppf (get_experiment options)
+
+let headline options =
+  Render.section ppf "headline: Section 5.3 token shares";
+  Report.headline ppf (get_experiment options)
+
+(* {1 Ablation A1: search strategies on the Dyck language}
+
+   Section 3 argues that neither pure depth-first nor pure breadth-first
+   search closes bracket prefixes effectively, motivating the combined
+   heuristic. *)
+
+let nesting_depth input =
+  let depth = ref 0 and best = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | '[' | '{' | '<' ->
+        incr depth;
+        if !depth > !best then best := !depth
+      | ')' | ']' | '}' | '>' -> decr depth
+      | _ -> ())
+    input;
+  !best
+
+let ablation_dyck options =
+  Render.section ppf "ablation-dyck: search strategy on balanced brackets (Section 3)";
+  let subject = Catalog.find "paren" in
+  let execs = max 1 (options.budget / 100) in
+  let rows =
+    List.map
+      (fun (name, heuristic) ->
+        let result =
+          Pfuzzer.fuzz
+            { Pfuzzer.default_config with heuristic; max_executions = execs }
+            subject
+        in
+        let max_nest =
+          List.fold_left (fun acc s -> max acc (nesting_depth s)) 0 result.valid_inputs
+        in
+        [
+          name;
+          string_of_int (List.length result.valid_inputs);
+          string_of_int max_nest;
+          Printf.sprintf "%.1f" (Coverage.percent result.valid_coverage subject.registry);
+          (match result.first_valid_at with Some n -> string_of_int n | None -> "-");
+        ])
+      [
+        ("pFuzzer heuristic", Heuristic.Prose);
+        ("depth-first", Heuristic.Dfs);
+        ("breadth-first", Heuristic.Bfs);
+        ("coverage only", Heuristic.Coverage_only);
+      ]
+  in
+  Render.table ppf
+    ~title:(Printf.sprintf "paren subject, %d executions per strategy" execs)
+    ~header:[ "strategy"; "valid inputs"; "max nesting"; "coverage %"; "first valid at" ]
+    rows
+
+(* {1 Ablation A2: heuristic term ablation on tinyC}
+
+   Including the paper's own pseudo-code/prose discrepancy on the sign
+   of the numParents term (Algorithm 1, line 50). *)
+
+let ablation_heuristic options =
+  Render.section ppf "ablation-heuristic: Algorithm 1 heuristic variants on tinyC";
+  let subject = Catalog.find "tinyc" in
+  let execs = max 1 (options.budget / 40) in
+  let rows =
+    List.map
+      (fun (name, heuristic) ->
+        let result =
+          Pfuzzer.fuzz
+            { Pfuzzer.default_config with heuristic; max_executions = execs }
+            subject
+        in
+        let tags = Token_report.found_tags subject result.valid_inputs in
+        [
+          name;
+          string_of_int (List.length tags);
+          Printf.sprintf "%.1f" (Coverage.percent result.valid_coverage subject.registry);
+          string_of_int (List.length result.valid_inputs);
+        ])
+      [
+        ("prose (default)", Heuristic.Prose);
+        ("paper formula (+parents)", Heuristic.Paper_formula);
+        ("no stack term", Heuristic.No_stack);
+        ("no length term", Heuristic.No_length);
+        ("no replacement bonus", Heuristic.No_replacement);
+        ("coverage only", Heuristic.Coverage_only);
+      ]
+  in
+  Render.table ppf
+    ~title:(Printf.sprintf "tinyc subject, %d executions per variant" execs)
+    ~header:[ "variant"; "tokens found"; "coverage %"; "valid inputs" ]
+    rows
+
+(* {1 Ablation A3: grammar mining (Section 7.4)} *)
+
+let ablation_grammar options =
+  Render.section ppf "ablation-grammar: pFuzzer vs mined-grammar generation (Section 7.4)";
+  let subject = Catalog.find "json" in
+  let execs = max 1 (options.budget / 100) in
+  let result =
+    Pfuzzer.fuzz { Pfuzzer.default_config with max_executions = execs } subject
+  in
+  let depth_of inputs =
+    List.fold_left
+      (fun acc s -> max acc (Subject.run subject s).Pdf_instr.Runner.max_depth)
+      0 inputs
+  in
+  let grammar = Pdf_grammar.Miner.mine subject result.valid_inputs in
+  let rng = Rng.make 17 in
+  let sentences = Pdf_grammar.Generator.generate_many rng ~max_depth:16 500 grammar in
+  let accepted = List.filter (Subject.accepts subject) sentences in
+  let rows =
+    [
+      [
+        "pFuzzer alone";
+        string_of_int (List.length result.valid_inputs);
+        string_of_int (depth_of result.valid_inputs);
+        Printf.sprintf "%d execs" result.executions;
+      ];
+      [
+        "mined grammar";
+        string_of_int (List.length accepted);
+        string_of_int (depth_of accepted);
+        Printf.sprintf "%d/%d sentences accepted" (List.length accepted)
+          (List.length sentences);
+      ];
+    ]
+  in
+  Render.table ppf
+    ~title:
+      (Printf.sprintf
+         "json subject: grammar mined from %d pFuzzer inputs (%d productions)"
+         (List.length result.valid_inputs)
+         (Pdf_grammar.Grammar.production_count grammar))
+    ~header:[ "generator"; "valid inputs"; "max recursion depth"; "notes" ]
+    rows
+
+(* {1 Ablation A4: table-driven parsers (Section 7.1)}
+
+   The paper predicts code coverage will not guide the search on a
+   table-driven parser "out of the box" and proposes coverage of table
+   elements instead. Both driver configurations parse exactly the same
+   language as the recursive-descent expr subject. *)
+
+let ablation_tables options =
+  Render.section ppf "ablation-tables: table-driven parsing (Section 7.1)";
+  let execs = max 1 (options.budget / 100) in
+  let rows =
+    List.map
+      (fun (label, subject) ->
+        let result =
+          Pfuzzer.fuzz { Pfuzzer.default_config with max_executions = execs } subject
+        in
+        [
+          label;
+          string_of_int (List.length result.valid_inputs);
+          Printf.sprintf "%.1f"
+            (Coverage.percent result.valid_coverage subject.Subject.registry);
+          (match result.first_valid_at with Some n -> string_of_int n | None -> "-");
+        ])
+      [
+        ("recursive descent (paper setting)", Catalog.find "expr");
+        ("table-driven, cells + diagnostics", Pdf_tables.Grammars.table_expr);
+        ("table-driven, out of the box", Pdf_tables.Grammars.table_expr_naive);
+        ("table-driven LL(1) JSON", Pdf_tables.Grammars.table_json);
+      ]
+  in
+  Render.table ppf
+    ~title:
+      (Printf.sprintf
+         "pFuzzer on three parsers for the same language, %d executions each" execs)
+    ~header:[ "parser"; "valid inputs"; "coverage %"; "first valid at" ]
+    rows
+
+(* {1 Ablation A5: token-taint recovery (Section 7.2)}
+
+   Tokenization breaks the taint flow: the parser's "expected token"
+   checks carry no comparison the fuzzer can satisfy (why the paper's
+   pFuzzer misses do/else/while on tinyC). The tinyc-tt variant re-attaches
+   expectations to the token's input position, as §7.2 proposes. *)
+
+let ablation_token_taints options =
+  Render.section ppf "ablation-token-taints: §7.2 taint recovery through the tokenizer";
+  let execs = max 1 (options.budget / 40) in
+  let rows =
+    List.map
+      (fun name ->
+        let subject = Catalog.find name in
+        let result =
+          Pfuzzer.fuzz { Pfuzzer.default_config with max_executions = execs } subject
+        in
+        let tags = Token_report.found_tags subject result.valid_inputs in
+        [
+          name;
+          string_of_int (List.length tags);
+          (if List.mem "while" tags then "yes" else "no");
+          Printf.sprintf "%.1f" (Coverage.percent result.valid_coverage subject.registry);
+        ])
+      [ "tinyc"; "tinyc-tt" ]
+  in
+  Render.table ppf
+    ~title:(Printf.sprintf "pFuzzer, %d executions per variant" execs)
+    ~header:[ "subject"; "tokens found"; "finds `while'"; "coverage %" ]
+    rows
+
+(* {1 Ablation A6: semantic restrictions (Section 7.3)}
+
+   pFuzzer assumes that a character accepted by the parser is correct, so
+   its outputs pass the parser but routinely fail delayed context-sensitive
+   checks. We fuzz the plain tinyC, then replay its valid inputs against
+   the variant whose interpreter rejects use-before-assignment. *)
+
+let ablation_semantics options =
+  Render.section ppf "ablation-semantics: §7.3 delayed semantic checks";
+  let plain = Catalog.find "tinyc" and sem = Catalog.find "tinyc-sem" in
+  let execs = max 1 (options.budget / 40) in
+  let result =
+    Pfuzzer.fuzz { Pfuzzer.default_config with max_executions = execs } plain
+  in
+  let survivors = List.filter (Subject.accepts sem) result.valid_inputs in
+  let total = List.length result.valid_inputs in
+  Render.table ppf
+    ~title:
+      (Printf.sprintf "pFuzzer corpus from plain tinyC (%d executions)" execs)
+    ~header:[ "measure"; "count" ]
+    [
+      [ "parser-valid inputs"; string_of_int total ];
+      [ "also semantically valid"; string_of_int (List.length survivors) ];
+      [
+        "killed by use-before-assignment";
+        string_of_int (total - List.length survivors);
+      ];
+    ];
+  Format.fprintf ppf
+    "Syntactically valid inputs failing the semantic check confirm the@.\
+     paper's §7.3 limitation: the search has no notion of delayed constraints.@."
+
+(* {1 The §6.2 pipeline: lexical -> syntactic -> symbolic} *)
+
+let pipeline options =
+  Render.section ppf "pipeline: AFL -> pFuzzer -> KLEE hand-over (Section 6.2)";
+  List.iter
+    (fun name ->
+      let subject = Catalog.find name in
+      let result =
+        Pdf_eval.Pipeline.run ~budget_units:options.budget ~seed:1 subject
+      in
+      let rows =
+        List.map
+          (fun (s : Pdf_eval.Pipeline.stage_report) ->
+            [
+              Pdf_eval.Tool.display_name s.stage;
+              string_of_int s.executions;
+              string_of_int s.new_valid;
+              Printf.sprintf "%.1f" s.coverage_after;
+            ])
+          result.stages
+      in
+      let tags = Token_report.found_tags subject result.valid_inputs in
+      Render.table ppf
+        ~title:
+          (Printf.sprintf "%s: %d units total; final corpus %d inputs, %d tokens"
+             name options.budget
+             (List.length result.valid_inputs)
+             (List.length tags))
+        ~header:[ "stage"; "executions"; "new valid"; "cumulative coverage %" ]
+        rows)
+    [ "json"; "tinyc" ]
+
+(* {1 Micro-benchmarks (Bechamel): instrumentation overhead (Section 4)} *)
+
+let micro () =
+  Render.section ppf "micro: instrumentation overhead and hot-path costs (Bechamel)";
+  let open Bechamel in
+  let json = Catalog.find "json" in
+  let sample_input = {|{"key": [1, -2.5e3, true, false, null], "s": "txt"}|} in
+  let tinyc = Catalog.find "tinyc" in
+  let tinyc_input = "if(a<2)b=1;else while(0)c=c+1;" in
+  let trace =
+    (Subject.run ~track_comparisons:false json sample_input).Pdf_instr.Runner.trace
+  in
+  let builder = Pdf_afl.Bitmap.builder () in
+  let rng = Rng.make 1 in
+  let tests =
+    [
+      Test.make ~name:"json/full-instrumentation"
+        (Staged.stage (fun () -> ignore (Subject.run json sample_input)));
+      Test.make ~name:"json/coverage-only"
+        (Staged.stage (fun () ->
+             ignore (Subject.run ~track_comparisons:false json sample_input)));
+      Test.make ~name:"json/oracle-scanner"
+        (Staged.stage (fun () -> ignore (json.tokenize sample_input)));
+      Test.make ~name:"tinyc/full-instrumentation"
+        (Staged.stage (fun () -> ignore (Subject.run tinyc tinyc_input)));
+      Test.make ~name:"tinyc/coverage-only"
+        (Staged.stage (fun () ->
+             ignore (Subject.run ~track_comparisons:false tinyc tinyc_input)));
+      Test.make ~name:"afl/bitmap-fold"
+        (Staged.stage (fun () ->
+             ignore (Pdf_afl.Bitmap.sparse_of_trace builder trace)));
+      Test.make ~name:"afl/havoc"
+        (Staged.stage (fun () -> ignore (Pdf_afl.Mutator.havoc rng sample_input)));
+      Test.make ~name:"pqueue/push-pop-1k"
+        (Staged.stage (fun () ->
+             let q = Pdf_util.Pqueue.create () in
+             for i = 1 to 1000 do
+               Pdf_util.Pqueue.push q (float_of_int (i mod 97)) i
+             done;
+             while Pdf_util.Pqueue.pop q <> None do
+               ()
+             done));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |] in
+  let results = Hashtbl.create 16 in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter (fun k v -> Hashtbl.replace results k v) analyzed)
+    tests;
+  let time_of name =
+    match Hashtbl.find_opt results name with
+    | None -> nan
+    | Some o ->
+      (match Analyze.OLS.estimates o with
+       | Some (t :: _) -> t
+       | Some [] | None -> nan)
+  in
+  let names =
+    [
+      "json/full-instrumentation"; "json/coverage-only"; "json/oracle-scanner";
+      "tinyc/full-instrumentation"; "tinyc/coverage-only"; "afl/bitmap-fold";
+      "afl/havoc"; "pqueue/push-pop-1k";
+    ]
+  in
+  let rows = List.map (fun name -> [ name; Printf.sprintf "%.0f" (time_of name) ]) names in
+  Render.table ppf ~title:"hot-path costs (OLS estimate)"
+    ~header:[ "benchmark"; "ns/run" ] rows;
+  let full = time_of "json/full-instrumentation"
+  and scanner = time_of "json/oracle-scanner" in
+  Format.fprintf ppf
+    "@.Instrumentation overhead vs a plain scanner: %.0fx (the paper reports@.\
+     a ~100x slowdown for its LLVM taint instrumentation, Section 4).@."
+    (full /. scanner)
+
+let () =
+  let options = parse_args () in
+  if wants options "table-1" then table_1 ();
+  if wants options "table-2" then table_tokens "json" "table-2";
+  if wants options "table-3" then table_tokens "tinyc" "table-3";
+  if wants options "table-4" then table_tokens "mjs" "table-4";
+  if wants options "figure-2" then figure_2 options;
+  if wants options "figure-3" then figure_3 options;
+  if wants options "headline" then headline options;
+  if wants options "ablation-dyck" then ablation_dyck options;
+  if wants options "ablation-heuristic" then ablation_heuristic options;
+  if wants options "ablation-grammar" then ablation_grammar options;
+  if wants options "ablation-tables" then ablation_tables options;
+  if wants options "ablation-token-taints" then ablation_token_taints options;
+  if wants options "ablation-semantics" then ablation_semantics options;
+  if wants options "pipeline" then pipeline options;
+  if wants options "micro" then micro ();
+  Format.pp_print_flush ppf ()

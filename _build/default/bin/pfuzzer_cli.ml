@@ -1,0 +1,207 @@
+(* Command-line interface to the parser-directed fuzzing toolkit:
+
+     pfuzzer fuzz --subject json --tool pfuzzer --executions 20000
+     pfuzzer run --subject tinyc "if(a<2)b=1;"
+     pfuzzer evaluate --budget 2000000 --seeds 1,2,3
+     pfuzzer mine --subject expr --executions 3000 --samples 20
+     pfuzzer subjects
+*)
+
+open Cmdliner
+
+let subject_arg =
+  let doc = "Subject parser to fuzz (see the `subjects' command)." in
+  Arg.(required & opt (some string) None & info [ "s"; "subject" ] ~docv:"NAME" ~doc)
+
+let find_subject name =
+  match Pdf_subjects.Catalog.find name with
+  | subject -> Ok subject
+  | exception Not_found ->
+    Error
+      (`Msg
+         (Printf.sprintf "unknown subject %S; available: %s" name
+            (String.concat ", "
+               (List.map
+                  (fun s -> s.Pdf_subjects.Subject.name)
+                  Pdf_subjects.Catalog.all))))
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let executions_arg default =
+  let doc = "Execution budget." in
+  Arg.(value & opt int default & info [ "n"; "executions" ] ~docv:"N" ~doc)
+
+(* fuzz *)
+
+let tool_arg =
+  let doc = "Tool to run: pfuzzer, afl or klee." in
+  Arg.(value & opt string "pfuzzer" & info [ "t"; "tool" ] ~docv:"TOOL" ~doc)
+
+let fuzz_cmd =
+  let run subject_name tool_name seed executions quiet =
+    match find_subject subject_name with
+    | Error e -> Error e
+    | Ok subject ->
+      (match Pdf_eval.Tool.of_string tool_name with
+       | None -> Error (`Msg (Printf.sprintf "unknown tool %S" tool_name))
+       | Some tool ->
+         let budget_units = executions * Pdf_eval.Tool.cost_per_execution tool in
+         let outcome = Pdf_eval.Tool.run tool ~budget_units ~seed subject in
+         if not quiet then
+           List.iter (fun input -> Printf.printf "%S\n" input) outcome.valid_inputs;
+         let tags = Pdf_eval.Token_report.found_tags subject outcome.valid_inputs in
+         Printf.printf
+           "# %s on %s: %d executions, %d valid inputs, %.1f%% branch coverage, %d tokens: %s\n"
+           (Pdf_eval.Tool.display_name tool)
+           subject.name outcome.executions
+           (List.length outcome.valid_inputs)
+           (Pdf_instr.Coverage.percent outcome.valid_coverage subject.registry)
+           (List.length tags) (String.concat " " tags);
+         Ok ())
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary line.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ subject_arg $ tool_arg $ seed_arg $ executions_arg 20_000
+         $ quiet))
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz one subject with one tool.") term
+
+(* run *)
+
+let run_cmd =
+  let run subject_name input =
+    match find_subject subject_name with
+    | Error e -> Error e
+    | Ok subject ->
+      let run = Pdf_subjects.Subject.run subject input in
+      Format.printf "%s: %a@." subject.name Pdf_instr.Runner.pp_verdict run.verdict;
+      Format.printf "coverage: %.1f%% (%d outcomes), %d comparisons, eof-access: %b@."
+        (Pdf_instr.Coverage.percent run.coverage subject.registry)
+        (Pdf_instr.Coverage.cardinal run.coverage)
+        (Array.length run.comparisons) run.eof_access;
+      Array.iter
+        (fun c -> Format.printf "  %a@." Pdf_instr.Comparison.pp c)
+        run.comparisons;
+      Ok ()
+  in
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT" ~doc:"Input string.")
+  in
+  let term = Term.(term_result (const run $ subject_arg $ input)) in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one input through an instrumented subject and dump the observations.")
+    term
+
+(* evaluate *)
+
+let evaluate_cmd =
+  let run budget seeds =
+    let seeds = if seeds = [] then [ 1 ] else seeds in
+    let config = { Pdf_eval.Experiment.budget_units = budget; seeds; verbose = true } in
+    let experiment = Pdf_eval.Experiment.run config Pdf_subjects.Catalog.evaluation in
+    Pdf_eval.Report.full Format.std_formatter experiment
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int Pdf_eval.Experiment.default_config.budget_units
+      & info [ "budget" ] ~docv:"UNITS"
+          ~doc:"Virtual budget per (tool, subject): 1 unit per AFL execution, 100 per pFuzzer/KLEE execution.")
+  in
+  let seeds =
+    Arg.(value & opt (list int) [ 1 ] & info [ "seeds" ] ~docv:"S1,S2,..." ~doc:"Seeds; best run is reported.")
+  in
+  let term = Term.(const run $ budget $ seeds) in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Run the paper's full evaluation and print every table and figure.")
+    term
+
+(* mine *)
+
+let mine_cmd =
+  let run subject_name seed executions samples =
+    match find_subject subject_name with
+    | Error e -> Error e
+    | Ok subject ->
+      let config =
+        { Pdf_core.Pfuzzer.default_config with seed; max_executions = executions }
+      in
+      let result = Pdf_core.Pfuzzer.fuzz config subject in
+      Printf.printf "# mined from %d valid inputs\n" (List.length result.valid_inputs);
+      let grammar = Pdf_grammar.Miner.mine subject result.valid_inputs in
+      Format.printf "%a" Pdf_grammar.Grammar.pp grammar;
+      if samples > 0 then begin
+        let rng = Pdf_util.Rng.make seed in
+        let sentences = Pdf_grammar.Generator.generate_many rng samples grammar in
+        let ok = List.filter (Pdf_subjects.Subject.accepts subject) sentences in
+        Printf.printf "# %d/%d generated sentences accepted\n" (List.length ok) samples;
+        List.iter (fun s -> Printf.printf "%S\n" s) sentences
+      end;
+      Ok ()
+  in
+  let samples =
+    Arg.(value & opt int 10 & info [ "samples" ] ~docv:"N" ~doc:"Sentences to generate from the mined grammar.")
+  in
+  let term =
+    Term.(
+      term_result (const run $ subject_arg $ seed_arg $ executions_arg 5000 $ samples))
+  in
+  Cmd.v
+    (Cmd.info "mine"
+       ~doc:"Fuzz a subject, mine a grammar from the valid inputs (paper Section 7.4), and sample it.")
+    term
+
+(* pipeline *)
+
+let pipeline_cmd =
+  let run subject_name seed budget =
+    match find_subject subject_name with
+    | Error e -> Error e
+    | Ok subject ->
+      let result = Pdf_eval.Pipeline.run ~budget_units:budget ~seed subject in
+      List.iter
+        (fun (s : Pdf_eval.Pipeline.stage_report) ->
+          Printf.printf "# %s: %d executions, %d new valid inputs, %.1f%% cumulative coverage\n"
+            (Pdf_eval.Tool.display_name s.stage)
+            s.executions s.new_valid s.coverage_after)
+        result.stages;
+      List.iter (fun input -> Printf.printf "%S\n" input) result.valid_inputs;
+      Ok ()
+  in
+  let budget =
+    Arg.(value & opt int 1_000_000 & info [ "budget" ] ~docv:"UNITS" ~doc:"Total virtual budget.")
+  in
+  let term = Term.(term_result (const run $ subject_arg $ seed_arg $ budget)) in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Run the Section 6.2 tool chain: AFL, then pFuzzer, then KLEE, handing the corpus over.")
+    term
+
+(* subjects *)
+
+let subjects_cmd =
+  let run () =
+    List.iter
+      (fun (s : Pdf_subjects.Subject.t) ->
+        Printf.printf "%-8s %s (%d sites, %d tokens)\n" s.name s.description
+          (Pdf_instr.Site.site_count s.registry)
+          (List.length s.tokens))
+      Pdf_subjects.Catalog.all
+  in
+  Cmd.v (Cmd.info "subjects" ~doc:"List available subjects.") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "pfuzzer" ~version:"1.0.0"
+      ~doc:"Parser-directed fuzzing (Mathis et al., PLDI 2019) in OCaml"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ fuzz_cmd; run_cmd; evaluate_cmd; mine_cmd; pipeline_cmd; subjects_cmd ]))

@@ -1,0 +1,1 @@
+examples/compare_tools.ml: Format Pdf_eval Pdf_subjects

@@ -1,0 +1,1 @@
+examples/custom_subject.ml: List Pdf_core Pdf_instr Pdf_subjects Pdf_taint Pdf_util Printf

@@ -1,0 +1,1 @@
+examples/fuzz_json.ml: Hashtbl List Pdf_core Pdf_subjects Printf

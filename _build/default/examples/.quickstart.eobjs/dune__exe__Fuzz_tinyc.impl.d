@@ -1,0 +1,1 @@
+examples/fuzz_tinyc.ml: List Pdf_eval Pdf_instr Pdf_subjects Printf String

@@ -1,0 +1,1 @@
+examples/mine_grammar.ml: Format List Pdf_core Pdf_grammar Pdf_instr Pdf_subjects Pdf_util Printf String

@@ -1,0 +1,1 @@
+examples/mine_grammar.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Pdf_core Pdf_eval Pdf_instr Pdf_subjects Printf String

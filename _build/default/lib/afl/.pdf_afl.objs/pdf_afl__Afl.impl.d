@@ -1,0 +1,1 @@
+lib/afl/afl.ml: Bitmap List Mutator Pdf_instr Pdf_subjects Pdf_util String

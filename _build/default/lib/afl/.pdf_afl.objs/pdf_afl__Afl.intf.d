@@ -1,0 +1,1 @@
+lib/afl/afl.mli: Pdf_instr Pdf_subjects

@@ -1,0 +1,1 @@
+lib/afl/bitmap.ml: Array Bytes Char List

@@ -1,0 +1,1 @@
+lib/afl/bitmap.mli:

@@ -1,0 +1,1 @@
+lib/afl/mutator.ml: Array Bytes Char List Pdf_util String

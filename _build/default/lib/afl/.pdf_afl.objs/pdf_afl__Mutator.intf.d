@@ -1,0 +1,1 @@
+lib/afl/mutator.mli: Pdf_util

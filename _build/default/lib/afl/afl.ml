@@ -1,0 +1,118 @@
+module Rng = Pdf_util.Rng
+module Coverage = Pdf_instr.Coverage
+module Runner = Pdf_instr.Runner
+module Subject = Pdf_subjects.Subject
+
+type config = {
+  seed : int;
+  max_executions : int;
+  seed_input : string;
+  havoc_per_entry : int;
+  deterministic_limit : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    max_executions = 200_000;
+    seed_input = " ";
+    havoc_per_entry = 256;
+    deterministic_limit = 16;
+  }
+
+type entry = { data : string; mutable det_done : bool }
+
+type result = {
+  valid_inputs : string list;
+  valid_coverage : Coverage.t;
+  executions : int;
+  queue_length : int;
+  bitmap_density : int;
+}
+
+type state = {
+  config : config;
+  subject : Subject.t;
+  rng : Rng.t;
+  virgin : Bitmap.t;
+  builder : Bitmap.builder;
+  mutable queue : entry list;  (* reverse discovery order *)
+  mutable queue_len : int;
+  mutable valid_rev : string list;
+  mutable valid_cov : Coverage.t;
+  mutable executions : int;
+  on_valid : string -> unit;
+}
+
+exception Budget_exhausted
+
+(* Run one input; if its classified edge map shows new bits, it becomes a
+   queue entry, and accepted entries join the valid corpus. *)
+let execute st input =
+  if st.executions >= st.config.max_executions then raise Budget_exhausted;
+  st.executions <- st.executions + 1;
+  let run = Subject.run ~track_comparisons:false st.subject input in
+  let sparse = Bitmap.sparse_of_trace st.builder run.trace in
+  if Bitmap.new_bits ~virgin:st.virgin sparse then begin
+    Bitmap.merge ~into:st.virgin sparse;
+    st.queue <- { data = input; det_done = false } :: st.queue;
+    st.queue_len <- st.queue_len + 1;
+    if Runner.accepted run then begin
+      st.valid_rev <- input :: st.valid_rev;
+      st.valid_cov <- Coverage.union st.valid_cov run.coverage;
+      st.on_valid input
+    end
+  end
+
+let fuzz ?(on_valid = fun _ -> ()) config subject =
+  let st =
+    {
+      config;
+      subject;
+      rng = Rng.make config.seed;
+      virgin = Bitmap.create ();
+      builder = Bitmap.builder ();
+      queue = [];
+      queue_len = 0;
+      valid_rev = [];
+      valid_cov = Coverage.empty;
+      executions = 0;
+      on_valid;
+    }
+  in
+  (try
+     execute st config.seed_input;
+     if st.queue = [] then
+       (* The seed produced no bits (degenerate subject): force it in. *)
+       st.queue <- [ { data = config.seed_input; det_done = false } ];
+     (* Queue cycling, as AFL does: walk the queue repeatedly; new
+        entries found during a cycle are picked up in the next one. *)
+     while true do
+       let snapshot = List.rev st.queue in
+       List.iter
+         (fun entry ->
+           if
+             (not entry.det_done)
+             && String.length entry.data <= config.deterministic_limit
+           then begin
+             entry.det_done <- true;
+             List.iter (execute st) (Mutator.deterministic entry.data)
+           end;
+           for _ = 1 to config.havoc_per_entry do
+             execute st (Mutator.havoc st.rng entry.data)
+           done;
+           (* Occasional splice against a random other entry. *)
+           if st.queue_len > 1 then begin
+             let other = List.nth snapshot (Rng.int st.rng (List.length snapshot)) in
+             execute st (Mutator.splice st.rng entry.data other.data)
+           end)
+         snapshot
+     done
+   with Budget_exhausted -> ());
+  {
+    valid_inputs = List.rev st.valid_rev;
+    valid_coverage = st.valid_cov;
+    executions = st.executions;
+    queue_length = st.queue_len;
+    bitmap_density = Bitmap.count_nonzero st.virgin;
+  }

@@ -1,0 +1,31 @@
+(** The AFL-like baseline: a coverage-guided mutational fuzzer.
+
+    Faithful to the paper's comparison setup: seeded with a single space
+    character (§5.1), guided only by edge-coverage novelty, mutating
+    blindly with AFL's deterministic and havoc stages. An input enters
+    the queue when its classified edge bitmap shows new bits; the valid
+    corpus is the set of accepted queue entries, which is what the paper
+    measures token and code coverage on. *)
+
+type config = {
+  seed : int;
+  max_executions : int;
+  seed_input : string;  (** the paper uses a single space *)
+  havoc_per_entry : int;  (** havoc executions per queue cycle entry *)
+  deterministic_limit : int;
+      (** skip deterministic stages for inputs longer than this *)
+}
+
+val default_config : config
+
+type result = {
+  valid_inputs : string list;  (** accepted queue entries, discovery order *)
+  valid_coverage : Pdf_instr.Coverage.t;
+      (** union coverage of the valid inputs *)
+  executions : int;
+  queue_length : int;  (** total interesting entries found *)
+  bitmap_density : int;  (** nonzero cells in the virgin map *)
+}
+
+val fuzz :
+  ?on_valid:(string -> unit) -> config -> Pdf_subjects.Subject.t -> result

@@ -1,0 +1,59 @@
+let size = 65536
+
+type t = Bytes.t
+type sparse = (int * int) list
+type builder = { counts : int array; mutable touched : int list }
+
+let create () = Bytes.make size '\000'
+let builder () = { counts = Array.make size 0; touched = [] }
+
+(* AFL's hit-count bucketing: 1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+. *)
+let classify n =
+  if n = 0 then 0
+  else if n = 1 then 1
+  else if n = 2 then 2
+  else if n = 3 then 4
+  else if n <= 7 then 8
+  else if n <= 15 then 16
+  else if n <= 31 then 32
+  else if n <= 127 then 64
+  else 128
+
+let mix h =
+  let h = h * 0x9E3779B1 in
+  (h lxor (h lsr 16)) land (size - 1)
+
+let sparse_of_trace b trace =
+  let prev = ref 0 in
+  Array.iter
+    (fun oid ->
+      let cur = mix (oid + 1) in
+      let edge = (!prev lsr 1) lxor cur land (size - 1) in
+      if b.counts.(edge) = 0 then b.touched <- edge :: b.touched;
+      b.counts.(edge) <- b.counts.(edge) + 1;
+      prev := cur)
+    trace;
+  let sparse =
+    List.map (fun edge -> (edge, classify b.counts.(edge))) b.touched
+  in
+  List.iter (fun edge -> b.counts.(edge) <- 0) b.touched;
+  b.touched <- [];
+  sparse
+
+let new_bits ~virgin sparse =
+  List.exists
+    (fun (edge, v) -> Char.code (Bytes.get virgin edge) land v <> v)
+    sparse
+
+let merge ~into sparse =
+  List.iter
+    (fun (edge, v) ->
+      Bytes.set into edge (Char.chr (Char.code (Bytes.get into edge) lor v)))
+    sparse
+
+let count_nonzero t =
+  let n = ref 0 in
+  for i = 0 to size - 1 do
+    if Bytes.get t i <> '\000' then incr n
+  done;
+  !n

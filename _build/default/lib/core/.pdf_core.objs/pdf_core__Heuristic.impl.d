@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Candidate Pdf_instr String

@@ -1,0 +1,1 @@
+lib/core/pfuzzer.ml: Candidate Hashtbl Heuristic List Option Pdf_instr Pdf_subjects Pdf_util String

@@ -1,0 +1,1 @@
+lib/core/pfuzzer.mli: Heuristic Pdf_instr Pdf_subjects

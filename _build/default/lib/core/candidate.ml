@@ -1,0 +1,22 @@
+type t = {
+  data : string;
+  repl : string;
+  parents : int;
+  parent_coverage : Pdf_instr.Coverage.t;
+  avg_stack : float;
+  path_count : int;
+}
+
+let seed data =
+  {
+    data;
+    repl = "";
+    parents = 0;
+    parent_coverage = Pdf_instr.Coverage.empty;
+    avg_stack = 0.0;
+    path_count = 0;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%S (repl=%S, parents=%d, stack=%.1f)" t.data t.repl t.parents
+    t.avg_stack

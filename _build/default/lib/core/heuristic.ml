@@ -1,0 +1,40 @@
+module Coverage = Pdf_instr.Coverage
+
+type variant =
+  | Prose
+  | Paper_formula
+  | No_stack
+  | No_length
+  | No_replacement
+  | Coverage_only
+  | Dfs
+  | Bfs
+
+let all =
+  [
+    ("prose", Prose);
+    ("paper-formula", Paper_formula);
+    ("no-stack", No_stack);
+    ("no-length", No_length);
+    ("no-replacement", No_replacement);
+    ("coverage-only", Coverage_only);
+    ("dfs", Dfs);
+    ("bfs", Bfs);
+  ]
+
+let score variant ~vbr (c : Candidate.t) =
+  let new_cov = float_of_int (Coverage.new_against c.parent_coverage ~baseline:vbr) in
+  let len = float_of_int (String.length c.data) in
+  let repl = float_of_int (String.length c.repl) in
+  let parents = float_of_int c.parents in
+  let path_penalty = float_of_int c.path_count in
+  match variant with
+  | Prose -> new_cov -. len +. (2.0 *. repl) -. c.avg_stack -. parents -. path_penalty
+  | Paper_formula ->
+    new_cov -. len +. (2.0 *. repl) -. c.avg_stack +. parents -. path_penalty
+  | No_stack -> new_cov -. len +. (2.0 *. repl) -. parents -. path_penalty
+  | No_length -> new_cov +. (2.0 *. repl) -. c.avg_stack -. parents -. path_penalty
+  | No_replacement -> new_cov -. len -. c.avg_stack -. parents -. path_penalty
+  | Coverage_only -> new_cov
+  | Dfs -> len
+  | Bfs -> -.len

@@ -1,0 +1,186 @@
+module Rng = Pdf_util.Rng
+module Pqueue = Pdf_util.Pqueue
+module Coverage = Pdf_instr.Coverage
+module Runner = Pdf_instr.Runner
+module Comparison = Pdf_instr.Comparison
+module Subject = Pdf_subjects.Subject
+
+type config = {
+  seed : int;
+  max_executions : int;
+  max_input_len : int;
+  heuristic : Heuristic.variant;
+  queue_bound : int;
+  dedupe : bool;
+}
+
+let default_config =
+  {
+    seed = 1;
+    max_executions = 2000;
+    max_input_len = 64;
+    heuristic = Heuristic.Prose;
+    queue_bound = 50_000;
+    dedupe = true;
+  }
+
+type result = {
+  valid_inputs : string list;
+  valid_coverage : Coverage.t;
+  executions : int;
+  candidates_created : int;
+  queue_peak : int;
+  first_valid_at : int option;
+}
+
+type state = {
+  config : config;
+  subject : Subject.t;
+  rng : Rng.t;
+  queue : Candidate.t Pqueue.t;
+  mutable vbr : Coverage.t;  (* branches covered by valid inputs *)
+  mutable valid_rev : string list;
+  mutable executions : int;
+  mutable candidates_created : int;
+  mutable queue_peak : int;
+  mutable first_valid_at : int option;
+  path_counts : (int, int) Hashtbl.t;
+  seen_inputs : (string, unit) Hashtbl.t;
+  on_valid : string -> unit;
+}
+
+exception Budget_exhausted
+
+let execute st input =
+  if st.executions >= st.config.max_executions then raise Budget_exhausted;
+  st.executions <- st.executions + 1;
+  Subject.run st.subject input
+
+(* Observe a completed run's path and return how often it had been seen
+   before (the novelty signal of §3.2). *)
+let note_path st run =
+  let h = Runner.path_hash run in
+  let count = Option.value ~default:0 (Hashtbl.find_opt st.path_counts h) in
+  Hashtbl.replace st.path_counts h (count + 1);
+  count
+
+let push_candidate st (candidate : Candidate.t) =
+  let fresh =
+    (not st.config.dedupe) || not (Hashtbl.mem st.seen_inputs candidate.data)
+  in
+  if fresh && String.length candidate.data <= st.config.max_input_len then begin
+    if st.config.dedupe then Hashtbl.replace st.seen_inputs candidate.data ();
+    st.candidates_created <- st.candidates_created + 1;
+    let prio = Heuristic.score st.config.heuristic ~vbr:st.vbr candidate in
+    Pqueue.push st.queue prio candidate;
+    (* Truncate with hysteresis: a full drop sorts the heap, so only do
+       it after the queue has doubled past its bound. *)
+    if Pqueue.length st.queue > 2 * st.config.queue_bound then
+      Pqueue.drop_worst st.queue st.config.queue_bound;
+    st.queue_peak <- max st.queue_peak (Pqueue.length st.queue)
+  end
+
+(* Algorithm 1, [addInputs]: one child per comparison made against the
+   last compared input position, splicing in the expected character(s). *)
+let add_inputs st ~(parent : Candidate.t) (run : Runner.run) =
+  match Runner.substitution_index run with
+  | None -> ()
+  | Some index ->
+    let parent_coverage = Runner.coverage_up_to_last_index run in
+    let avg_stack = Runner.avg_stack_of_last_two run in
+    let path_count = note_path st run in
+    let prefix = String.sub run.input 0 (min index (String.length run.input)) in
+    let comps = Runner.comparisons_at_last_index run in
+    List.iter
+      (fun (comp : Comparison.t) ->
+        List.iter
+          (fun repl ->
+            let data = prefix ^ repl in
+            if data <> run.input then
+              push_candidate st
+                {
+                  Candidate.data;
+                  repl;
+                  parents = parent.parents + 1;
+                  parent_coverage;
+                  avg_stack;
+                  path_count;
+                })
+          (Comparison.replacements st.rng comp))
+      comps
+
+(* Algorithm 1, [validInp]: report, extend vBr, re-rank the queue. *)
+let valid_input st ~(parent : Candidate.t) (run : Runner.run) =
+  st.valid_rev <- run.input :: st.valid_rev;
+  if st.first_valid_at = None then st.first_valid_at <- Some st.executions;
+  st.on_valid run.input;
+  st.vbr <- Coverage.union st.vbr run.coverage;
+  Pqueue.rerank st.queue (fun candidate ->
+      Heuristic.score st.config.heuristic ~vbr:st.vbr candidate);
+  add_inputs st ~parent run
+
+(* Algorithm 1, [runCheck]: an input counts as valid only if it is
+   accepted and covers branches no previous valid input covered. *)
+let run_check st ~parent input =
+  let run = execute st input in
+  if Runner.accepted run && Coverage.new_against run.coverage ~baseline:st.vbr > 0
+  then begin
+    valid_input st ~parent run;
+    (true, run)
+  end
+  else (false, run)
+
+let random_char st = String.make 1 (Rng.printable st.rng)
+
+let fuzz ?(on_valid = fun _ -> ()) ?(initial_inputs = []) config subject =
+  let st =
+    {
+      config;
+      subject;
+      rng = Rng.make config.seed;
+      queue = Pqueue.create ();
+      vbr = Coverage.empty;
+      valid_rev = [];
+      executions = 0;
+      candidates_created = 0;
+      queue_peak = 0;
+      first_valid_at = None;
+      path_counts = Hashtbl.create 1024;
+      seen_inputs = Hashtbl.create 4096;
+      on_valid;
+    }
+  in
+  let next_candidate () =
+    match Pqueue.pop st.queue with
+    | Some c -> c
+    | None ->
+      (* Queue exhausted: restart from a fresh random character, as at
+         the beginning of the search. *)
+      Candidate.seed (random_char st)
+  in
+  List.iter (fun input -> push_candidate st (Candidate.seed input)) initial_inputs;
+  (try
+     let candidate = ref (Candidate.seed (random_char st)) in
+     while true do
+       let c = !candidate in
+       let valid, _run = run_check st ~parent:c c.data in
+       if not valid then begin
+         (* Second execution: the same input extended by one random
+            character, probing whether the parser wants more input. *)
+         let extended = c.data ^ random_char st in
+         if String.length extended <= config.max_input_len then begin
+           let valid2, run2 = run_check st ~parent:c extended in
+           if not valid2 then add_inputs st ~parent:c run2
+         end
+       end;
+       candidate := next_candidate ()
+     done
+   with Budget_exhausted -> ());
+  {
+    valid_inputs = List.rev st.valid_rev;
+    valid_coverage = st.vbr;
+    executions = st.executions;
+    candidates_created = st.candidates_created;
+    queue_peak = st.queue_peak;
+    first_valid_at = st.first_valid_at;
+  }

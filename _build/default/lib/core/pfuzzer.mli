@@ -1,0 +1,46 @@
+(** The parser-directed fuzzer: Algorithm 1 of the paper.
+
+    Starting from one random character, the fuzzer alternates two
+    executions per iteration — the candidate input itself and the
+    candidate extended by one random character — and, whenever a run is
+    rejected, enqueues one new candidate per comparison made against the
+    last compared input position, splicing in the character(s) the parser
+    expected there. Valid inputs (accepted {e and} covering new branches)
+    are reported, extend the valid-branch set, and trigger a full
+    re-ranking of the queue. *)
+
+type config = {
+  seed : int;  (** RNG seed; equal seeds give equal runs *)
+  max_executions : int;  (** budget in subject executions *)
+  max_input_len : int;  (** candidates longer than this are discarded *)
+  heuristic : Heuristic.variant;
+  queue_bound : int;  (** queue is truncated to this many entries *)
+  dedupe : bool;  (** drop candidates whose input was already queued *)
+}
+
+val default_config : config
+(** seed 1, 2000 executions, inputs up to 64 characters, {!Heuristic.Prose},
+    queue bound 50_000, dedupe on. *)
+
+type result = {
+  valid_inputs : string list;  (** in discovery order *)
+  valid_coverage : Pdf_instr.Coverage.t;
+      (** union of the full coverage of all valid inputs (the paper's
+          [vBr]) *)
+  executions : int;  (** executions actually performed *)
+  candidates_created : int;
+  queue_peak : int;
+  first_valid_at : int option;
+      (** execution count when the first valid input appeared *)
+}
+
+val fuzz :
+  ?on_valid:(string -> unit) ->
+  ?initial_inputs:string list ->
+  config ->
+  Pdf_subjects.Subject.t ->
+  result
+(** Run the fuzzer against a subject until the execution budget is
+    exhausted. [on_valid] is called on each valid input as it is found.
+    [initial_inputs] seeds the candidate queue — the §6.2 hand-over point
+    when pFuzzer continues from a lexical fuzzer's corpus. *)

@@ -1,0 +1,1 @@
+lib/eval/experiment.ml: List Pdf_instr Pdf_subjects Printf Token_report Tool

@@ -1,0 +1,1 @@
+lib/eval/paper_data.ml: Tool

@@ -1,0 +1,1 @@
+lib/eval/pipeline.mli: Pdf_instr Pdf_subjects Tool

@@ -1,0 +1,1 @@
+lib/eval/report.ml: Experiment Format List Paper_data Pdf_instr Pdf_subjects Pdf_util Printf String Token_report Tool

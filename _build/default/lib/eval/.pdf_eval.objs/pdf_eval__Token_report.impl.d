@@ -1,0 +1,1 @@
+lib/eval/token_report.ml: List Pdf_subjects Pdf_util

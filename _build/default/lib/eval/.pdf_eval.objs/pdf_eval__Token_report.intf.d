@@ -1,0 +1,1 @@
+lib/eval/token_report.mli: Pdf_subjects

@@ -1,0 +1,1 @@
+lib/eval/tool.ml: Pdf_afl Pdf_core Pdf_instr Pdf_klee Pdf_subjects String

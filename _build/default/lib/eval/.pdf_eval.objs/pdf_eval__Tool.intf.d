@@ -1,0 +1,1 @@
+lib/eval/tool.mli: Pdf_instr Pdf_subjects

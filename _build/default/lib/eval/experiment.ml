@@ -1,0 +1,78 @@
+module Subject = Pdf_subjects.Subject
+module Coverage = Pdf_instr.Coverage
+
+type config = { budget_units : int; seeds : int list; verbose : bool }
+
+let default_config = { budget_units = 2_000_000; seeds = [ 1 ]; verbose = false }
+
+type cell = {
+  outcome : Tool.outcome;
+  coverage_percent : float;
+  found_tags : string list;
+}
+
+type t = {
+  config : config;
+  subjects : Subject.t list;
+  cells : (string * (Tool.name * cell) list) list;
+}
+
+let make_cell (subject : Subject.t) (outcome : Tool.outcome) =
+  {
+    outcome;
+    coverage_percent = Coverage.percent outcome.valid_coverage subject.registry;
+    found_tags = Token_report.found_tags subject outcome.valid_inputs;
+  }
+
+(* Best run selection, as in §5.1 ("we report the best run"): highest
+   valid-input coverage first, then most tokens found. *)
+let better a b =
+  if a.coverage_percent <> b.coverage_percent then
+    a.coverage_percent > b.coverage_percent
+  else List.length a.found_tags > List.length b.found_tags
+
+let run ?(tools = Tool.all) config subjects =
+  let cells =
+    List.map
+      (fun (subject : Subject.t) ->
+        let per_tool =
+          List.map
+            (fun tool ->
+              let best = ref None in
+              List.iter
+                (fun seed ->
+                  if config.verbose then
+                    Printf.eprintf "[experiment] %s on %s, seed %d...\n%!"
+                      (Tool.display_name tool) subject.name seed;
+                  let outcome =
+                    Tool.run tool ~budget_units:config.budget_units ~seed subject
+                  in
+                  let cell = make_cell subject outcome in
+                  match !best with
+                  | None -> best := Some cell
+                  | Some b -> if better cell b then best := Some cell)
+                config.seeds;
+              match !best with
+              | Some cell -> (tool, cell)
+              | None -> invalid_arg "Experiment.run: empty seed list")
+            tools
+        in
+        (subject.name, per_tool))
+      subjects
+  in
+  { config; subjects; cells }
+
+let cell t subject tool = List.assoc tool (List.assoc subject t.cells)
+
+let headline t ~min_len ~max_len =
+  let tools = match t.cells with [] -> [] | (_, per_tool) :: _ -> List.map fst per_tool in
+  List.map
+    (fun tool ->
+      let per_subject =
+        List.map
+          (fun (subject : Subject.t) ->
+            (subject, (cell t subject.name tool).found_tags))
+          t.subjects
+      in
+      (tool, Token_report.share ~min_len ~max_len per_subject))
+    tools

@@ -1,0 +1,37 @@
+(** The paper's evaluation protocol (§5.1): every tool runs on every
+    subject with the same budget, repeated over several seeds, and the
+    best run per (tool, subject) is reported. *)
+
+type config = {
+  budget_units : int;  (** virtual units; see {!Tool}. *)
+  seeds : int list;  (** one run per seed; best is kept *)
+  verbose : bool;  (** print progress lines while running *)
+}
+
+val default_config : config
+(** 2,000,000 units (AFL 2M executions, pFuzzer/KLEE 20k), seed [1],
+    quiet. *)
+
+type cell = {
+  outcome : Tool.outcome;  (** the best run for this (tool, subject) *)
+  coverage_percent : float;
+  found_tags : string list;
+}
+
+type t = {
+  config : config;
+  subjects : Pdf_subjects.Subject.t list;
+  cells : (string * (Tool.name * cell) list) list;
+      (** subject name → per-tool best cells *)
+}
+
+val run : ?tools:Tool.name list -> config -> Pdf_subjects.Subject.t list -> t
+(** Execute the full grid. Best per cell = highest valid-input branch
+    coverage, ties broken by number of tokens found. *)
+
+val cell : t -> string -> Tool.name -> cell
+(** Lookup; raises [Not_found] for an unknown subject/tool. *)
+
+val headline : t -> min_len:int -> max_len:int -> (Tool.name * float) list
+(** Token share per tool in a length band, across all subjects in the
+    experiment. *)

@@ -1,0 +1,19 @@
+let table1_loc =
+  [ ("ini", 293); ("csv", 297); ("json", 2483); ("tinyc", 191); ("mjs", 10920) ]
+
+let headline_short = [ (Tool.Afl, 91.5); (Tool.Klee, 28.7); (Tool.Pfuzzer, 81.9) ]
+let headline_long = [ (Tool.Afl, 5.0); (Tool.Klee, 7.5); (Tool.Pfuzzer, 52.5) ]
+
+let tinyc_token_share =
+  [ (Tool.Pfuzzer, 86.0); (Tool.Afl, 80.0); (Tool.Klee, 66.0) ]
+
+let coverage_order =
+  [
+    ("ini", "AFL");
+    ("csv", "AFL");
+    ("json", "AFL");
+    ("tinyc", "pFuzzer");
+    ("mjs", "AFL");
+  ]
+
+let json_keyword_finders = [ "KLEE"; "pFuzzer" ]

@@ -1,0 +1,85 @@
+module Coverage = Pdf_instr.Coverage
+module Subject = Pdf_subjects.Subject
+
+type stage_report = {
+  stage : Tool.name;
+  new_valid : int;
+  coverage_after : float;
+  executions : int;
+}
+
+type result = {
+  valid_inputs : string list;
+  valid_coverage : Coverage.t;
+  stages : stage_report list;
+}
+
+let dedup_append existing extra =
+  List.fold_left
+    (fun acc input -> if List.mem input acc then acc else acc @ [ input ])
+    existing extra
+
+let run ~budget_units ?(shares = (0.5, 0.4, 0.1)) ~seed (subject : Subject.t) =
+  let afl_share, pf_share, klee_share = shares in
+  let units share = max 1 (int_of_float (float_of_int budget_units *. share)) in
+  (* Stage 1: lexical — cheap executions, shallow exploration. *)
+  let afl =
+    Pdf_afl.Afl.fuzz
+      {
+        Pdf_afl.Afl.default_config with
+        seed;
+        max_executions = units afl_share / Tool.cost_per_execution Tool.Afl;
+      }
+      subject
+  in
+  let corpus = afl.valid_inputs in
+  let coverage = afl.valid_coverage in
+  let stage1 =
+    {
+      stage = Tool.Afl;
+      new_valid = List.length corpus;
+      coverage_after = Coverage.percent coverage subject.registry;
+      executions = afl.executions;
+    }
+  in
+  (* Stage 2: syntactic — pFuzzer seeded with the lexical corpus. *)
+  let pf =
+    Pdf_core.Pfuzzer.fuzz ~initial_inputs:corpus
+      {
+        Pdf_core.Pfuzzer.default_config with
+        seed;
+        max_executions = units pf_share / Tool.cost_per_execution Tool.Pfuzzer;
+      }
+      subject
+  in
+  let corpus = dedup_append corpus pf.valid_inputs in
+  let coverage = Coverage.union coverage pf.valid_coverage in
+  let stage2 =
+    {
+      stage = Tool.Pfuzzer;
+      new_valid = List.length pf.valid_inputs;
+      coverage_after = Coverage.percent coverage subject.registry;
+      executions = pf.executions;
+    }
+  in
+  (* Stage 3: symbolic — concolic negation from the combined corpus. *)
+  let klee =
+    Pdf_klee.Klee.fuzz ~initial_inputs:corpus
+      {
+        Pdf_klee.Klee.default_config with
+        seed;
+        max_executions = units klee_share / Tool.cost_per_execution Tool.Klee;
+      }
+      subject
+  in
+  let corpus = dedup_append corpus klee.valid_inputs in
+  let coverage = Coverage.union coverage klee.valid_coverage in
+  let stage3 =
+    {
+      stage = Tool.Klee;
+      new_valid = List.length klee.valid_inputs;
+      coverage_after = Coverage.percent coverage subject.registry;
+      executions = klee.executions;
+    }
+  in
+  { valid_inputs = corpus; valid_coverage = coverage; stages = [ stage1; stage2; stage3 ] }

@@ -1,0 +1,30 @@
+(** The pragmatic tool chain the paper sketches at the end of §6.2:
+    "start fuzzing with a fast lexical fuzzer such as AFL, continue with
+    syntactic fuzzing such as pFuzzer, and solve remaining semantic
+    constraints with symbolic analysis."
+
+    Each stage receives a share of the common virtual budget and hands
+    its valid corpus to the next stage as seed inputs. *)
+
+type stage_report = {
+  stage : Tool.name;
+  new_valid : int;  (** valid inputs this stage added *)
+  coverage_after : float;  (** cumulative valid-input coverage (%) *)
+  executions : int;
+}
+
+type result = {
+  valid_inputs : string list;  (** union corpus, discovery order *)
+  valid_coverage : Pdf_instr.Coverage.t;
+  stages : stage_report list;
+}
+
+val run :
+  budget_units:int ->
+  ?shares:(float * float * float) ->
+  seed:int ->
+  Pdf_subjects.Subject.t ->
+  result
+(** [run ~budget_units subject] executes AFL, then pFuzzer, then KLEE,
+    splitting the budget by [shares] (default [0.5, 0.4, 0.1] of the
+    total for AFL/pFuzzer/KLEE respectively, in units). *)

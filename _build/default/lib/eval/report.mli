@@ -1,0 +1,23 @@
+(** Rendering of every table and figure of the paper's evaluation from an
+    {!Experiment.t}, with the paper's reported values alongside for
+    comparison. *)
+
+val table_1 : Format.formatter -> Pdf_subjects.Subject.t list -> unit
+(** Table 1: the evaluation subjects. *)
+
+val token_inventory : Format.formatter -> Pdf_subjects.Subject.t -> unit
+(** Tables 2–4: a subject's tokens grouped by length. *)
+
+val figure_2 : Format.formatter -> Experiment.t -> unit
+(** Figure 2: branch coverage per subject and tool (bar chart), plus the
+    paper's qualitative winner per subject. *)
+
+val figure_3 : Format.formatter -> Experiment.t -> unit
+(** Figure 3: tokens generated per subject, tool and token length. *)
+
+val headline : Format.formatter -> Experiment.t -> unit
+(** The §5.3 aggregate shares for short (≤ 3) and long (> 3) tokens,
+    measured vs paper. *)
+
+val full : Format.formatter -> Experiment.t -> unit
+(** All of the above in paper order. *)

@@ -1,0 +1,32 @@
+module Subject = Pdf_subjects.Subject
+module Token = Pdf_subjects.Token
+
+let found_tags (subject : Subject.t) valid_inputs =
+  let inventory = List.map (fun (t : Token.t) -> t.tag) subject.tokens in
+  let occurring =
+    List.sort_uniq compare (List.concat_map subject.tokenize valid_inputs)
+  in
+  List.filter (fun tag -> List.mem tag inventory) occurring
+
+let by_length (subject : Subject.t) tags =
+  Token.lengths subject.tokens
+  |> List.map (fun len ->
+         let of_len = Token.of_length len subject.tokens in
+         let found =
+           List.length (List.filter (fun (t : Token.t) -> List.mem t.tag tags) of_len)
+         in
+         (len, found, List.length of_len))
+
+let share ~min_len ~max_len per_subject =
+  let total = ref 0 and found = ref 0 in
+  List.iter
+    (fun ((subject : Subject.t), tags) ->
+      List.iter
+        (fun (t : Token.t) ->
+          if t.length >= min_len && t.length <= max_len then begin
+            incr total;
+            if List.mem t.tag tags then incr found
+          end)
+        subject.tokens)
+    per_subject;
+  Pdf_util.Stats.ratio !found !total

@@ -1,0 +1,19 @@
+(** Input-coverage measurement (§5.3): which of a subject's tokens occur
+    in the valid inputs a tool generated, grouped by token length. *)
+
+val found_tags : Pdf_subjects.Subject.t -> string list -> string list
+(** [found_tags subject valid_inputs] is the sorted set of inventory tags
+    occurring in the valid inputs (tags outside the inventory are
+    dropped). *)
+
+val by_length : Pdf_subjects.Subject.t -> string list -> (int * int * int) list
+(** [by_length subject tags] groups an inventory against found tags:
+    [(length, found, total)] per distinct token length, ascending. *)
+
+val share :
+  min_len:int -> max_len:int ->
+  (Pdf_subjects.Subject.t * string list) list ->
+  float
+(** [share ~min_len ~max_len per_subject] is the percentage of all
+    inventory tokens with length in [min_len, max_len] (across the given
+    subjects) that were found — the §5.3 headline aggregation. *)

@@ -1,0 +1,63 @@
+type name = Afl | Klee | Pfuzzer
+
+let all = [ Afl; Klee; Pfuzzer ]
+
+let display_name = function Afl -> "AFL" | Klee -> "KLEE" | Pfuzzer -> "pFuzzer"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "afl" -> Some Afl
+  | "klee" -> Some Klee
+  | "pfuzzer" -> Some Pfuzzer
+  | _ -> None
+
+let cost_per_execution = function Afl -> 1 | Klee -> 100 | Pfuzzer -> 100
+
+type outcome = {
+  tool : name;
+  subject : string;
+  valid_inputs : string list;
+  valid_coverage : Pdf_instr.Coverage.t;
+  executions : int;
+}
+
+let run tool ~budget_units ~seed subject =
+  let max_executions = max 1 (budget_units / cost_per_execution tool) in
+  match tool with
+  | Afl ->
+    let result =
+      Pdf_afl.Afl.fuzz { Pdf_afl.Afl.default_config with seed; max_executions } subject
+    in
+    {
+      tool;
+      subject = subject.Pdf_subjects.Subject.name;
+      valid_inputs = result.valid_inputs;
+      valid_coverage = result.valid_coverage;
+      executions = result.executions;
+    }
+  | Klee ->
+    let result =
+      Pdf_klee.Klee.fuzz
+        { Pdf_klee.Klee.default_config with seed; max_executions }
+        subject
+    in
+    {
+      tool;
+      subject = subject.Pdf_subjects.Subject.name;
+      valid_inputs = result.valid_inputs;
+      valid_coverage = result.valid_coverage;
+      executions = result.executions;
+    }
+  | Pfuzzer ->
+    let result =
+      Pdf_core.Pfuzzer.fuzz
+        { Pdf_core.Pfuzzer.default_config with seed; max_executions }
+        subject
+    in
+    {
+      tool;
+      subject = subject.Pdf_subjects.Subject.name;
+      valid_inputs = result.valid_inputs;
+      valid_coverage = result.valid_coverage;
+      executions = result.executions;
+    }

@@ -1,0 +1,27 @@
+(** A uniform driver over the three test generators, with the virtual
+    time-budget model described in DESIGN.md §5: every (tool, subject)
+    pair receives the same budget in {e units}, one AFL execution costs 1
+    unit, and one pFuzzer or KLEE execution costs 100 units (the paper's
+    ~100× instrumentation slowdown, §4; AFL generated ~1000× more inputs,
+    §5.2). *)
+
+type name = Afl | Klee | Pfuzzer
+
+val all : name list
+(** In the paper's presentation order: AFL, KLEE, pFuzzer. *)
+
+val display_name : name -> string
+val of_string : string -> name option
+val cost_per_execution : name -> int
+
+type outcome = {
+  tool : name;
+  subject : string;
+  valid_inputs : string list;
+  valid_coverage : Pdf_instr.Coverage.t;
+  executions : int;
+}
+
+val run :
+  name -> budget_units:int -> seed:int -> Pdf_subjects.Subject.t -> outcome
+(** Run one tool on one subject until the unit budget is exhausted. *)

@@ -1,0 +1,1 @@
+lib/grammar/generator.ml: Buffer Grammar Hashtbl List Option Pdf_util

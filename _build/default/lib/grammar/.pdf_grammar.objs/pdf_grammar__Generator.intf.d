@@ -1,0 +1,1 @@
+lib/grammar/generator.mli: Grammar Pdf_util

@@ -1,0 +1,1 @@
+lib/grammar/grammar.ml: Format List Map Option String

@@ -1,0 +1,1 @@
+lib/grammar/miner.ml: Array Grammar List Pdf_instr Pdf_subjects String

@@ -1,0 +1,1 @@
+lib/grammar/miner.mli: Grammar Pdf_subjects

@@ -1,0 +1,68 @@
+module Rng = Pdf_util.Rng
+
+(* Cost of a production = one more than the sum of its nonterminals'
+   costs; used to pick a terminating expansion when depth is exhausted.
+   Computed by fixpoint; unreachable nonterminals keep an infinite cost
+   and expand to the empty string. *)
+let costs grammar =
+  let tbl = Hashtbl.create 16 in
+  let cost_of_nt nt =
+    Option.value ~default:max_int (Hashtbl.find_opt tbl nt)
+  in
+  let cost_of_production p =
+    List.fold_left
+      (fun acc sym ->
+        match sym with
+        | Grammar.Terminal _ -> acc
+        | Grammar.Nonterminal nt ->
+          let c = cost_of_nt nt in
+          if acc = max_int || c = max_int then max_int else acc + c)
+      1 p
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun nt ->
+        let best =
+          List.fold_left
+            (fun acc p -> min acc (cost_of_production p))
+            max_int (Grammar.productions grammar nt)
+        in
+        if best < cost_of_nt nt then begin
+          Hashtbl.replace tbl nt best;
+          changed := true
+        end)
+      (Grammar.nonterminals grammar)
+  done;
+  (cost_of_nt, cost_of_production)
+
+let generate rng ?(max_depth = 12) grammar =
+  let cost_of_nt, cost_of_production = costs grammar in
+  ignore cost_of_nt;
+  let buf = Buffer.create 64 in
+  let rec expand nt depth =
+    match Grammar.productions grammar nt with
+    | [] -> ()
+    | productions ->
+      let production =
+        if depth <= 0 then
+          (* Out of budget: cheapest production. *)
+          List.fold_left
+            (fun best p ->
+              if cost_of_production p < cost_of_production best then p else best)
+            (List.hd productions) productions
+        else Rng.choose_list rng productions
+      in
+      List.iter
+        (fun sym ->
+          match sym with
+          | Grammar.Terminal s -> Buffer.add_string buf s
+          | Grammar.Nonterminal child -> expand child (depth - 1))
+        production
+  in
+  expand (Grammar.start grammar) max_depth;
+  Buffer.contents buf
+
+let generate_many rng ?max_depth n grammar =
+  List.init n (fun _ -> generate rng ?max_depth grammar)

@@ -1,0 +1,12 @@
+(** Grammar-based test generation over a mined grammar: random expansion
+    with a depth budget, falling back to each nonterminal's cheapest
+    production when the budget runs out so expansion always terminates.
+    This is the §7.4 tool-chain step that produces deeply recursive
+    inputs cheaply once pFuzzer has supplied the grammar. *)
+
+val generate : Pdf_util.Rng.t -> ?max_depth:int -> Grammar.t -> string
+(** One random sentence from the start symbol. Nonterminals without any
+    production expand to the empty string. *)
+
+val generate_many : Pdf_util.Rng.t -> ?max_depth:int -> int -> Grammar.t -> string list
+(** [generate_many rng n g] draws [n] sentences (duplicates possible). *)

@@ -1,0 +1,43 @@
+module Smap = Map.Make (String)
+
+type symbol = Terminal of string | Nonterminal of string
+type production = symbol list
+
+type t = { start : string; rules : production list Smap.t }
+
+let empty ~start = { start; rules = Smap.empty }
+let start t = t.start
+
+let add_production t nt production =
+  let existing = Option.value ~default:[] (Smap.find_opt nt t.rules) in
+  if List.mem production existing then t
+  else { t with rules = Smap.add nt (existing @ [ production ]) t.rules }
+
+let productions t nt = Option.value ~default:[] (Smap.find_opt nt t.rules)
+let nonterminals t = List.map fst (Smap.bindings t.rules)
+
+let production_count t =
+  Smap.fold (fun _ ps acc -> acc + List.length ps) t.rules 0
+
+let pp_symbol ppf = function
+  | Terminal s -> Format.fprintf ppf "%S" s
+  | Nonterminal n -> Format.fprintf ppf "<%s>" n
+
+let pp ppf t =
+  Smap.iter
+    (fun nt ps ->
+      Format.fprintf ppf "<%s> ::=@." nt;
+      List.iter
+        (fun p ->
+          Format.fprintf ppf "  | ";
+          (match p with
+           | [] -> Format.fprintf ppf "\"\""
+           | _ ->
+             List.iteri
+               (fun i sym ->
+                 if i > 0 then Format.fprintf ppf " ";
+                 pp_symbol ppf sym)
+               p);
+          Format.fprintf ppf "@.")
+        ps)
+    t.rules

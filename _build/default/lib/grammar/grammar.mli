@@ -1,0 +1,24 @@
+(** Context-free grammars mined from parser executions (paper §7.4).
+
+    Nonterminals are parser-function names; terminals are literal input
+    fragments. A grammar maps each nonterminal to the set of
+    right-hand-side productions observed across the mined inputs. *)
+
+type symbol = Terminal of string | Nonterminal of string
+
+type production = symbol list
+
+type t
+
+val empty : start:string -> t
+val start : t -> string
+
+val add_production : t -> string -> production -> t
+(** Idempotent: duplicate productions of a nonterminal are kept once. *)
+
+val productions : t -> string -> production list
+val nonterminals : t -> string list
+val production_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** BNF-style rendering. *)

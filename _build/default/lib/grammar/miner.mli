@@ -1,0 +1,14 @@
+(** AutoGram-style grammar mining (paper §7.4): rerun valid inputs with
+    frame tracking, turn each run's frame spans into a derivation tree
+    (one nonterminal per parser function), and union the observed
+    productions into a grammar.
+
+    The paper positions this as the natural consumer of pFuzzer's
+    output — pFuzzer supplies the valid, diverse inputs that mining
+    needs, and the mined grammar then generates recursive structures far
+    more cheaply than the character-level search (§7.4). *)
+
+val mine : Pdf_subjects.Subject.t -> string list -> Grammar.t
+(** [mine subject valid_inputs] mines a grammar from the accepted inputs
+    (inputs the subject rejects are skipped). The start symbol is the
+    root frame of the subject's parser. *)

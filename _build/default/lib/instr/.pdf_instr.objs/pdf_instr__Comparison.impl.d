@@ -1,0 +1,1 @@
+lib/instr/comparison.ml: Format List Pdf_util Printf String

@@ -1,0 +1,1 @@
+lib/instr/comparison.mli: Format Pdf_util

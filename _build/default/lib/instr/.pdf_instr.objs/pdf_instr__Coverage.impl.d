@@ -1,0 +1,1 @@
+lib/instr/coverage.ml: Int Pdf_util Set Site

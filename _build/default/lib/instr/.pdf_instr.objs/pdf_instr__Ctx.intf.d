@@ -1,0 +1,1 @@
+lib/instr/ctx.mli: Comparison Coverage Frame Pdf_taint Pdf_util Site

@@ -1,0 +1,1 @@
+lib/instr/frame.ml: Format Site

@@ -1,0 +1,1 @@
+lib/instr/frame.mli: Format Site

@@ -1,0 +1,1 @@
+lib/instr/runner.mli: Comparison Coverage Ctx Format Frame Site

@@ -1,0 +1,1 @@
+lib/instr/site.ml: Hashtbl List Printf

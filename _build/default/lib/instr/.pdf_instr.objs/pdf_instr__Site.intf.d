@@ -1,0 +1,1 @@
+lib/instr/site.mli:

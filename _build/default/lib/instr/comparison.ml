@@ -1,0 +1,72 @@
+module Charset = Pdf_util.Charset
+module Rng = Pdf_util.Rng
+
+type kind =
+  | Char_eq of char
+  | Char_range of char * char
+  | Char_set of Charset.t * string
+  | Str_eq of { expected : string; offset : int }
+
+type t = {
+  seq : int;
+  trace_pos : int;
+  index : int;
+  kind : kind;
+  result : bool;
+  stack_depth : int;
+}
+
+(* Small satisfying sets (symbol alphabets, digits) are enumerated in
+   full — the parser really compared against each of those values.
+   Proposing every member of e.g. a 95-character printable-set comparison
+   would flood the queue, so large classes are sampled. *)
+let enumerate_bound = 16
+let sample_bound = 4
+
+let sample_set rng set =
+  let n = Charset.cardinal set in
+  if n = 0 then []
+  else if n <= enumerate_bound then List.map (String.make 1) (Charset.to_list set)
+  else
+    let rec draw acc k =
+      if k = 0 then acc
+      else
+        match Charset.pick rng set with
+        | None -> acc
+        | Some c ->
+          let s = String.make 1 c in
+          if List.mem s acc then draw acc k else draw (s :: acc) (k - 1)
+    in
+    draw [] sample_bound
+
+let replacements rng t =
+  match t.kind with
+  | Char_eq c -> [ String.make 1 c ]
+  | Char_range (lo, hi) -> sample_set rng (Charset.range lo hi)
+  | Char_set (set, _) -> sample_set rng set
+  | Str_eq { expected; offset } ->
+    if offset >= String.length expected then []
+    else [ String.sub expected offset (String.length expected - offset) ]
+
+let satisfying_set = function
+  | Char_eq c -> Charset.singleton c
+  | Char_range (lo, hi) -> Charset.range lo hi
+  | Char_set (set, _) -> set
+  | Str_eq { expected; offset } ->
+    if offset >= String.length expected then Charset.empty
+    else Charset.singleton expected.[offset]
+
+let char_constraint t =
+  let sat = satisfying_set t.kind in
+  if t.result then sat else Charset.complement sat
+
+let pp ppf t =
+  let kind_str =
+    match t.kind with
+    | Char_eq c -> Printf.sprintf "== %C" c
+    | Char_range (lo, hi) -> Printf.sprintf "in [%C..%C]" lo hi
+    | Char_set (_, label) -> Printf.sprintf "in %s" label
+    | Str_eq { expected; offset } -> Printf.sprintf "streq %S@%d" expected offset
+  in
+  Format.fprintf ppf "#%d idx=%d %s -> %b (depth %d)" t.seq t.index kind_str t.result
+    t.stack_depth

@@ -1,0 +1,16 @@
+module Iset = Set.Make (Int)
+
+type t = Iset.t
+
+let empty = Iset.empty
+let add = Iset.add
+let mem = Iset.mem
+let union = Iset.union
+let diff = Iset.diff
+let cardinal = Iset.cardinal
+let is_empty = Iset.is_empty
+let of_list = Iset.of_list
+let to_list = Iset.elements
+let new_against c ~baseline = Iset.cardinal (Iset.diff c baseline)
+let percent c registry = Pdf_util.Stats.ratio (Iset.cardinal c) (Site.total_outcomes registry)
+let equal = Iset.equal

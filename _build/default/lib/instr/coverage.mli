@@ -1,0 +1,25 @@
+(** Persistent sets of covered outcomes.
+
+    Snapshots are taken frequently by the fuzzers (e.g. "branches covered
+    up to the last accepted character"), so the representation is a
+    persistent integer set. *)
+
+type t
+
+val empty : t
+val add : int -> t -> t
+val mem : int -> t -> bool
+val union : t -> t -> t
+val diff : t -> t -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+val of_list : int list -> t
+val to_list : t -> int list
+val new_against : t -> baseline:t -> int
+(** [new_against c ~baseline] counts outcomes in [c] absent from
+    [baseline] — the [size(branches \ vBr)] term of the heuristic. *)
+
+val percent : t -> Site.registry -> float
+(** Covered outcomes as a percentage of the registry's total. *)
+
+val equal : t -> t -> bool

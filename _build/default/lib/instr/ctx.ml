@@ -1,0 +1,228 @@
+module Tchar = Pdf_taint.Tchar
+module Tstring = Pdf_taint.Tstring
+module Taint = Pdf_taint.Taint
+module Charset = Pdf_util.Charset
+
+exception Reject of string
+exception Out_of_fuel
+
+type t = {
+  registry : Site.registry;
+  text : string;
+  mutable cursor : int;
+  mutable eof_access : bool;
+  mutable seq : int;
+  mutable comparisons : Comparison.t list; (* reverse order *)
+  covered : Bytes.t; (* dense outcome presence, indexed by outcome id *)
+  mutable touched : int list; (* outcomes covered, first-occurrence order *)
+  mutable rev_trace : int list;
+  mutable trace_len : int;
+  mutable stack : int;
+  mutable max_stack : int;
+  mutable fuel : int;
+  track_comparisons : bool;
+  track_frames : bool;
+  mutable rev_frames : Frame.event list;
+}
+
+let make ~registry ?(fuel = 100_000) ?(track_comparisons = true)
+    ?(track_frames = false) text =
+  {
+    registry;
+    text;
+    cursor = 0;
+    eof_access = false;
+    seq = 0;
+    comparisons = [];
+    covered = Bytes.make (2 * Site.site_count registry) '\000';
+    touched = [];
+    rev_trace = [];
+    trace_len = 0;
+    stack = 0;
+    max_stack = 0;
+    fuel;
+    track_comparisons;
+    track_frames;
+    rev_frames = [];
+  }
+
+let pos t = t.cursor
+let input t = t.text
+let at_eof t = t.cursor >= String.length t.text
+let depth t = t.stack
+
+let peek t =
+  if at_eof t then begin
+    t.eof_access <- true;
+    None
+  end
+  else Some (Tchar.input t.cursor t.text.[t.cursor])
+
+let next t =
+  match peek t with
+  | None -> None
+  | Some _ as c ->
+    t.cursor <- t.cursor + 1;
+    c
+
+let record_outcome t oid =
+  if Bytes.get t.covered oid = '\000' then begin
+    Bytes.set t.covered oid '\001';
+    t.touched <- oid :: t.touched
+  end;
+  t.rev_trace <- oid :: t.rev_trace;
+  t.trace_len <- t.trace_len + 1
+
+let cover t site = record_outcome t (Site.outcome site true)
+
+let branch t site cond =
+  record_outcome t (Site.outcome site cond);
+  cond
+
+let enter_frame t site =
+  cover t site;
+  t.stack <- t.stack + 1;
+  if t.stack > t.max_stack then t.max_stack <- t.stack;
+  if t.track_frames then
+    t.rev_frames <- Frame.Enter { site; pos = t.cursor } :: t.rev_frames
+
+let exit_frame t =
+  t.stack <- t.stack - 1;
+  if t.track_frames then
+    t.rev_frames <- Frame.Exit { pos = t.cursor } :: t.rev_frames
+
+let with_frame t site f =
+  enter_frame t site;
+  Fun.protect ~finally:(fun () -> exit_frame t) f
+
+let tick t =
+  if t.fuel <= 0 then raise Out_of_fuel;
+  t.fuel <- t.fuel - 1
+
+let emit t ~index ~kind ~result =
+  if t.track_comparisons then begin
+  let event =
+    {
+      Comparison.seq = t.seq;
+      trace_pos = t.trace_len;
+      index;
+      kind;
+      result;
+      stack_depth = t.stack;
+    }
+  in
+  t.seq <- t.seq + 1;
+  t.comparisons <- event :: t.comparisons
+  end
+
+(* A comparison against a tainted character: record the branch outcome
+   always; log the comparison event only when the operand actually derives
+   from the input (constants have nothing to substitute). *)
+let compare_tainted t site (c : Tchar.t) kind result =
+  (match Taint.max_index c.taint with
+   | None -> ()
+   | Some index -> emit t ~index ~kind ~result);
+  branch t site result
+
+let eq t site c expected =
+  compare_tainted t site c (Comparison.Char_eq expected) (c.Tchar.ch = expected)
+
+let in_range t site c lo hi =
+  let result = c.Tchar.ch >= lo && c.Tchar.ch <= hi in
+  compare_tainted t site c (Comparison.Char_range (lo, hi)) result
+
+let in_set t site ~label c set =
+  compare_tainted t site c (Comparison.Char_set (set, label)) (Charset.mem c.Tchar.ch set)
+
+let one_of t site c chars =
+  in_set t site ~label:(Printf.sprintf "one-of %S" chars) c (Charset.of_string chars)
+
+(* Instrumented strcmp. Walk the token and the keyword in lockstep,
+   emitting a per-position character event; on a mismatch after partial
+   progress, additionally emit the keyword-suffix event whose replacement
+   completes the keyword in one substitution. *)
+let str_eq t site (tok : Tstring.t) keyword =
+  let tok_len = Tstring.length tok and kw_len = String.length keyword in
+  let next_input_index () =
+    (* Position just past the token in the input: where an extension of
+       the token would have to appear. *)
+    match Taint.max_index (Tstring.taint tok) with
+    | Some i -> Some (i + 1)
+    | None -> None
+  in
+  let emit_char_event i result =
+    let c = Tstring.get tok i in
+    match Taint.max_index c.Tchar.taint with
+    | None -> ()
+    | Some index -> emit t ~index ~kind:(Comparison.Char_eq keyword.[i]) ~result
+  in
+  let emit_suffix_event ~index ~offset =
+    emit t ~index ~kind:(Comparison.Str_eq { expected = keyword; offset }) ~result:false
+  in
+  let rec walk i =
+    if i >= tok_len && i >= kw_len then true (* full match *)
+    else if i >= tok_len then begin
+      (* Token is a proper prefix of the keyword: the mismatch is at the
+         position just past the token. *)
+      (match next_input_index () with
+       | None -> ()
+       | Some index ->
+         emit t ~index ~kind:(Comparison.Char_eq keyword.[i]) ~result:false;
+         if i > 0 then emit_suffix_event ~index ~offset:i);
+      false
+    end
+    else if i >= kw_len then begin
+      (* Token is longer than the keyword: no substitution can help at
+         this position, but record the failed comparison for coverage. *)
+      (match Taint.max_index (Tstring.get tok i).Tchar.taint with
+       | None -> ()
+       | Some index ->
+         emit t ~index
+           ~kind:(Comparison.Str_eq { expected = keyword; offset = kw_len })
+           ~result:false);
+      false
+    end
+    else if (Tstring.get tok i).Tchar.ch = keyword.[i] then begin
+      emit_char_event i true;
+      walk (i + 1)
+    end
+    else begin
+      emit_char_event i false;
+      (match Taint.max_index (Tstring.get tok i).Tchar.taint with
+       | Some index when i > 0 -> emit_suffix_event ~index ~offset:i
+       | Some _ | None -> ());
+      false
+    end
+  in
+  branch t site (walk 0)
+
+(* §7.2 token-taint recovery: a parser that demands a specific token can
+   report the expectation at the token's input position even though the
+   token value itself carries no direct data flow. On mismatch the event's
+   replacement is the expected spelling, to be spliced at [at]. *)
+let expect_token t site ~at ~spelling ~matched =
+  if not matched then
+    emit t ~index:at
+      ~kind:(Comparison.Str_eq { expected = spelling; offset = 0 })
+      ~result:false;
+  branch t site matched
+
+let reject _t reason = raise (Reject reason)
+
+let comparisons t = List.rev t.comparisons
+let coverage t = Coverage.of_list t.touched
+
+let trace t =
+  let arr = Array.make t.trace_len 0 in
+  let rec fill i = function
+    | [] -> ()
+    | x :: rest ->
+      arr.(i) <- x;
+      fill (i - 1) rest
+  in
+  fill (t.trace_len - 1) t.rev_trace;
+  arr
+
+let eof_access t = t.eof_access
+let max_depth t = t.max_stack
+let frames t = Array.of_list (List.rev t.rev_frames)

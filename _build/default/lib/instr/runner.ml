@@ -1,0 +1,106 @@
+type verdict = Accepted | Rejected of string | Hang
+
+type run = {
+  input : string;
+  verdict : verdict;
+  comparisons : Comparison.t array;
+  coverage : Coverage.t;
+  trace : int array;
+  eof_access : bool;
+  max_depth : int;
+  frames : Frame.event array;
+}
+
+let exec ~registry ~parse ?fuel ?track_comparisons ?track_frames input =
+  let ctx = Ctx.make ~registry ?fuel ?track_comparisons ?track_frames input in
+  let verdict =
+    match parse ctx with
+    | () -> Accepted
+    | exception Ctx.Reject reason -> Rejected reason
+    | exception Ctx.Out_of_fuel -> Hang
+  in
+  {
+    input;
+    verdict;
+    comparisons = Array.of_list (Ctx.comparisons ctx);
+    coverage = Ctx.coverage ctx;
+    trace = Ctx.trace ctx;
+    eof_access = Ctx.eof_access ctx;
+    max_depth = Ctx.max_depth ctx;
+    frames = Ctx.frames ctx;
+  }
+
+let accepted run = run.verdict = Accepted
+
+let max_index_where pred run =
+  Array.fold_left
+    (fun acc (c : Comparison.t) ->
+      if pred c then
+        match acc with None -> Some c.index | Some i -> Some (max i c.index)
+      else acc)
+    None run.comparisons
+
+let last_compared_index run = max_index_where (fun _ -> true) run
+
+(* The first invalid character: the rightmost position where the parser's
+   expectation failed. Positions beyond it may have been touched by
+   class-membership probes (e.g. "is this still a letter?") whose success
+   carries no substitution information, so failed comparisons take
+   precedence. *)
+let substitution_index run =
+  match max_index_where (fun (c : Comparison.t) -> not c.result) run with
+  | Some _ as failed -> failed
+  | None -> last_compared_index run
+
+let comparisons_at_last_index run =
+  match substitution_index run with
+  | None -> []
+  | Some idx ->
+    Array.fold_left
+      (fun acc (c : Comparison.t) -> if c.index = idx then c :: acc else acc)
+      [] run.comparisons
+    |> List.rev
+
+let coverage_up_to_last_index run =
+  match substitution_index run with
+  | None -> run.coverage
+  | Some idx ->
+    (* Trace position of the first comparison touching the last index. *)
+    let cut =
+      Array.fold_left
+        (fun acc (c : Comparison.t) ->
+          if c.index = idx then min acc c.trace_pos else acc)
+        (Array.length run.trace) run.comparisons
+    in
+    let cov = ref Coverage.empty in
+    for i = 0 to min cut (Array.length run.trace) - 1 do
+      cov := Coverage.add run.trace.(i) !cov
+    done;
+    !cov
+
+let avg_stack_of_last_two run =
+  let n = Array.length run.comparisons in
+  if n = 0 then 0.0
+  else if n = 1 then float_of_int run.comparisons.(0).stack_depth
+  else
+    float_of_int (run.comparisons.(n - 1).stack_depth + run.comparisons.(n - 2).stack_depth)
+    /. 2.0
+
+let path_hash run =
+  (* First-occurrence order of outcomes: a compact path identity that is
+     insensitive to loop iteration counts ("non-duplicate branches"). *)
+  let seen = Hashtbl.create 64 in
+  let firsts = ref [] in
+  Array.iter
+    (fun oid ->
+      if not (Hashtbl.mem seen oid) then begin
+        Hashtbl.add seen oid ();
+        firsts := oid :: !firsts
+      end)
+    run.trace;
+  Hashtbl.hash (List.rev !firsts)
+
+let pp_verdict ppf = function
+  | Accepted -> Format.fprintf ppf "accepted"
+  | Rejected reason -> Format.fprintf ppf "rejected (%s)" reason
+  | Hang -> Format.fprintf ppf "hang"

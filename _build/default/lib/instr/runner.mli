@@ -1,0 +1,67 @@
+(** Running a subject parser on one input and packaging the observations.
+
+    This is the harness boundary every fuzzer goes through: one call to
+    {!exec} corresponds to one execution of the instrumented program in
+    the paper (exit status, comparison log, coverage, trace, EOF flag). *)
+
+type verdict =
+  | Accepted  (** the parser consumed the input without error: exit 0 *)
+  | Rejected of string  (** first parse error: non-zero exit *)
+  | Hang  (** fuel exhausted, the analogue of the paper's infinite loop *)
+
+type run = {
+  input : string;
+  verdict : verdict;
+  comparisons : Comparison.t array;  (** in event order *)
+  coverage : Coverage.t;
+  trace : int array;  (** outcome ids in recording order *)
+  eof_access : bool;
+  max_depth : int;
+  frames : Frame.event array;
+      (** empty unless run with [~track_frames:true] *)
+}
+
+val exec :
+  registry:Site.registry ->
+  parse:(Ctx.t -> unit) ->
+  ?fuel:int ->
+  ?track_comparisons:bool ->
+  ?track_frames:bool ->
+  string ->
+  run
+(** Run the parser on the given input. Only {!Ctx.Reject} and
+    {!Ctx.Out_of_fuel} are caught; any other exception is a bug in the
+    subject and propagates. *)
+
+val accepted : run -> bool
+
+(** {1 Derived observations used by the search} *)
+
+val last_compared_index : run -> int option
+(** The rightmost input index involved in any comparison. *)
+
+val substitution_index : run -> int option
+(** The position of the first invalid character: the rightmost index with
+    a {e failed} comparison, falling back to {!last_compared_index} when
+    every comparison succeeded. Substitutions are applied here. *)
+
+val comparisons_at_last_index : run -> Comparison.t list
+(** All comparison events touching {!substitution_index}, the
+    substitution candidates of Algorithm 1's [addInputs]. *)
+
+val coverage_up_to_last_index : run -> Coverage.t
+(** Coverage restricted to the trace prefix before the first comparison
+    of the last compared character — §3.1's "covered branches up to the
+    last accepted character", which keeps error-handling code from
+    attracting the search. *)
+
+val avg_stack_of_last_two : run -> float
+(** Mean stack depth of the last two comparison events (§3.1's
+    [avgStackSize]); 0 when there are no comparisons. *)
+
+val path_hash : run -> int
+(** Hash of the sequence of first occurrences of outcomes in the trace —
+    the "path" identity used to rank inputs exploring novel paths
+    higher. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

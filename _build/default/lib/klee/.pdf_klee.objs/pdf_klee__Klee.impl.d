@@ -1,0 +1,1 @@
+lib/klee/klee.ml: Array Hashtbl List Option Path_constraint Pdf_instr Pdf_subjects Pdf_util Solver String

@@ -1,0 +1,1 @@
+lib/klee/klee.mli: Pdf_instr Pdf_subjects

@@ -1,0 +1,1 @@
+lib/klee/path_constraint.ml: Array Int Map Option Pdf_instr Pdf_util

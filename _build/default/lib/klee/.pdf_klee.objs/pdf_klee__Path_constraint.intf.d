@@ -1,0 +1,1 @@
+lib/klee/path_constraint.mli: Pdf_instr Pdf_util

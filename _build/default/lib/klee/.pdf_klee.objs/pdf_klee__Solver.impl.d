@@ -1,0 +1,1 @@
+lib/klee/solver.ml: Bytes Path_constraint Pdf_util String

@@ -1,0 +1,1 @@
+lib/klee/solver.mli: Path_constraint Pdf_util

@@ -1,0 +1,165 @@
+module Rng = Pdf_util.Rng
+module Pqueue = Pdf_util.Pqueue
+module Coverage = Pdf_instr.Coverage
+module Runner = Pdf_instr.Runner
+module Subject = Pdf_subjects.Subject
+
+type config = {
+  seed : int;
+  max_executions : int;
+  max_input_len : int;
+  frontier_bound : int;
+  negations_per_run : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    max_executions = 2000;
+    max_input_len = 64;
+    frontier_bound = 100_000;
+    negations_per_run = 64;
+  }
+
+type state = {
+  input : string;
+  bound : int;  (** events before this index follow the parent's path *)
+  generation : int;
+}
+
+type result = {
+  valid_inputs : string list;
+  valid_coverage : Coverage.t;
+  executions : int;
+  states_created : int;
+  solver_failures : int;
+}
+
+type engine = {
+  config : config;
+  subject : Subject.t;
+  rng : Rng.t;
+  frontier : state Pqueue.t;
+  mutable seen_code : Coverage.t;  (* all outcomes ever covered *)
+  mutable valid_cov : Coverage.t;
+  mutable valid_rev : string list;
+  mutable executions : int;
+  mutable states_created : int;
+  mutable solver_failures : int;
+  seen_inputs : (string, unit) Hashtbl.t;
+  on_valid : string -> unit;
+}
+
+exception Budget_exhausted
+
+let execute eng input =
+  if eng.executions >= eng.config.max_executions then raise Budget_exhausted;
+  eng.executions <- eng.executions + 1;
+  Subject.run eng.subject input
+
+let push_state eng ~score state =
+  if
+    String.length state.input <= eng.config.max_input_len
+    && not (Hashtbl.mem eng.seen_inputs state.input)
+  then begin
+    Hashtbl.replace eng.seen_inputs state.input ();
+    eng.states_created <- eng.states_created + 1;
+    Pqueue.push eng.frontier score state;
+    (* Truncate with hysteresis: a full drop sorts the heap, so only do
+       it after the frontier has doubled past its bound. *)
+    if Pqueue.length eng.frontier > 2 * eng.config.frontier_bound then
+      Pqueue.drop_worst eng.frontier eng.config.frontier_bound
+  end
+
+(* Expand one state: run it, emit if it covers new code, then negate the
+   deepest comparison events beyond the parent's bound. *)
+let expand eng state =
+  let run = execute eng state.input in
+  let new_outcomes = Coverage.new_against run.coverage ~baseline:eng.seen_code in
+  eng.seen_code <- Coverage.union eng.seen_code run.coverage;
+  if Runner.accepted run && new_outcomes > 0 then begin
+    eng.valid_rev <- run.input :: eng.valid_rev;
+    eng.valid_cov <- Coverage.union eng.valid_cov run.coverage;
+    eng.on_valid run.input
+  end;
+  let events = run.comparisons in
+  let n = Array.length events in
+  (* Deepest-first negation, as SAGE's generational search does; the
+     per-run cap keeps the fan-out finite but the frontier still grows
+     multiplicatively on long paths. *)
+  let first = max state.bound (n - eng.config.negations_per_run) in
+  for k = n - 1 downto first do
+    let pc = Path_constraint.of_comparisons events k in
+    match Solver.solve eng.rng ~base:run.input ~min_length:0 pc with
+    | None -> eng.solver_failures <- eng.solver_failures + 1
+    | Some input ->
+      let child = { input; bound = k; generation = state.generation + 1 } in
+      (* covnew-flavoured scheduling: states born from runs that covered
+         new code run earlier; deeper negations break ties. *)
+      (* Forcing a failed equality to succeed is KLEE's forte (magic
+         bytes solve in one step), so those negations are preferred over
+         flipping broad character-class tests. *)
+      let equality_bonus =
+        match events.(k).Pdf_instr.Comparison.kind with
+        | Pdf_instr.Comparison.Char_eq _ | Pdf_instr.Comparison.Str_eq _
+          when not events.(k).Pdf_instr.Comparison.result ->
+          5.0
+        | Pdf_instr.Comparison.Char_eq _ | Pdf_instr.Comparison.Str_eq _
+        | Pdf_instr.Comparison.Char_range _ | Pdf_instr.Comparison.Char_set _ ->
+          0.0
+      in
+      let score =
+        (10.0 *. float_of_int new_outcomes)
+        +. equality_bonus
+        +. (0.01 *. float_of_int k)
+        -. (0.1 *. float_of_int child.generation)
+        +. Rng.float eng.rng 1.0
+      in
+      push_state eng ~score child
+  done;
+  (* EOF hunger: the parser wanted more input than the state provides. *)
+  if run.eof_access && String.length run.input < eng.config.max_input_len then begin
+    let extension =
+      run.input ^ String.make 1 (Option.value ~default:' ' (Solver.pick eng.rng Pdf_util.Charset.printable))
+    in
+    push_state eng ~score:(float_of_int new_outcomes) { input = extension; bound = 0; generation = state.generation + 1 }
+  end
+
+let fuzz ?(on_valid = fun _ -> ()) ?(initial_inputs = []) config subject =
+  let eng =
+    {
+      config;
+      subject;
+      rng = Rng.make config.seed;
+      frontier = Pqueue.create ();
+      seen_code = Coverage.empty;
+      valid_cov = Coverage.empty;
+      valid_rev = [];
+      executions = 0;
+      states_created = 0;
+      solver_failures = 0;
+      seen_inputs = Hashtbl.create 4096;
+      on_valid;
+    }
+  in
+  (try
+     List.iter
+       (fun input -> push_state eng ~score:1.0 { input; bound = 0; generation = 0 })
+       initial_inputs;
+     expand eng { input = ""; bound = 0; generation = 0 };
+     let rec loop () =
+       match Pqueue.pop eng.frontier with
+       | Some state ->
+         expand eng state;
+         loop ()
+       | None -> ()
+     in
+     loop ()
+   with Budget_exhausted -> ());
+  {
+    valid_inputs = List.rev eng.valid_rev;
+    valid_coverage = eng.valid_cov;
+    executions = eng.executions;
+    states_created = eng.states_created;
+    solver_failures = eng.solver_failures;
+  }

@@ -1,0 +1,41 @@
+(** The KLEE-like baseline: concolic execution with generational branch
+    negation.
+
+    Each execution's comparison log is the path condition; every suffix
+    negation of that log yields a child state whose path constraint is
+    handed to the character-domain solver. States are scheduled by a
+    coverage-optimising searcher (KLEE's [covnew] flavour), and — as in
+    the paper's KLEE configuration — an input is emitted only when it
+    covers new code. Path explosion on deeply structured subjects
+    emerges naturally: every run spawns one child per comparison event,
+    so the frontier grows with path length. *)
+
+type config = {
+  seed : int;
+  max_executions : int;
+  max_input_len : int;
+  frontier_bound : int;  (** states kept in the worklist *)
+  negations_per_run : int;
+      (** at most this many (deepest-first) branch negations are expanded
+          per run, bounding the per-run fan-out *)
+}
+
+val default_config : config
+
+type result = {
+  valid_inputs : string list;
+      (** accepted inputs that covered new code, discovery order *)
+  valid_coverage : Pdf_instr.Coverage.t;
+  executions : int;
+  states_created : int;
+  solver_failures : int;  (** unsatisfiable negation attempts *)
+}
+
+val fuzz :
+  ?on_valid:(string -> unit) ->
+  ?initial_inputs:string list ->
+  config ->
+  Pdf_subjects.Subject.t ->
+  result
+(** [initial_inputs] seeds the state frontier — the §6.2 hand-over point
+    when symbolic exploration continues from a fuzzing corpus. *)

@@ -1,0 +1,27 @@
+module Charset = Pdf_util.Charset
+module Imap = Map.Make (Int)
+
+type t = Charset.t Imap.t
+
+let empty = Imap.empty
+
+let constrain i set t =
+  let current = Option.value ~default:Charset.full (Imap.find_opt i t) in
+  Imap.add i (Charset.inter current set) t
+
+let allowed i t = Option.value ~default:Charset.full (Imap.find_opt i t)
+let satisfiable t = Imap.for_all (fun _ set -> not (Charset.is_empty set)) t
+let max_index t = Option.map fst (Imap.max_binding_opt t)
+let cardinality t = Imap.cardinal t
+
+let of_comparisons events k =
+  let t = ref empty in
+  for j = 0 to k - 1 do
+    let e = events.(j) in
+    t := constrain e.Pdf_instr.Comparison.index (Pdf_instr.Comparison.char_constraint e) !t
+  done;
+  let e = events.(k) in
+  let negated =
+    Charset.complement (Pdf_instr.Comparison.char_constraint e)
+  in
+  constrain e.Pdf_instr.Comparison.index negated !t

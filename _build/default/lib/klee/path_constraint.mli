@@ -1,0 +1,30 @@
+(** Path constraints over input characters.
+
+    A parser's path condition decomposes into independent per-position
+    character predicates, so a constraint set is a map from input index
+    to the set of characters allowed there. Conjunction is set
+    intersection; the system is satisfiable iff every position's set is
+    non-empty. This is the complete, decidable fragment the KLEE-like
+    baseline solves. *)
+
+type t
+
+val empty : t
+
+val constrain : int -> Pdf_util.Charset.t -> t -> t
+(** [constrain i set t] conjoins "input(i) ∈ set". *)
+
+val allowed : int -> t -> Pdf_util.Charset.t
+(** The set allowed at a position; {!Pdf_util.Charset.full} when
+    unconstrained. *)
+
+val satisfiable : t -> bool
+val max_index : t -> int option
+val cardinality : t -> int
+(** Number of constrained positions. *)
+
+val of_comparisons : Pdf_instr.Comparison.t array -> int -> t
+(** [of_comparisons events k] is the conjunction of the observed
+    character constraints of [events.(0) .. events.(k-1)] with the
+    {e negation} of [events.(k)] — one branch-negation step of concolic
+    execution. *)

@@ -1,0 +1,30 @@
+module Charset = Pdf_util.Charset
+module Rng = Pdf_util.Rng
+
+let pick rng set =
+  let printable = Charset.inter set (Charset.add '\n' (Charset.add '\t' Charset.printable)) in
+  match Charset.pick rng printable with
+  | Some _ as c -> c
+  | None -> Charset.pick rng set
+
+let solve rng ~base ~min_length pc =
+  if not (Path_constraint.satisfiable pc) then None
+  else begin
+    let constrained_end =
+      match Path_constraint.max_index pc with Some i -> i + 1 | None -> 0
+    in
+    let length = max (String.length base) (max min_length constrained_end) in
+    let out = Bytes.create length in
+    let ok = ref true in
+    for i = 0 to length - 1 do
+      let set = Path_constraint.allowed i pc in
+      let current = if i < String.length base then Some base.[i] else None in
+      match current with
+      | Some c when Charset.mem c set -> Bytes.set out i c
+      | Some _ | None ->
+        (match pick rng set with
+         | Some c -> Bytes.set out i c
+         | None -> ok := false)
+    done;
+    if !ok then Some (Bytes.to_string out) else None
+  end

@@ -1,0 +1,17 @@
+(** Constraint solving over the per-position character domain.
+
+    Complete for the fragment: every position's allowed set is explicit,
+    so satisfiability is emptiness checking and model construction is
+    per-position choice. Models stay close to the base input (positions
+    already satisfying their constraint keep their character), and free
+    choices prefer printable characters to keep generated inputs
+    readable. *)
+
+val solve :
+  Pdf_util.Rng.t -> base:string -> min_length:int -> Path_constraint.t -> string option
+(** [solve rng ~base ~min_length pc] returns a model of [pc] of length
+    [max (String.length base) min_length] (also covering every
+    constrained position), or [None] when unsatisfiable. *)
+
+val pick : Pdf_util.Rng.t -> Pdf_util.Charset.t -> char option
+(** Choose a character from a set, preferring printable members. *)

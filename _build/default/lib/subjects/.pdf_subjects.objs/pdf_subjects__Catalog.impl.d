@@ -1,0 +1,1 @@
+lib/subjects/catalog.ml: Csv Expr Ini Json List Mjs Paren Subject Tinyc

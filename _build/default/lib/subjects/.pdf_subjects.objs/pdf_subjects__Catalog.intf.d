@@ -1,0 +1,1 @@
+lib/subjects/catalog.mli: Subject

@@ -1,0 +1,1 @@
+lib/subjects/csv.ml: Helpers List Pdf_instr Pdf_util String Subject Token

@@ -1,0 +1,1 @@
+lib/subjects/csv.mli: Subject

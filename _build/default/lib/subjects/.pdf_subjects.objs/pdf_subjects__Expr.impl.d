@@ -1,0 +1,1 @@
+lib/subjects/expr.ml: Helpers List Pdf_instr String Subject Token

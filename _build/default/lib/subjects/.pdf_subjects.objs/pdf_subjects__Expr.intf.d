@@ -1,0 +1,1 @@
+lib/subjects/expr.mli: Subject

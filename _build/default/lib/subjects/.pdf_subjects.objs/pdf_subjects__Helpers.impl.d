@@ -1,0 +1,1 @@
+lib/subjects/helpers.ml: Pdf_instr Pdf_taint Pdf_util Printf

@@ -1,0 +1,1 @@
+lib/subjects/helpers.mli: Pdf_instr Pdf_taint Pdf_util

@@ -1,0 +1,1 @@
+lib/subjects/ini.ml: Helpers List Pdf_instr Pdf_taint Pdf_util String Subject Token

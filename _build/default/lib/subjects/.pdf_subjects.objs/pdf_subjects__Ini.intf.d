@@ -1,0 +1,1 @@
+lib/subjects/ini.mli: Subject

@@ -1,0 +1,1 @@
+lib/subjects/json.ml: Char Helpers List Pdf_instr Pdf_taint Pdf_util String Subject Token

@@ -1,0 +1,1 @@
+lib/subjects/json.mli: Subject

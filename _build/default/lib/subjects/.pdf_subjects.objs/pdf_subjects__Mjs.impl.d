@@ -1,0 +1,1 @@
+lib/subjects/mjs.ml: Helpers List Pdf_instr Pdf_taint Pdf_util Printf String Subject Token

@@ -1,0 +1,1 @@
+lib/subjects/mjs.mli: Subject

@@ -1,0 +1,1 @@
+lib/subjects/paren.ml: Helpers List Pdf_instr Printf String Subject Token

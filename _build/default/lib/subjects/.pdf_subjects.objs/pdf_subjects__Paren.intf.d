@@ -1,0 +1,1 @@
+lib/subjects/paren.mli: Subject

@@ -1,0 +1,1 @@
+lib/subjects/subject.ml: Pdf_instr Token

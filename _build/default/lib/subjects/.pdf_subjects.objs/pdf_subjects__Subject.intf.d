@@ -1,0 +1,1 @@
+lib/subjects/subject.mli: Pdf_instr Token

@@ -1,0 +1,1 @@
+lib/subjects/tinyc.ml: Array Char Helpers List Pdf_instr Pdf_taint Pdf_util Printf String Subject Token

@@ -1,0 +1,1 @@
+lib/subjects/tinyc.mli: Subject

@@ -1,0 +1,1 @@
+lib/subjects/token.ml: List String

@@ -1,0 +1,7 @@
+let evaluation =
+  [ Ini.subject; Csv.subject; Json.subject; Tinyc.subject; Mjs.subject ]
+
+let all =
+  [ Expr.subject; Paren.subject ] @ evaluation @ [ Tinyc.subject_token_taints; Tinyc.subject_semantic ]
+
+let find name = List.find (fun s -> s.Subject.name = name) all

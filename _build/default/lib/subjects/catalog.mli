@@ -1,0 +1,14 @@
+(** The subject catalogue. *)
+
+val evaluation : Subject.t list
+(** The paper's five evaluation subjects (Table 1), in the paper's
+    order: ini, csv, json, tinyc, mjs. *)
+
+val all : Subject.t list
+(** Every subject: the demonstration subjects [expr] and [paren], the
+    evaluation five, and the future-work variants [tinyc-tt] (§7.2) and
+    [tinyc-sem] (§7.3). *)
+
+val find : string -> Subject.t
+(** Look up a subject by name.
+    @raise Not_found if no subject has that name. *)

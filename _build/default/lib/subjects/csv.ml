@@ -1,0 +1,103 @@
+module Ctx = Pdf_instr.Ctx
+module Site = Pdf_instr.Site
+module Charset = Pdf_util.Charset
+
+let registry = Site.create_registry "csv"
+let s_parse = Site.block registry "parse"
+let s_record = Site.block registry "record"
+let s_field = Site.block registry "field"
+let s_quoted = Site.block registry "quoted"
+let b_quote_open = Site.branch registry "field.quote?"
+let b_bare_char = Site.branch registry "field.bare-char?"
+let b_quote_close = Site.branch registry "quoted.quote?"
+let b_quote_escape = Site.branch registry "quoted.escaped-quote?"
+let b_comma = Site.branch registry "record.comma?"
+let b_newline = Site.branch registry "parse.newline?"
+let b_final_eof = Site.branch registry "parse.final-eof"
+
+let bare_chars = Charset.complement (Charset.of_string ",\"\n")
+
+let quoted ctx =
+  Ctx.with_frame ctx s_quoted @@ fun () ->
+  ignore (Ctx.next ctx);
+  (* opening quote *)
+  let rec body () =
+    match Ctx.next ctx with
+    | None -> Ctx.reject ctx "unterminated quoted field"
+    | Some c ->
+      if Ctx.eq ctx b_quote_close c '"' then begin
+        (* A doubled quote continues the field. *)
+        match Ctx.peek ctx with
+        | Some c2 when Ctx.eq ctx b_quote_escape c2 '"' ->
+          ignore (Ctx.next ctx);
+          body ()
+        | Some _ | None -> ()
+      end
+      else body ()
+  in
+  body ()
+
+let field ctx =
+  Ctx.with_frame ctx s_field @@ fun () ->
+  match Ctx.peek ctx with
+  | None -> ()
+  | Some c ->
+    if Ctx.eq ctx b_quote_open c '"' then quoted ctx
+    else ignore (Helpers.read_set ctx b_bare_char ~label:"bare-char" bare_chars)
+
+let record ctx =
+  Ctx.with_frame ctx s_record @@ fun () ->
+  field ctx;
+  let rec more () =
+    if Helpers.eat_if ctx b_comma ',' then begin
+      field ctx;
+      more ()
+    end
+  in
+  more ()
+
+let parse ctx =
+  Ctx.with_frame ctx s_parse @@ fun () ->
+  record ctx;
+  let rec rest () =
+    match Ctx.peek ctx with
+    | None -> ignore (Ctx.branch ctx b_final_eof true)
+    | Some c ->
+      if Ctx.eq ctx b_newline c '\n' then begin
+        ignore (Ctx.next ctx);
+        if not (Ctx.at_eof ctx) then begin
+          record ctx;
+          rest ()
+        end
+        else (* trailing newline; probe EOF for extensibility *)
+          ignore (Ctx.peek ctx)
+      end
+      else Ctx.reject ctx "unexpected character after field"
+  in
+  rest ()
+
+let tokens = [ Token.literal ","; Token.make "field" 1 ]
+
+let tokenize input =
+  let tags = ref [] in
+  let push tag = if not (List.mem tag !tags) then tags := tag :: !tags in
+  String.iter
+    (fun c ->
+      match c with
+      | ',' -> push ","
+      | '\n' -> ()
+      | _ -> push "field")
+    input;
+  List.rev !tags
+
+let subject =
+  {
+    Subject.name = "csv";
+    description = "comma-separated values (paper subject: csvparser)";
+    registry;
+    parse;
+    fuel = 100_000;
+    tokens;
+    tokenize;
+    original_loc = 297;
+  }

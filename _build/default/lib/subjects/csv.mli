@@ -1,0 +1,5 @@
+(** CSV parser modelled on the paper's [csvparser] subject: comma-separated
+    fields, newline-separated records, double-quoted fields with [""]
+    escapes. *)
+
+val subject : Subject.t

@@ -1,0 +1,109 @@
+module Ctx = Pdf_instr.Ctx
+module Site = Pdf_instr.Site
+
+let registry = Site.create_registry "expr"
+let s_parse = Site.block registry "parse"
+let s_expr = Site.block registry "expr"
+let s_factor = Site.block registry "factor"
+let s_number = Site.block registry "number"
+let b_sign_plus = Site.branch registry "factor.sign-plus?"
+let b_sign_minus = Site.branch registry "factor.sign-minus?"
+let b_digit_first = Site.branch registry "factor.digit?"
+let b_lparen = Site.branch registry "factor.lparen?"
+let b_rparen = Site.branch registry "factor.rparen"
+let b_digit_more = Site.branch registry "number.more-digit?"
+let b_op_plus = Site.branch registry "expr.op-plus?"
+let b_op_minus = Site.branch registry "expr.op-minus?"
+let b_trailing = Site.branch registry "parse.trailing?"
+
+let number ctx =
+  Ctx.with_frame ctx s_number @@ fun () ->
+  let rec more () =
+    match Ctx.peek ctx with
+    | None -> ()
+    | Some c ->
+      if Ctx.in_range ctx b_digit_more c '0' '9' then begin
+        ignore (Ctx.next ctx);
+        more ()
+      end
+  in
+  more ()
+
+let rec expr ctx =
+  Ctx.with_frame ctx s_expr @@ fun () ->
+  factor ctx;
+  let rec ops () =
+    if Helpers.eat_if ctx b_op_plus '+' then begin
+      factor ctx;
+      ops ()
+    end
+    else if Helpers.eat_if ctx b_op_minus '-' then begin
+      factor ctx;
+      ops ()
+    end
+  in
+  ops ()
+
+and factor ctx =
+  Ctx.with_frame ctx s_factor @@ fun () ->
+  (* Optional unary sign. *)
+  (if Helpers.peek_is ctx b_sign_plus '+' then ignore (Ctx.next ctx)
+   else if Helpers.peek_is ctx b_sign_minus '-' then ignore (Ctx.next ctx));
+  match Ctx.peek ctx with
+  | None -> Ctx.reject ctx "expected digit or '(', found end of input"
+  | Some c ->
+    if Ctx.in_range ctx b_digit_first c '0' '9' then begin
+      ignore (Ctx.next ctx);
+      number ctx
+    end
+    else if Ctx.eq ctx b_lparen c '(' then begin
+      ignore (Ctx.next ctx);
+      expr ctx;
+      Helpers.expect ctx b_rparen ')'
+    end
+    else Ctx.reject ctx "expected digit or '('"
+
+let parse ctx =
+  Ctx.with_frame ctx s_parse @@ fun () ->
+  expr ctx;
+  match Ctx.peek ctx with
+  | Some _ ->
+    ignore (Ctx.branch ctx b_trailing true);
+    Ctx.reject ctx "trailing input after expression"
+  | None -> ignore (Ctx.branch ctx b_trailing false)
+
+let tokens =
+  [
+    Token.literal "(";
+    Token.literal ")";
+    Token.literal "+";
+    Token.literal "-";
+    Token.make "number" 1;
+  ]
+
+let tokenize input =
+  let tags = ref [] in
+  let push tag = if not (List.mem tag !tags) then tags := tag :: !tags in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' -> push "("
+      | ')' -> push ")"
+      | '+' -> push "+"
+      | '-' -> push "-"
+      | '0' .. '9' -> push "number"
+      | _ -> ())
+    input;
+  List.rev !tags
+
+let subject =
+  {
+    Subject.name = "expr";
+    description = "arithmetic expressions (the paper's Section 2 example)";
+    registry;
+    parse;
+    fuel = 100_000;
+    tokens;
+    tokenize;
+    original_loc = 60;
+  }

@@ -1,0 +1,5 @@
+(** The running example of the paper's Section 2: a parser for signed,
+    parenthesised arithmetic expressions over [+] and [-], accepting
+    inputs such as ["1"], ["+1"], ["1-1"] and ["(2-94)"]. *)
+
+val subject : Subject.t

@@ -1,0 +1,47 @@
+module Ctx = Pdf_instr.Ctx
+module Site = Pdf_instr.Site
+module Charset = Pdf_util.Charset
+module Tstring = Pdf_taint.Tstring
+
+let whitespace = Charset.of_string " \t\r\n"
+
+let rec skip_set ctx site ~label set =
+  match Ctx.peek ctx with
+  | None -> ()
+  | Some c ->
+    if Ctx.in_set ctx site ~label c set then begin
+      ignore (Ctx.next ctx);
+      skip_set ctx site ~label set
+    end
+
+let read_set ctx site ~label set =
+  let rec go acc =
+    match Ctx.peek ctx with
+    | None -> acc
+    | Some c ->
+      if Ctx.in_set ctx site ~label c set then begin
+        ignore (Ctx.next ctx);
+        go (Tstring.append_char acc c)
+      end
+      else acc
+  in
+  go Tstring.empty
+
+let expect ctx site expected =
+  match Ctx.next ctx with
+  | None -> Ctx.reject ctx (Printf.sprintf "expected %C, found end of input" expected)
+  | Some c ->
+    if not (Ctx.eq ctx site c expected) then
+      Ctx.reject ctx (Printf.sprintf "expected %C" expected)
+
+let peek_is ctx site expected =
+  match Ctx.peek ctx with
+  | None -> false
+  | Some c -> Ctx.eq ctx site c expected
+
+let eat_if ctx site expected =
+  if peek_is ctx site expected then begin
+    ignore (Ctx.next ctx);
+    true
+  end
+  else false

@@ -1,0 +1,28 @@
+(** Shared lexing helpers for the instrumented subject parsers. Every
+    helper routes character examination through the tracked comparison
+    operations so the instrumentation sees each decision. *)
+
+module Ctx = Pdf_instr.Ctx
+module Site = Pdf_instr.Site
+
+val skip_set :
+  Ctx.t -> Site.t -> label:string -> Pdf_util.Charset.t -> unit
+(** Consume characters while they belong to the set. Stops at EOF. *)
+
+val read_set :
+  Ctx.t -> Site.t -> label:string -> Pdf_util.Charset.t -> Pdf_taint.Tstring.t
+(** Consume and collect characters while they belong to the set. *)
+
+val expect : Ctx.t -> Site.t -> char -> unit
+(** Consume the next character, which must equal the expectation;
+    otherwise reject (also on EOF). *)
+
+val peek_is : Ctx.t -> Site.t -> char -> bool
+(** Tracked test of the next character without consuming it; false at
+    EOF (recording the EOF access). *)
+
+val eat_if : Ctx.t -> Site.t -> char -> bool
+(** [peek_is] and consume on success. *)
+
+val whitespace : Pdf_util.Charset.t
+(** Space, tab, CR, LF. *)

@@ -1,0 +1,135 @@
+module Ctx = Pdf_instr.Ctx
+module Site = Pdf_instr.Site
+module Charset = Pdf_util.Charset
+module Tstring = Pdf_taint.Tstring
+
+let registry = Site.create_registry "ini"
+let s_parse = Site.block registry "parse"
+let s_line = Site.block registry "line"
+let s_section = Site.block registry "section"
+let s_kvpair = Site.block registry "kvpair"
+let s_comment = Site.block registry "comment"
+let b_blank = Site.branch registry "line.blank"
+let b_comment_semi = Site.branch registry "line.semicolon?"
+let b_comment_hash = Site.branch registry "line.hash?"
+let b_lbracket = Site.branch registry "line.lbracket?"
+let b_newline = Site.branch registry "line.newline?"
+let b_keychar = Site.branch registry "line.keychar?"
+let b_rbracket = Site.branch registry "section.rbracket?"
+let b_section_nl = Site.branch registry "section.newline?"
+let b_section_empty = Site.branch registry "section.empty-name?"
+let b_key_more = Site.branch registry "key.more?"
+let b_equals = Site.branch registry "kvpair.equals"
+let b_value_char = Site.branch registry "value.char?"
+let b_inline_ws = Site.branch registry "inline-ws?"
+
+let inline_ws = Charset.of_string " \t\r"
+let key_chars = Charset.union Charset.letters (Charset.union Charset.digits (Charset.of_string "_.-"))
+let value_chars = Charset.complement (Charset.singleton '\n')
+
+let skip_inline_ws ctx = Helpers.skip_set ctx b_inline_ws ~label:"inline-ws" inline_ws
+
+let skip_to_eol ctx =
+  ignore (Helpers.read_set ctx b_value_char ~label:"line-char" value_chars)
+
+(* [section] parses the body after '[': a (possibly empty, as in inih)
+   name terminated by ']'. Any character except ']' and newline may
+   appear in a name. *)
+let section ctx =
+  Ctx.with_frame ctx s_section @@ fun () ->
+  let rec name len =
+    match Ctx.next ctx with
+    | None -> Ctx.reject ctx "unterminated section header"
+    | Some c ->
+      if Ctx.eq ctx b_rbracket c ']' then begin
+        ignore (Ctx.branch ctx b_section_empty (len = 0));
+        skip_to_eol ctx
+      end
+      else if Ctx.eq ctx b_section_nl c '\n' then
+        Ctx.reject ctx "newline in section header"
+      else name (len + 1)
+  in
+  name 0
+
+(* [kvpair first] parses a key (whose first character has already been
+   consumed) up to '=', then the value to end of line. *)
+let kvpair ctx =
+  Ctx.with_frame ctx s_kvpair @@ fun () ->
+  ignore (Helpers.read_set ctx b_key_more ~label:"key-char" key_chars);
+  skip_inline_ws ctx;
+  Helpers.expect ctx b_equals '=';
+  skip_inline_ws ctx;
+  skip_to_eol ctx
+
+let line ctx =
+  Ctx.with_frame ctx s_line @@ fun () ->
+  skip_inline_ws ctx;
+  match Ctx.peek ctx with
+  | None -> ignore (Ctx.branch ctx b_blank true)
+  | Some c ->
+    ignore (Ctx.branch ctx b_blank false);
+    if Ctx.eq ctx b_newline c '\n' then ignore (Ctx.next ctx)
+    else if Ctx.eq ctx b_comment_semi c ';' || Ctx.eq ctx b_comment_hash c '#' then begin
+      Ctx.with_frame ctx s_comment @@ fun () ->
+      ignore (Ctx.next ctx);
+      skip_to_eol ctx
+    end
+    else if Ctx.eq ctx b_lbracket c '[' then begin
+      ignore (Ctx.next ctx);
+      section ctx
+    end
+    else if Ctx.in_set ctx b_keychar ~label:"key-char" c key_chars then kvpair ctx
+    else Ctx.reject ctx "invalid start of line"
+
+let parse ctx =
+  Ctx.with_frame ctx s_parse @@ fun () ->
+  let rec lines () =
+    if not (Ctx.at_eof ctx) then begin
+      line ctx;
+      (* [line] stops either at a newline it consumed or at end of line;
+         consume the terminating newline if present. *)
+      (match Ctx.peek ctx with
+       | Some c when Ctx.eq ctx b_newline c '\n' -> ignore (Ctx.next ctx)
+       | Some _ | None -> ());
+      lines ()
+    end
+  in
+  lines ();
+  (* Final EOF probe so an accepted input still signals extensibility. *)
+  ignore (Ctx.peek ctx)
+
+let tokens =
+  [
+    Token.literal "[";
+    Token.literal "]";
+    Token.literal "=";
+    Token.literal ";";
+    Token.make "identifier" 1;
+  ]
+
+let tokenize input =
+  let tags = ref [] in
+  let push tag = if not (List.mem tag !tags) then tags := tag :: !tags in
+  String.iter
+    (fun c ->
+      match c with
+      | '[' -> push "["
+      | ']' -> push "]"
+      | '=' -> push "="
+      | ';' | '#' -> push ";"
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' -> push "identifier"
+      | _ -> ())
+    input;
+  List.rev !tags
+
+let subject =
+  {
+    Subject.name = "ini";
+    description = "INI configuration files (paper subject: inih)";
+    registry;
+    parse;
+    fuel = 100_000;
+    tokens;
+    tokenize;
+    original_loc = 293;
+  }

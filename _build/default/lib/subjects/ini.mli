@@ -1,0 +1,4 @@
+(** INI-file parser modelled on the paper's [inih] subject: sections in
+    brackets, [key = value] pairs, [;]/[#] comments, blank lines. *)
+
+val subject : Subject.t

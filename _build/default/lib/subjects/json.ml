@@ -1,0 +1,312 @@
+module Ctx = Pdf_instr.Ctx
+module Site = Pdf_instr.Site
+module Charset = Pdf_util.Charset
+module Tchar = Pdf_taint.Tchar
+module Tstring = Pdf_taint.Tstring
+
+let registry = Site.create_registry "json"
+let s_parse = Site.block registry "parse"
+let s_value = Site.block registry "value"
+let s_object = Site.block registry "object"
+let s_array = Site.block registry "array"
+let s_string = Site.block registry "string"
+let s_number = Site.block registry "number"
+let s_keyword = Site.block registry "keyword"
+let s_escape = Site.block registry "escape"
+let s_utf16 = Site.block registry "escape.utf16"
+let s_utf16_surrogate = Site.block registry "escape.utf16-surrogate-pair"
+let b_ws = Site.branch registry "ws?"
+let b_lbrace = Site.branch registry "value.lbrace?"
+let b_lbracket = Site.branch registry "value.lbracket?"
+let b_quote = Site.branch registry "value.quote?"
+let b_minus = Site.branch registry "value.minus?"
+let b_digit = Site.branch registry "value.digit?"
+let b_letter = Site.branch registry "value.letter?"
+let b_kw_true = Site.branch registry "keyword.true?"
+let b_kw_false = Site.branch registry "keyword.false?"
+let b_kw_null = Site.branch registry "keyword.null?"
+let b_obj_empty = Site.branch registry "object.empty?"
+let b_obj_key_quote = Site.branch registry "object.key-quote"
+let b_colon = Site.branch registry "object.colon"
+let b_obj_comma = Site.branch registry "object.comma?"
+let b_rbrace = Site.branch registry "object.rbrace"
+let b_arr_empty = Site.branch registry "array.empty?"
+let b_arr_comma = Site.branch registry "array.comma?"
+let b_rbracket = Site.branch registry "array.rbracket"
+let b_str_close = Site.branch registry "string.close?"
+let b_str_backslash = Site.branch registry "string.backslash?"
+let b_str_control = Site.branch registry "string.control?"
+let b_esc_simple = Site.branch registry "escape.simple?"
+let b_esc_u = Site.branch registry "escape.u?"
+let b_hex_valid = Site.branch registry "escape.hex-valid?"
+let b_surrogate_high = Site.branch registry "escape.high-surrogate?"
+let b_surrogate_low = Site.branch registry "escape.low-surrogate-ok?"
+let b_num_int = Site.branch registry "number.int-digit?"
+let b_num_dot = Site.branch registry "number.dot?"
+let b_num_frac = Site.branch registry "number.frac-digit?"
+let b_num_exp = Site.branch registry "number.exp?"
+let b_num_exp_sign = Site.branch registry "number.exp-sign?"
+let b_num_exp_digit = Site.branch registry "number.exp-digit?"
+let b_trailing = Site.branch registry "parse.trailing?"
+
+let ws = Charset.of_string " \t\r\n"
+let skip_ws ctx = Helpers.skip_set ctx b_ws ~label:"whitespace" ws
+
+let digits ctx site_first site_more =
+  (match Ctx.next ctx with
+   | None -> Ctx.reject ctx "expected digit, found end of input"
+   | Some c ->
+     if not (Ctx.in_range ctx site_first c '0' '9') then
+       Ctx.reject ctx "expected digit");
+  let rec more () =
+    match Ctx.peek ctx with
+    | None -> ()
+    | Some c ->
+      if Ctx.in_range ctx site_more c '0' '9' then begin
+        ignore (Ctx.next ctx);
+        more ()
+      end
+  in
+  more ()
+
+(* cJSON's UTF-16 decoding relies on implicit flow: the hex digits are
+   turned into a code point by table lookups and arithmetic, never by a
+   comparison the taint tracker sees. We model that by classifying hex
+   characters with plain (untracked) OCaml tests — the branch outcome is
+   still recorded for coverage, but no comparison event is emitted, so the
+   parser-directed fuzzer cannot learn the alphabet here. *)
+let untracked_hex_value (c : Tchar.t) =
+  match c.Tchar.ch with
+  | '0' .. '9' -> Some (Char.code c.Tchar.ch - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c.Tchar.ch - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c.Tchar.ch - Char.code 'A' + 10)
+  | _ -> None
+
+let utf16_quad ctx =
+  let rec quad acc k =
+    if k = 0 then acc
+    else
+      match Ctx.next ctx with
+      | None -> Ctx.reject ctx "unterminated \\u escape"
+      | Some c ->
+        (match untracked_hex_value c with
+         | Some v ->
+           ignore (Ctx.branch ctx b_hex_valid true);
+           quad ((acc * 16) + v) (k - 1)
+         | None ->
+           ignore (Ctx.branch ctx b_hex_valid false);
+           Ctx.reject ctx "invalid hex digit in \\u escape")
+  in
+  quad 0 4
+
+let utf16_escape ctx =
+  Ctx.with_frame ctx s_utf16 @@ fun () ->
+  let first = utf16_quad ctx in
+  if Ctx.branch ctx b_surrogate_high (first >= 0xD800 && first <= 0xDBFF) then begin
+    Ctx.with_frame ctx s_utf16_surrogate @@ fun () ->
+    (* A high surrogate must be followed by "\uDC00".."\uDFFF". *)
+    let expect_untracked expected =
+      match Ctx.next ctx with
+      | Some c when c.Tchar.ch = expected -> ()
+      | Some _ | None -> Ctx.reject ctx "missing low surrogate"
+    in
+    expect_untracked '\\';
+    expect_untracked 'u';
+    let second = utf16_quad ctx in
+    if not (Ctx.branch ctx b_surrogate_low (second >= 0xDC00 && second <= 0xDFFF)) then
+      Ctx.reject ctx "invalid low surrogate"
+  end
+  else if first >= 0xDC00 && first <= 0xDFFF then
+    Ctx.reject ctx "unpaired low surrogate"
+
+let escape ctx =
+  Ctx.with_frame ctx s_escape @@ fun () ->
+  match Ctx.next ctx with
+  | None -> Ctx.reject ctx "unterminated escape"
+  | Some c ->
+    if Ctx.one_of ctx b_esc_simple c "\"\\/bfnrt" then ()
+    else if Ctx.branch ctx b_esc_u (c.Tchar.ch = 'u') then utf16_escape ctx
+    else Ctx.reject ctx "invalid escape character"
+
+let string_body ctx =
+  Ctx.with_frame ctx s_string @@ fun () ->
+  ignore (Ctx.next ctx);
+  (* opening quote *)
+  let rec body () =
+    match Ctx.next ctx with
+    | None -> Ctx.reject ctx "unterminated string"
+    | Some c ->
+      if Ctx.eq ctx b_str_close c '"' then ()
+      else if Ctx.eq ctx b_str_backslash c '\\' then begin
+        escape ctx;
+        body ()
+      end
+      else if Ctx.branch ctx b_str_control (Char.code c.Tchar.ch < 0x20) then
+        Ctx.reject ctx "control character in string"
+      else body ()
+  in
+  body ()
+
+let number ctx =
+  Ctx.with_frame ctx s_number @@ fun () ->
+  (match Ctx.peek ctx with
+   | Some c when Ctx.eq ctx b_minus c '-' -> ignore (Ctx.next ctx)
+   | Some _ | None -> ());
+  digits ctx b_num_int b_num_int;
+  (match Ctx.peek ctx with
+   | Some c when Ctx.eq ctx b_num_dot c '.' ->
+     ignore (Ctx.next ctx);
+     digits ctx b_num_frac b_num_frac
+   | Some _ | None -> ());
+  match Ctx.peek ctx with
+  | Some c when Ctx.one_of ctx b_num_exp c "eE" ->
+    ignore (Ctx.next ctx);
+    (match Ctx.peek ctx with
+     | Some c2 when Ctx.one_of ctx b_num_exp_sign c2 "+-" -> ignore (Ctx.next ctx)
+     | Some _ | None -> ());
+    digits ctx b_num_exp_digit b_num_exp_digit
+  | Some _ | None -> ()
+
+let keyword ctx =
+  Ctx.with_frame ctx s_keyword @@ fun () ->
+  let word = Helpers.read_set ctx b_letter ~label:"letter" Charset.letters in
+  if Ctx.str_eq ctx b_kw_true word "true" then ()
+  else if Ctx.str_eq ctx b_kw_false word "false" then ()
+  else if Ctx.str_eq ctx b_kw_null word "null" then ()
+  else Ctx.reject ctx "invalid literal"
+
+let rec value ctx =
+  Ctx.with_frame ctx s_value @@ fun () ->
+  Ctx.tick ctx;
+  match Ctx.peek ctx with
+  | None -> Ctx.reject ctx "expected value, found end of input"
+  | Some c ->
+    if Ctx.eq ctx b_lbrace c '{' then object_ ctx
+    else if Ctx.eq ctx b_lbracket c '[' then array ctx
+    else if Ctx.eq ctx b_quote c '"' then string_body ctx
+    else if Ctx.eq ctx b_minus c '-' then number ctx
+    else if Ctx.in_range ctx b_digit c '0' '9' then number ctx
+    else if Ctx.in_set ctx b_letter ~label:"letter" c Charset.letters then keyword ctx
+    else Ctx.reject ctx "unexpected character at start of value"
+
+and object_ ctx =
+  Ctx.with_frame ctx s_object @@ fun () ->
+  ignore (Ctx.next ctx);
+  (* '{' *)
+  skip_ws ctx;
+  if Helpers.peek_is ctx b_obj_empty '}' then ignore (Ctx.next ctx)
+  else begin
+    let rec members () =
+      skip_ws ctx;
+      (match Ctx.peek ctx with
+       | Some c when Ctx.eq ctx b_obj_key_quote c '"' -> string_body ctx
+       | Some _ -> Ctx.reject ctx "expected string key"
+       | None -> Ctx.reject ctx "expected string key, found end of input");
+      skip_ws ctx;
+      Helpers.expect ctx b_colon ':';
+      skip_ws ctx;
+      value ctx;
+      skip_ws ctx;
+      if Helpers.eat_if ctx b_obj_comma ',' then members ()
+      else Helpers.expect ctx b_rbrace '}'
+    in
+    members ()
+  end
+
+and array ctx =
+  Ctx.with_frame ctx s_array @@ fun () ->
+  ignore (Ctx.next ctx);
+  (* '[' *)
+  skip_ws ctx;
+  if Helpers.peek_is ctx b_arr_empty ']' then ignore (Ctx.next ctx)
+  else begin
+    let rec elements () =
+      skip_ws ctx;
+      value ctx;
+      skip_ws ctx;
+      if Helpers.eat_if ctx b_arr_comma ',' then elements ()
+      else Helpers.expect ctx b_rbracket ']'
+    in
+    elements ()
+  end
+
+let parse ctx =
+  Ctx.with_frame ctx s_parse @@ fun () ->
+  skip_ws ctx;
+  value ctx;
+  skip_ws ctx;
+  match Ctx.peek ctx with
+  | Some _ ->
+    ignore (Ctx.branch ctx b_trailing true);
+    Ctx.reject ctx "trailing input after value"
+  | None -> ignore (Ctx.branch ctx b_trailing false)
+
+let tokens =
+  [
+    Token.literal "{";
+    Token.literal "}";
+    Token.literal "[";
+    Token.literal "]";
+    Token.literal "-";
+    Token.literal ":";
+    Token.literal ",";
+    Token.make "number" 1;
+    Token.make "string" 2;
+    Token.make "null" 4;
+    Token.make "true" 4;
+    Token.make "false" 5;
+  ]
+
+(* Untracked scanner over a known-valid input, for the token-coverage
+   measurement. *)
+let tokenize input =
+  let tags = ref [] in
+  let push tag = if not (List.mem tag !tags) then tags := tag :: !tags in
+  let n = String.length input in
+  let rec scan i =
+    if i < n then
+      match input.[i] with
+      | '{' | '}' | '[' | ']' | ':' | ',' | '-' ->
+        push (String.make 1 input.[i]);
+        scan (i + 1)
+      | '"' ->
+        push "string";
+        let rec close j =
+          if j >= n then j
+          else if input.[j] = '\\' then close (j + 2)
+          else if input.[j] = '"' then j + 1
+          else close (j + 1)
+        in
+        scan (close (i + 1))
+      | '0' .. '9' ->
+        push "number";
+        scan (i + 1)
+      | 'a' .. 'z' | 'A' .. 'Z' ->
+        let rec word j =
+          if j < n && (match input.[j] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+          then word (j + 1)
+          else j
+        in
+        let j = word i in
+        (match String.sub input i (j - i) with
+         | "true" -> push "true"
+         | "false" -> push "false"
+         | "null" -> push "null"
+         | _ -> ());
+        scan j
+      | _ -> scan (i + 1)
+  in
+  scan 0;
+  List.rev !tags
+
+let subject =
+  {
+    Subject.name = "json";
+    description = "JSON documents (paper subject: cJSON)";
+    registry;
+    parse;
+    fuel = 100_000;
+    tokens;
+    tokenize;
+    original_loc = 2483;
+  }

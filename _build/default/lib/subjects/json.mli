@@ -1,0 +1,10 @@
+(** JSON parser modelled on the paper's [cJSON] subject.
+
+    The [\uXXXX] escape is deliberately decoded through {e untracked}
+    comparisons and arithmetic: cJSON's UTF-16 handling relies on implicit
+    information flow that the paper's prototype cannot taint (§5.2), and
+    reproducing the same blind spot here keeps the evaluation shape
+    faithful — pFuzzer cannot learn the hex alphabet and misses the
+    UTF-16 conversion branches. *)
+
+val subject : Subject.t

@@ -1,0 +1,8 @@
+(** mjs subject: a parser for the JavaScript subset of the paper's [mjs]
+    engine (Cesanta's embedded JS). Statements, the full C-like operator
+    set, object/array literals, functions, [try]/[catch], [switch], and
+    the builtin names ([Object], [JSON.stringify], [indexOf], …) whose
+    recognition goes through instrumented string comparisons. Semantic
+    checking is disabled, as in the paper's setup (§5.1). *)
+
+val subject : Subject.t

@@ -1,0 +1,76 @@
+module Ctx = Pdf_instr.Ctx
+module Site = Pdf_instr.Site
+
+let registry = Site.create_registry "paren"
+let s_parse = Site.block registry "parse"
+let s_seq = Site.block registry "seq"
+
+let pairs = [ ('(', ')'); ('[', ']'); ('{', '}'); ('<', '>') ]
+
+let b_open =
+  List.map (fun (o, _) -> (o, Site.branch registry (Printf.sprintf "open-%c?" o))) pairs
+
+let b_close =
+  List.map (fun (_, c) -> (c, Site.branch registry (Printf.sprintf "close-%c" c))) pairs
+
+let b_empty = Site.branch registry "parse.empty?"
+let b_trailing = Site.branch registry "parse.trailing?"
+
+(* seq consumes a (possibly empty) balanced sequence and stops at the
+   first character that cannot open a bracket. *)
+let rec seq ctx =
+  Ctx.with_frame ctx s_seq @@ fun () ->
+  match Ctx.peek ctx with
+  | None -> ()
+  | Some c ->
+    let rec try_opens = function
+      | [] -> ()
+      | (o, close) :: rest ->
+        if Ctx.eq ctx (List.assoc o b_open) c o then begin
+          ignore (Ctx.next ctx);
+          seq ctx;
+          Helpers.expect ctx (List.assoc close b_close) close;
+          seq ctx
+        end
+        else try_opens rest
+    in
+    try_opens pairs
+
+let parse ctx =
+  Ctx.with_frame ctx s_parse @@ fun () ->
+  if Ctx.branch ctx b_empty (Ctx.at_eof ctx) then
+    Ctx.reject ctx "empty input";
+  seq ctx;
+  match Ctx.peek ctx with
+  | Some _ ->
+    ignore (Ctx.branch ctx b_trailing true);
+    Ctx.reject ctx "unbalanced input"
+  | None -> ignore (Ctx.branch ctx b_trailing false)
+
+let tokens =
+  List.concat_map
+    (fun (o, c) -> [ Token.literal (String.make 1 o); Token.literal (String.make 1 c) ])
+    pairs
+
+let tokenize input =
+  let tags = ref [] in
+  let push tag = if not (List.mem tag !tags) then tags := tag :: !tags in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | ')' | '[' | ']' | '{' | '}' | '<' | '>' -> push (String.make 1 c)
+      | _ -> ())
+    input;
+  List.rev !tags
+
+let subject =
+  {
+    Subject.name = "paren";
+    description = "well-balanced brackets (Dyck language, Section 3 ablation)";
+    registry;
+    parse;
+    fuel = 100_000;
+    tokens;
+    tokenize;
+    original_loc = 40;
+  }

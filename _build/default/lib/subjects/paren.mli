@@ -1,0 +1,6 @@
+(** Well-balanced brackets over four bracket kinds — the Dyck-language
+    subject used to reproduce the Section 3 search-strategy argument
+    (random choice closes an [n]-deep prefix with probability about
+    [1/(n+1)]). *)
+
+val subject : Subject.t

@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  description : string;
+  registry : Pdf_instr.Site.registry;
+  parse : Pdf_instr.Ctx.t -> unit;
+  fuel : int;
+  tokens : Token.t list;
+  tokenize : string -> string list;
+  original_loc : int;
+}
+
+let run ?track_comparisons ?track_frames t input =
+  Pdf_instr.Runner.exec ~registry:t.registry ~parse:t.parse ~fuel:t.fuel
+    ?track_comparisons ?track_frames input
+
+let accepts t input = Pdf_instr.Runner.accepted (run t input)

@@ -1,0 +1,28 @@
+(** First-class subject descriptions.
+
+    A subject bundles everything the fuzzers and the evaluation need: the
+    instrumented parser, its site registry (coverage denominator), its
+    token inventory and an oracle tokenizer that maps a {e valid} input to
+    the set of token tags it contains. *)
+
+type t = {
+  name : string;
+  description : string;
+  registry : Pdf_instr.Site.registry;
+  parse : Pdf_instr.Ctx.t -> unit;
+  fuel : int;  (** per-run fuel budget (interpreting subjects hang) *)
+  tokens : Token.t list;
+  tokenize : string -> string list;
+      (** token tags occurring in a valid input; behaviour on invalid
+          inputs is unspecified *)
+  original_loc : int;  (** lines of code of the paper's C subject (Table 1) *)
+}
+
+val run :
+  ?track_comparisons:bool -> ?track_frames:bool -> t -> string ->
+  Pdf_instr.Runner.run
+(** Execute the subject on one input with its fuel budget. Pass
+    [~track_comparisons:false] to skip the comparison log (lexical
+    fuzzers need only coverage). *)
+
+val accepts : t -> string -> bool

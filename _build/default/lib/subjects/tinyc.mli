@@ -1,0 +1,23 @@
+(** Tiny-C subject: the paper's [tinyC] — a C subset with single-letter
+    variables, integer arithmetic, comparisons, assignments, blocks, and
+    [if]/[else]/[while]/[do] statements. As in the paper, accepted
+    programs are also executed (under a fuel budget, so the paper's
+    [while(9);] infinite loop shows up as a hang verdict). *)
+
+val subject : Subject.t
+(** The paper-faithful subject: token-kind expectations in the parser
+    (e.g. the [while] required after a [do] body) record branch coverage
+    only, because tokenization breaks the taint flow (§7.2). *)
+
+val subject_semantic : Subject.t
+(** The §7.3 variant ["tinyc-sem"]: executing a program that reads a
+    variable before assigning it is a (semantic) rejection. Inputs that
+    pass the parser routinely fail this check, reproducing the paper's
+    observation that delayed, context-sensitive constraints are beyond
+    the purely syntactic search. *)
+
+val subject_token_taints : Subject.t
+(** The §7.2 future-work variant ["tinyc-tt"]: token expectations also
+    emit a comparison event at the token's input position suggesting the
+    expected spelling, restoring the substitution signal through the
+    tokenizer. *)

@@ -1,0 +1,8 @@
+type t = { tag : string; length : int }
+
+let make tag length = { tag; length }
+let literal s = { tag = s; length = String.length s }
+let of_length n tokens = List.filter (fun t -> t.length = n) tokens
+
+let lengths tokens =
+  List.sort_uniq compare (List.map (fun t -> t.length) tokens)

@@ -1,0 +1,22 @@
+(** Token inventory entries for the input-coverage evaluation (§5.3).
+
+    Following the paper, strings, numbers and identifiers are each
+    classified as a single token regardless of their spelling, and every
+    token carries the length under which the paper groups it (Tables
+    2–4): punctuation and keywords use their literal length, while the
+    class tokens use the length the paper assigns (number/identifier 1,
+    string 2). *)
+
+type t = { tag : string; length : int }
+(** [tag] is the canonical tag a subject's {i tokenize} function emits
+    when the token occurs in a valid input. *)
+
+val make : string -> int -> t
+val literal : string -> t
+(** [literal s] is [make s (String.length s)]. *)
+
+val of_length : int -> t list -> t list
+(** Inventory entries of the given length. *)
+
+val lengths : t list -> int list
+(** Distinct lengths occurring in an inventory, ascending. *)

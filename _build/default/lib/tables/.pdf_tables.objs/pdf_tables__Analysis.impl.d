@@ -1,0 +1,1 @@
+lib/tables/analysis.ml: Cfg Hashtbl List Option Pdf_util

@@ -1,0 +1,1 @@
+lib/tables/analysis.mli: Cfg Pdf_util

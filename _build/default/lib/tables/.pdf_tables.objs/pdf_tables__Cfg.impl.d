@@ -1,0 +1,1 @@
+lib/tables/cfg.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/tables/cfg.mli: Format

@@ -1,0 +1,1 @@
+lib/tables/driver.ml: Cfg List Ll1 Pdf_instr Pdf_subjects Pdf_taint Printf

@@ -1,0 +1,1 @@
+lib/tables/driver.mli: Ll1 Pdf_subjects

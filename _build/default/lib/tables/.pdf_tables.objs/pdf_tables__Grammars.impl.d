@@ -1,0 +1,1 @@
+lib/tables/grammars.ml: Cfg Char Driver Format List Ll1 Pdf_subjects String

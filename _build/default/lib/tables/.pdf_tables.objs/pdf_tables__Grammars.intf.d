@@ -1,0 +1,1 @@
+lib/tables/grammars.mli: Cfg Ll1 Pdf_subjects

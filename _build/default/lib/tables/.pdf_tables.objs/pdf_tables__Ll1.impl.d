@@ -1,0 +1,1 @@
+lib/tables/ll1.ml: Analysis Cfg Format Hashtbl List Pdf_util Printf

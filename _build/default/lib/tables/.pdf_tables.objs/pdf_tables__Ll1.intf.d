@@ -1,0 +1,1 @@
+lib/tables/ll1.mli: Cfg Format Pdf_util

@@ -1,0 +1,101 @@
+module Charset = Pdf_util.Charset
+
+type t = {
+  nullable : (string, bool) Hashtbl.t;
+  first : (string, Charset.t) Hashtbl.t;
+  follow : (string, Charset.t) Hashtbl.t;
+  follow_eof : (string, bool) Hashtbl.t;
+}
+
+let get_bool tbl key = Option.value ~default:false (Hashtbl.find_opt tbl key)
+let get_set tbl key = Option.value ~default:Charset.empty (Hashtbl.find_opt tbl key)
+
+let nullable t = get_bool t.nullable
+let first t = get_set t.first
+let follow t = get_set t.follow
+let follow_eof t = get_bool t.follow_eof
+
+let first_of_rhs t rhs =
+  let rec go acc = function
+    | [] -> (acc, true)
+    | Cfg.T c :: _ -> (Charset.add c acc, false)
+    | Cfg.N name :: rest ->
+      let acc = Charset.union acc (first t name) in
+      if nullable t name then go acc rest else (acc, false)
+  in
+  go Charset.empty rhs
+
+let analyze grammar =
+  let t =
+    {
+      nullable = Hashtbl.create 16;
+      first = Hashtbl.create 16;
+      follow = Hashtbl.create 16;
+      follow_eof = Hashtbl.create 16;
+    }
+  in
+  let changed = ref true in
+  (* Nullability fixpoint. *)
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (p : Cfg.production) ->
+        let rhs_nullable =
+          List.for_all
+            (function Cfg.T _ -> false | Cfg.N name -> get_bool t.nullable name)
+            p.rhs
+        in
+        if rhs_nullable && not (get_bool t.nullable p.lhs) then begin
+          Hashtbl.replace t.nullable p.lhs true;
+          changed := true
+        end)
+      (Cfg.productions grammar)
+  done;
+  (* FIRST fixpoint. *)
+  changed := true;
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (p : Cfg.production) ->
+        let rhs_first, _ = first_of_rhs t p.rhs in
+        let current = get_set t.first p.lhs in
+        let updated = Charset.union current rhs_first in
+        if not (Charset.equal current updated) then begin
+          Hashtbl.replace t.first p.lhs updated;
+          changed := true
+        end)
+      (Cfg.productions grammar)
+  done;
+  (* FOLLOW fixpoint: start symbol can be followed by EOF. *)
+  Hashtbl.replace t.follow_eof (Cfg.start grammar) true;
+  changed := true;
+  while !changed do
+    changed := false;
+    let add_follow name set eof =
+      let current = get_set t.follow name in
+      let updated = Charset.union current set in
+      if not (Charset.equal current updated) then begin
+        Hashtbl.replace t.follow name updated;
+        changed := true
+      end;
+      if eof && not (get_bool t.follow_eof name) then begin
+        Hashtbl.replace t.follow_eof name true;
+        changed := true
+      end
+    in
+    List.iter
+      (fun (p : Cfg.production) ->
+        let rec walk = function
+          | [] -> ()
+          | Cfg.T _ :: rest -> walk rest
+          | Cfg.N name :: rest ->
+            let rest_first, rest_nullable = first_of_rhs t rest in
+            add_follow name rest_first false;
+            if rest_nullable then
+              add_follow name (get_set t.follow p.lhs) (get_bool t.follow_eof p.lhs);
+            walk rest
+        in
+        walk p.rhs)
+      (Cfg.productions grammar)
+  done;
+  t

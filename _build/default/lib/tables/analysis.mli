@@ -1,0 +1,23 @@
+(** Classic grammar analyses: nullability, FIRST and FOLLOW sets,
+    computed by fixpoint iteration. FIRST/FOLLOW sets are character sets;
+    end-of-input is tracked separately ({!follow_eof}). *)
+
+type t
+
+val analyze : Cfg.t -> t
+
+val nullable : t -> string -> bool
+(** Can the nonterminal derive the empty string? *)
+
+val first : t -> string -> Pdf_util.Charset.t
+(** Characters that can begin a sentence derived from the nonterminal. *)
+
+val first_of_rhs : t -> Cfg.symbol list -> Pdf_util.Charset.t * bool
+(** FIRST of a sentential form, and whether it is nullable. *)
+
+val follow : t -> string -> Pdf_util.Charset.t
+(** Characters that can follow the nonterminal in a sentential form
+    derived from the start symbol. *)
+
+val follow_eof : t -> string -> bool
+(** Can end-of-input follow the nonterminal? *)

@@ -1,0 +1,38 @@
+(** An instrumented table-driven (LL(1)) parser — the §7.1 future-work
+    system.
+
+    The driver is a single push-down loop over the parse table, so plain
+    code coverage barely distinguishes inputs: the paper predicts that
+    "the coverage metric will not work on table-driven parsers out of the
+    box" and proposes coverage of {e table elements} instead. Both modes
+    are provided so the prediction can be measured:
+
+    - {!Code}: only the driver's own handful of sites are registered —
+      the out-of-the-box setting;
+    - {!Table_elements}: one site per populated table cell, so expanding
+      a new (nonterminal, lookahead) entry counts as new coverage.
+
+    Similarly, a real table parser indexes the table directly and
+    compares nothing, starving the comparison tracker; drivers that build
+    "expected one of …" diagnostics do compare. {!diagnostics} selects
+    between the two. *)
+
+type coverage_mode = Code | Table_elements
+
+type diagnostics =
+  | Silent  (** table miss rejects without comparing the lookahead *)
+  | Expected_sets
+      (** a miss compares the lookahead against the row's expected set,
+          giving the fuzzer a substitution source *)
+
+val subject :
+  name:string ->
+  description:string ->
+  ?coverage:coverage_mode ->
+  ?diagnostics:diagnostics ->
+  ?tokens:Pdf_subjects.Token.t list ->
+  ?tokenize:(string -> string list) ->
+  Ll1.t ->
+  Pdf_subjects.Subject.t
+(** Package a parse table as a fuzzable subject. Defaults:
+    [Table_elements] coverage, [Expected_sets] diagnostics. *)

@@ -1,0 +1,136 @@
+let digit_productions nt rest =
+  List.init 10 (fun i ->
+      { Cfg.lhs = nt; rhs = Cfg.T (Char.chr (Char.code '0' + i)) :: rest })
+
+let arith =
+  Cfg.make ~start:"expr"
+    ([
+       { Cfg.lhs = "expr"; rhs = [ Cfg.N "factor"; Cfg.N "expr'" ] };
+       { Cfg.lhs = "expr'"; rhs = [ Cfg.T '+'; Cfg.N "factor"; Cfg.N "expr'" ] };
+       { Cfg.lhs = "expr'"; rhs = [ Cfg.T '-'; Cfg.N "factor"; Cfg.N "expr'" ] };
+       { Cfg.lhs = "expr'"; rhs = [] };
+       { Cfg.lhs = "factor"; rhs = [ Cfg.N "sign"; Cfg.N "core" ] };
+       { Cfg.lhs = "sign"; rhs = [ Cfg.T '+' ] };
+       { Cfg.lhs = "sign"; rhs = [ Cfg.T '-' ] };
+       { Cfg.lhs = "sign"; rhs = [] };
+       { Cfg.lhs = "core"; rhs = [ Cfg.T '('; Cfg.N "expr"; Cfg.T ')' ] };
+       { Cfg.lhs = "digits'"; rhs = [] };
+     ]
+    @ digit_productions "core" [ Cfg.N "digits'" ]
+    @ digit_productions "digits'" [ Cfg.N "digits'" ])
+
+let dyck =
+  let pair o c =
+    { Cfg.lhs = "s"; rhs = [ Cfg.T o; Cfg.N "s"; Cfg.T c; Cfg.N "s" ] }
+  in
+  Cfg.make ~start:"s"
+    [ pair '(' ')'; pair '[' ']'; pair '{' '}'; pair '<' '>'; { Cfg.lhs = "s"; rhs = [] } ]
+
+(* Scannerless LL(1) JSON. Character classes (string-safe characters,
+   digits, hex digits) expand to one production per character, which is
+   exactly what a generated parse table looks like. Whitespace is the
+   nullable nonterminal [ws]; every list construct is left-factored. *)
+let json =
+  let p lhs rhs = { Cfg.lhs; rhs } in
+  let t c = Cfg.T c and n name = Cfg.N name in
+  let char_class nt chars rest =
+    List.map (fun c -> p nt (t c :: rest)) chars
+  in
+  let chars_of_string s = List.init (String.length s) (String.get s) in
+  let keyword word =
+    p "value" (List.map t (chars_of_string word))
+  in
+  let digits = chars_of_string "0123456789" in
+  let hex = chars_of_string "0123456789abcdefABCDEF" in
+  (* Printable string content except '"' and '\\'. *)
+  let safe =
+    List.filter (fun c -> c <> '"' && c <> '\\') (chars_of_string (String.init 95 (fun i -> Char.chr (0x20 + i))))
+  in
+  Cfg.make ~start:"json"
+    ([
+       p "json" [ n "ws"; n "value"; n "ws" ];
+       p "ws" [ t ' '; n "ws" ];
+       p "ws" [ t '\t'; n "ws" ];
+       p "ws" [ t '\n'; n "ws" ];
+       p "ws" [ t '\r'; n "ws" ];
+       p "ws" [];
+       (* values *)
+       keyword "true";
+       keyword "false";
+       keyword "null";
+       p "value" [ n "string" ];
+       p "value" [ n "number" ];
+       p "value" [ t '{'; n "ws"; n "obj-body" ];
+       p "value" [ t '['; n "ws"; n "arr-body" ];
+       p "obj-body" [ t '}' ];
+       p "obj-body" [ n "pair"; n "obj-more" ];
+       p "obj-more" [ t '}' ];
+       p "obj-more" [ t ','; n "ws"; n "pair"; n "obj-more" ];
+       p "pair" [ n "string"; n "ws"; t ':'; n "ws"; n "value"; n "ws" ];
+       p "arr-body" [ t ']' ];
+       p "arr-body" [ n "value"; n "ws"; n "arr-more" ];
+       p "arr-more" [ t ']' ];
+       p "arr-more" [ t ','; n "ws"; n "value"; n "ws"; n "arr-more" ];
+       (* strings *)
+       p "string" [ t '"'; n "chars" ];
+       p "chars" [ t '"' ];
+       p "chars" [ t '\\'; n "escape"; n "chars" ];
+       p "escape" [ t 'u'; n "hex"; n "hex"; n "hex"; n "hex" ];
+       (* numbers *)
+       p "number" [ t '-'; n "int" ];
+       p "int-rest" [ n "frac" ];
+       p "frac" [ t '.'; n "frac-digits" ];
+       p "frac" [ n "exp" ];
+       p "exp" [ t 'e'; n "exp-sign"; n "exp-digits" ];
+       p "exp" [ t 'E'; n "exp-sign"; n "exp-digits" ];
+       p "exp" [];
+       p "exp-sign" [ t '+' ];
+       p "exp-sign" [ t '-' ];
+       p "exp-sign" [];
+     ]
+    @ char_class "chars" safe [ n "chars" ]
+    @ char_class "escape" (chars_of_string "\"\\/bfnrt") []
+    @ char_class "hex" hex []
+    @ char_class "number" digits [ n "int-rest" ]
+    @ char_class "int" digits [ n "int-rest" ]
+    @ char_class "int-rest" digits [ n "int-rest" ]
+    @ char_class "frac-digits" digits [ n "frac-more" ]
+    @ char_class "frac-more" digits [ n "frac-more" ]
+    @ [ p "frac-more" [ n "exp" ] ]
+    @ char_class "exp-digits" digits [ n "exp-more" ]
+    @ char_class "exp-more" digits [ n "exp-more" ]
+    @ [ p "exp-more" [] ])
+
+let force_table grammar =
+  match Ll1.build grammar with
+  | Ok table -> table
+  | Error conflict ->
+    invalid_arg (Format.asprintf "Grammars: %a" Ll1.pp_conflict conflict)
+
+let arith_table = force_table arith
+let dyck_table = force_table dyck
+let json_table = force_table json
+
+let expr_tokens = (Pdf_subjects.Catalog.find "expr").Pdf_subjects.Subject.tokens
+let expr_tokenize = (Pdf_subjects.Catalog.find "expr").Pdf_subjects.Subject.tokenize
+
+let table_expr =
+  Driver.subject ~name:"table-expr"
+    ~description:"arithmetic expressions, LL(1) table-driven (§7.1)"
+    ~coverage:Driver.Table_elements ~diagnostics:Driver.Expected_sets
+    ~tokens:expr_tokens ~tokenize:expr_tokenize arith_table
+
+let table_expr_naive =
+  Driver.subject ~name:"table-expr-naive"
+    ~description:"arithmetic expressions, table-driven, code coverage + silent driver"
+    ~coverage:Driver.Code ~diagnostics:Driver.Silent ~tokens:expr_tokens
+    ~tokenize:expr_tokenize arith_table
+
+let json_subject = Pdf_subjects.Catalog.find "json"
+
+let table_json =
+  Driver.subject ~name:"table-json"
+    ~description:"JSON, LL(1) table-driven (§7.1)"
+    ~coverage:Driver.Table_elements ~diagnostics:Driver.Expected_sets
+    ~tokens:json_subject.Pdf_subjects.Subject.tokens
+    ~tokenize:json_subject.Pdf_subjects.Subject.tokenize json_table

@@ -1,0 +1,34 @@
+(** Ready-made LL(1) grammars and the table-driven subjects built from
+    them, used by the §7.1 experiments and tests. *)
+
+val arith : Cfg.t
+(** Scannerless LL(1) grammar for the same arithmetic-expression
+    language as the recursive-descent [expr] subject (signed numbers,
+    [+]/[-], parentheses) — the two parsers accept exactly the same
+    strings. *)
+
+val dyck : Cfg.t
+(** Balanced brackets over four bracket kinds, possibly empty. *)
+
+val json : Cfg.t
+(** Scannerless LL(1) JSON: objects, arrays, strings with escapes
+    (including [\uXXXX] without surrogate-pair checking, which is
+    context-sensitive), numbers with fraction/exponent, the three
+    keywords, and whitespace — several hundred character-level
+    productions, built programmatically. *)
+
+val arith_table : Ll1.t
+val dyck_table : Ll1.t
+val json_table : Ll1.t
+
+val table_expr : Pdf_subjects.Subject.t
+(** [arith] with table-element coverage and diagnostic comparisons — the
+    configuration §7.1 proposes. *)
+
+val table_expr_naive : Pdf_subjects.Subject.t
+(** [arith] with code coverage only and a silent driver — the
+    out-of-the-box setting the paper predicts to fail. *)
+
+val table_json : Pdf_subjects.Subject.t
+(** [json] with table-element coverage and diagnostics: keyword discovery
+    on a table-driven parser. *)

@@ -1,0 +1,74 @@
+module Charset = Pdf_util.Charset
+
+type conflict = {
+  nonterminal : string;
+  lookahead : char option;
+  productions : int * int;
+}
+
+type t = {
+  grammar : Cfg.t;
+  (* (nonterminal, Some char | None-for-EOF) -> production *)
+  table : (string * char option, Cfg.production) Hashtbl.t;
+}
+
+exception Conflict of conflict
+
+let build grammar =
+  let analysis = Analysis.analyze grammar in
+  let table = Hashtbl.create 64 in
+  let add nonterminal lookahead production =
+    match Hashtbl.find_opt table (nonterminal, lookahead) with
+    | Some existing when existing <> production ->
+      raise
+        (Conflict
+           {
+             nonterminal;
+             lookahead;
+             productions =
+               ( Cfg.production_index grammar existing,
+                 Cfg.production_index grammar production );
+           })
+    | Some _ -> ()
+    | None -> Hashtbl.replace table (nonterminal, lookahead) production
+  in
+  match
+    List.iter
+      (fun (p : Cfg.production) ->
+        let rhs_first, rhs_nullable = Analysis.first_of_rhs analysis p.rhs in
+        Charset.iter (fun c -> add p.lhs (Some c) p) rhs_first;
+        if rhs_nullable then begin
+          Charset.iter (fun c -> add p.lhs (Some c) p) (Analysis.follow analysis p.lhs);
+          if Analysis.follow_eof analysis p.lhs then add p.lhs None p
+        end)
+      (Cfg.productions grammar)
+  with
+  | () -> Ok { grammar; table }
+  | exception Conflict c -> Error c
+
+let grammar t = t.grammar
+let lookup t nonterminal c = Hashtbl.find_opt t.table (nonterminal, Some c)
+let lookup_eof t nonterminal = Hashtbl.find_opt t.table (nonterminal, None)
+
+let expected t nonterminal =
+  Hashtbl.fold
+    (fun (nt, lookahead) _ acc ->
+      match lookahead with
+      | Some c when nt = nonterminal -> Charset.add c acc
+      | Some _ | None -> acc)
+    t.table Charset.empty
+
+let entries t =
+  Hashtbl.fold
+    (fun (nt, lookahead) production acc ->
+      (nt, lookahead, Cfg.production_index t.grammar production) :: acc)
+    t.table []
+  |> List.sort compare
+
+let pp_conflict ppf c =
+  let lookahead =
+    match c.lookahead with Some ch -> Printf.sprintf "%C" ch | None -> "EOF"
+  in
+  let a, b = c.productions in
+  Format.fprintf ppf "LL(1) conflict on <%s> with lookahead %s: productions %d and %d"
+    c.nonterminal lookahead a b

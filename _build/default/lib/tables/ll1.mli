@@ -1,0 +1,31 @@
+(** LL(1) parse-table construction.
+
+    The table maps (nonterminal, lookahead character) to a production; a
+    separate end-of-input column handles EOF lookahead for nullable
+    tails. Construction fails with a description of the first conflict if
+    the grammar is not LL(1). *)
+
+type t
+
+type conflict = {
+  nonterminal : string;
+  lookahead : char option;  (** [None] = end of input *)
+  productions : int * int;  (** indices of the clashing productions *)
+}
+
+val build : Cfg.t -> (t, conflict) result
+
+val grammar : t -> Cfg.t
+
+val lookup : t -> string -> char -> Cfg.production option
+val lookup_eof : t -> string -> Cfg.production option
+
+val expected : t -> string -> Pdf_util.Charset.t
+(** All characters with a table entry for the nonterminal — the
+    "expected one of …" set a diagnostic-producing driver reports. *)
+
+val entries : t -> (string * char option * int) list
+(** Every populated table cell as (nonterminal, lookahead, production
+    index) — the denominator of table-element coverage (§7.1). *)
+
+val pp_conflict : Format.formatter -> conflict -> unit

@@ -1,0 +1,1 @@
+lib/taint/taint.ml: Format Int List Set String

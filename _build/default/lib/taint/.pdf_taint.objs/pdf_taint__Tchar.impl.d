@@ -1,0 +1,1 @@
+lib/taint/tchar.ml: Char Format Taint

@@ -1,0 +1,1 @@
+lib/taint/tchar.mli: Format Taint

@@ -1,0 +1,1 @@
+lib/taint/tstring.ml: Array Format String Taint Tchar

@@ -1,0 +1,1 @@
+lib/taint/tstring.mli: Format Taint Tchar

@@ -1,0 +1,18 @@
+module Iset = Set.Make (Int)
+
+type t = Iset.t
+
+let empty = Iset.empty
+let singleton = Iset.singleton
+let union = Iset.union
+let is_empty = Iset.is_empty
+let mem = Iset.mem
+let max_index t = Iset.max_elt_opt t
+let min_index t = Iset.min_elt_opt t
+let cardinal = Iset.cardinal
+let to_list = Iset.elements
+let of_list l = Iset.of_list l
+let equal = Iset.equal
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (to_list t)))

@@ -1,0 +1,1 @@
+lib/util/charset.mli: Format Rng

@@ -1,0 +1,116 @@
+(* A char set is four 64-bit words; character [c] lives in word [c/64],
+   bit [c mod 64]. *)
+type t = { w0 : int64; w1 : int64; w2 : int64; w3 : int64 }
+
+let empty = { w0 = 0L; w1 = 0L; w2 = 0L; w3 = 0L }
+let full = { w0 = -1L; w1 = -1L; w2 = -1L; w3 = -1L }
+
+let word t i =
+  match i with
+  | 0 -> t.w0
+  | 1 -> t.w1
+  | 2 -> t.w2
+  | 3 -> t.w3
+  | _ -> assert false
+
+let with_word t i w =
+  match i with
+  | 0 -> { t with w0 = w }
+  | 1 -> { t with w1 = w }
+  | 2 -> { t with w2 = w }
+  | 3 -> { t with w3 = w }
+  | _ -> assert false
+
+let bit c = Int64.shift_left 1L (Char.code c land 63)
+let idx c = Char.code c lsr 6
+
+let add c t =
+  let i = idx c in
+  with_word t i (Int64.logor (word t i) (bit c))
+
+let remove c t =
+  let i = idx c in
+  with_word t i (Int64.logand (word t i) (Int64.lognot (bit c)))
+
+let mem c t = Int64.logand (word t (idx c)) (bit c) <> 0L
+
+let singleton c = add c empty
+let of_list cs = List.fold_left (fun t c -> add c t) empty cs
+
+let of_string s =
+  let t = ref empty in
+  String.iter (fun c -> t := add c !t) s;
+  !t
+
+let range lo hi =
+  let t = ref empty in
+  for c = Char.code lo to Char.code hi do
+    t := add (Char.chr c) !t
+  done;
+  !t
+
+let map2 f a b =
+  { w0 = f a.w0 b.w0; w1 = f a.w1 b.w1; w2 = f a.w2 b.w2; w3 = f a.w3 b.w3 }
+
+let union = map2 Int64.logor
+let inter = map2 Int64.logand
+let diff a b = map2 (fun x y -> Int64.logand x (Int64.lognot y)) a b
+let complement t = diff full t
+
+let popcount64 x =
+  let rec go acc x = if x = 0L then acc else go (acc + 1) Int64.(logand x (sub x 1L)) in
+  go 0 x
+
+let cardinal t = popcount64 t.w0 + popcount64 t.w1 + popcount64 t.w2 + popcount64 t.w3
+let is_empty t = t.w0 = 0L && t.w1 = 0L && t.w2 = 0L && t.w3 = 0L
+let equal a b = a.w0 = b.w0 && a.w1 = b.w1 && a.w2 = b.w2 && a.w3 = b.w3
+let subset a b = is_empty (diff a b)
+
+let iter f t =
+  for c = 0 to 255 do
+    let ch = Char.chr c in
+    if mem ch t then f ch
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun c -> acc := f c !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun c acc -> c :: acc) t [])
+
+let min_elt t =
+  let rec go c = if c > 255 then None else if mem (Char.chr c) t then Some (Char.chr c) else go (c + 1) in
+  go 0
+
+let pick rng t =
+  let n = cardinal t in
+  if n = 0 then None
+  else begin
+    let k = Rng.int rng n in
+    let found = ref None and seen = ref 0 in
+    (try
+       iter
+         (fun c ->
+           if !seen = k then begin
+             found := Some c;
+             raise Exit
+           end;
+           incr seen)
+         t
+     with Exit -> ());
+    !found
+  end
+
+let digits = range '0' '9'
+let letters = union (range 'a' 'z') (range 'A' 'Z')
+let printable = range ' ' '~'
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  iter
+    (fun c ->
+      if c >= ' ' && c <= '~' then Format.fprintf ppf "%c" c
+      else Format.fprintf ppf "\\x%02x" (Char.code c))
+    t;
+  Format.fprintf ppf "}"

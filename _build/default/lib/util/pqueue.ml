@@ -1,0 +1,105 @@
+type 'a entry = { mutable prio : float; seq : int; value : 'a }
+
+type 'a t = { mutable heap : 'a entry array; mutable size : int; mutable next_seq : int }
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* Max-heap order: higher priority first; on equal priority, lower seq
+   (earlier insertion) first. *)
+let before a b = a.prio > b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.size && before t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    swap t i !best;
+    sift_down t !best
+  end
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nheap = Array.make ncap t.heap.(0) in
+    Array.blit t.heap 0 nheap 0 t.size;
+    t.heap <- nheap
+  end
+
+let push t prio value =
+  let entry = { prio; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 then begin
+    t.heap <- Array.make 16 entry;
+    t.size <- 1
+  end
+  else begin
+    grow t;
+    t.heap.(t.size) <- entry;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some top.value
+  end
+
+let peek t = if t.size = 0 then None else Some t.heap.(0).value
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.heap.(i).value
+  done
+
+let heapify t =
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+let rerank t f =
+  for i = 0 to t.size - 1 do
+    t.heap.(i).prio <- f t.heap.(i).value
+  done;
+  heapify t
+
+let drop_worst t n =
+  if t.size > n then begin
+    let entries = Array.sub t.heap 0 t.size in
+    Array.sort (fun a b -> if before a b then -1 else 1) entries;
+    t.size <- n;
+    Array.blit entries 0 t.heap 0 n;
+    heapify t
+  end
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.size - 1 downto 0 do
+    acc := (t.heap.(i).prio, t.heap.(i).value) :: !acc
+  done;
+  !acc

@@ -1,0 +1,38 @@
+(** Mutable max-priority queue over float priorities.
+
+    Backing store for the pFuzzer candidate queue (Algorithm 1). Supports
+    the operation the algorithm needs when a valid input is found: a full
+    re-prioritisation of all pending entries ({!rerank}) without re-running
+    them. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q prio x] inserts [x] with priority [prio]. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns an element with maximal priority. Ties are broken
+    by insertion order (earlier insertions first), which keeps runs
+    deterministic. *)
+
+val peek : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterates over all pending elements in unspecified order. *)
+
+val rerank : 'a t -> ('a -> float) -> unit
+(** [rerank q f] recomputes every pending element's priority with [f] and
+    restores the heap invariant — the queue re-evaluation step performed
+    when a new valid input extends the covered-branch set. *)
+
+val drop_worst : 'a t -> int -> unit
+(** [drop_worst q n] truncates the queue to at most [n] entries, discarding
+    lowest-priority ones. Used to bound memory in long runs. *)
+
+val to_list : 'a t -> (float * 'a) list
+(** Snapshot in unspecified order. *)

@@ -1,0 +1,67 @@
+let section ppf title =
+  let line = String.make (String.length title + 4) '=' in
+  Format.fprintf ppf "@.%s@.= %s =@.%s@." line title line
+
+let table ppf ~title ~header rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg "Render.table: row arity mismatch")
+    rows;
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  let measure row = List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row in
+  measure header;
+  List.iter measure rows;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let print_row row =
+    Format.fprintf ppf "| %s |@." (String.concat " | " (List.mapi pad row))
+  in
+  let rule =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  Format.fprintf ppf "@.%s@.%s@." title rule;
+  print_row header;
+  Format.fprintf ppf "%s@." rule;
+  List.iter print_row rows;
+  Format.fprintf ppf "%s@." rule
+
+let bar ~max_width ~max_value v =
+  let w =
+    if max_value <= 0.0 then 0
+    else int_of_float (float_of_int max_width *. v /. max_value +. 0.5)
+  in
+  String.make w '#'
+
+let bar_chart ppf ~title ?(max_width = 50) ?(unit_label = "") rows =
+  let max_value = List.fold_left (fun acc (_, v) -> max acc v) 0.0 rows in
+  let label_width = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows in
+  Format.fprintf ppf "@.%s@." title;
+  List.iter
+    (fun (label, v) ->
+      Format.fprintf ppf "  %-*s | %s %.1f%s@." label_width label
+        (bar ~max_width ~max_value v) v unit_label)
+    rows
+
+let grouped_bar_chart ppf ~title ~series ?(max_width = 50) rows =
+  List.iter
+    (fun (_, vs) ->
+      if List.length vs <> List.length series then
+        invalid_arg "Render.grouped_bar_chart: series arity mismatch")
+    rows;
+  let max_value =
+    List.fold_left (fun acc (_, vs) -> List.fold_left max acc vs) 0.0 rows
+  in
+  let label_width =
+    List.fold_left (fun acc s -> max acc (String.length s)) 0 series
+  in
+  Format.fprintf ppf "@.%s@." title;
+  List.iter
+    (fun (group, vs) ->
+      Format.fprintf ppf "%s@." group;
+      List.iter2
+        (fun s v ->
+          Format.fprintf ppf "  %-*s | %s %.1f@." label_width s
+            (bar ~max_width ~max_value v) v)
+        series vs)
+    rows

@@ -1,0 +1,33 @@
+(** Plain-text rendering of experiment results: aligned tables and
+    horizontal bar charts, in the spirit of the paper's tables and
+    figures. All output goes through a [Format.formatter] so reports can
+    be captured or printed. *)
+
+val table :
+  Format.formatter -> title:string -> header:string list -> string list list -> unit
+(** [table ppf ~title ~header rows] prints an aligned ASCII table. Every
+    row must have the same arity as [header]. *)
+
+val bar_chart :
+  Format.formatter ->
+  title:string ->
+  ?max_width:int ->
+  ?unit_label:string ->
+  (string * float) list ->
+  unit
+(** [bar_chart ppf ~title rows] prints one horizontal bar per row, scaled
+    to the maximum value. *)
+
+val grouped_bar_chart :
+  Format.formatter ->
+  title:string ->
+  series:string list ->
+  ?max_width:int ->
+  (string * float list) list ->
+  unit
+(** [grouped_bar_chart ppf ~title ~series rows] prints, for each row
+    label, one bar per series — the shape of the paper's Figure 2. Each
+    row's value list must have the same arity as [series]. *)
+
+val section : Format.formatter -> string -> unit
+(** Prominent section heading. *)

@@ -1,0 +1,48 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomised components of the system (fuzzers, solvers, workload
+    generators) draw from an explicit [Rng.t] so that every experiment is
+    reproducible from its seed. The implementation is SplitMix64, which is
+    fast, statistically solid for this purpose, and supports {!split} for
+    handing independent streams to sub-components. *)
+
+type t
+
+val make : int -> t
+(** [make seed] creates a generator from an integer seed. Generators made
+    from equal seeds produce equal streams. *)
+
+val split : t -> t
+(** [split t] derives a fresh generator whose stream is independent of
+    subsequent draws from [t]. Mutates [t] (one draw). *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both copies then produce the
+    same stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+
+val char : t -> char
+(** Uniform over all 256 bytes. *)
+
+val printable : t -> char
+(** Uniform over printable ASCII (0x20–0x7e) plus ['\n'] and ['\t'] — the
+    alphabet the paper's fuzzer appends from. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

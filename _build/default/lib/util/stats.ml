@@ -1,0 +1,29 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let minimum = function
+  | [] -> 0.0
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> 0.0
+  | x :: xs -> List.fold_left max x xs
+
+let percentile p = function
+  | [] -> 0.0
+  | xs ->
+    let sorted = List.sort compare xs in
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let rank = max 1 (min n rank) in
+    List.nth sorted (rank - 1)
+
+let ratio num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den

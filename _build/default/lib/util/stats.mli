@@ -1,0 +1,16 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], nearest-rank method. *)
+
+val ratio : int -> int -> float
+(** [ratio num den] as a percentage in [0,100]; 0 when [den = 0]. *)

@@ -1,0 +1,1 @@
+test/test_afl.ml: Alcotest Array List Pdf_afl Pdf_eval Pdf_subjects Pdf_util Printf QCheck QCheck_alcotest String

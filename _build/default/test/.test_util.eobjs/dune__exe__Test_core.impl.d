@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float List Pdf_core Pdf_eval Pdf_instr Pdf_subjects Pdf_tables Printf QCheck QCheck_alcotest String

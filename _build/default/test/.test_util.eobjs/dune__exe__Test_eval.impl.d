@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Buffer Float Format List Pdf_eval Pdf_subjects Printf String

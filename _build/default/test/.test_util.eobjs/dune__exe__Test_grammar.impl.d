@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Format List Pdf_grammar Pdf_instr Pdf_subjects Pdf_util Printf QCheck QCheck_alcotest String

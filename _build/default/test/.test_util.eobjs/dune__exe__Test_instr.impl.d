@@ -1,0 +1,1 @@
+test/test_instr.ml: Alcotest Array Char List Pdf_instr Pdf_subjects Pdf_taint Pdf_util Printf QCheck QCheck_alcotest String

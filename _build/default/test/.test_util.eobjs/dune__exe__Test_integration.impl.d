@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Pdf_afl Pdf_core Pdf_eval Pdf_grammar Pdf_instr Pdf_klee Pdf_subjects Pdf_tables Pdf_util

@@ -1,0 +1,1 @@
+test/test_klee.ml: Alcotest Char List Pdf_instr Pdf_klee Pdf_subjects Pdf_util QCheck QCheck_alcotest String

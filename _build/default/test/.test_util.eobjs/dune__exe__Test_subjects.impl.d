@@ -1,0 +1,1 @@
+test/test_subjects.ml: Alcotest Array Buffer Char Format List Pdf_instr Pdf_subjects Pdf_util Printf QCheck QCheck_alcotest

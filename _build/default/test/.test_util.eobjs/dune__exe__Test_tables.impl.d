@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest Buffer List Pdf_core Pdf_instr Pdf_subjects Pdf_tables Pdf_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest Char List Pdf_taint QCheck QCheck_alcotest

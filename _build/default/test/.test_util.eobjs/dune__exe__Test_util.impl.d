@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Char Format List Option Pdf_util Printf QCheck QCheck_alcotest String

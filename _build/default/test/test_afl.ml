@@ -1,0 +1,171 @@
+module Bitmap = Pdf_afl.Bitmap
+module Mutator = Pdf_afl.Mutator
+module Afl = Pdf_afl.Afl
+module Catalog = Pdf_subjects.Catalog
+module Subject = Pdf_subjects.Subject
+module Rng = Pdf_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* {1 Bitmap} *)
+
+let test_bitmap_new_bits () =
+  let virgin = Bitmap.create () in
+  let b = Bitmap.builder () in
+  let sparse = Bitmap.sparse_of_trace b [| 1; 2; 3 |] in
+  Alcotest.(check bool) "fresh trace has new bits" true (Bitmap.new_bits ~virgin sparse);
+  Bitmap.merge ~into:virgin sparse;
+  Alcotest.(check bool) "merged trace has no new bits" false
+    (Bitmap.new_bits ~virgin sparse);
+  let sparse2 = Bitmap.sparse_of_trace b [| 1; 2; 3; 4 |] in
+  Alcotest.(check bool) "longer trace lights new edges" true
+    (Bitmap.new_bits ~virgin sparse2)
+
+let test_bitmap_hit_buckets () =
+  (* Repeating an edge 1 vs 3 times lands in different count buckets, so
+     loop-count changes register coarsely, as in AFL. *)
+  let virgin = Bitmap.create () in
+  let b = Bitmap.builder () in
+  Bitmap.merge ~into:virgin (Bitmap.sparse_of_trace b [| 7; 8 |]);
+  let thrice = Bitmap.sparse_of_trace b [| 7; 8; 7; 8; 7; 8 |] in
+  Alcotest.(check bool) "different bucket is new" true (Bitmap.new_bits ~virgin thrice)
+
+let test_bitmap_builder_reuse () =
+  let b = Bitmap.builder () in
+  let s1 = Bitmap.sparse_of_trace b [| 1; 2 |] in
+  let s2 = Bitmap.sparse_of_trace b [| 1; 2 |] in
+  Alcotest.(check bool) "builder state fully reset between runs" true
+    (List.sort compare s1 = List.sort compare s2)
+
+let test_bitmap_count () =
+  let virgin = Bitmap.create () in
+  Alcotest.(check int) "empty" 0 (Bitmap.count_nonzero virgin);
+  let b = Bitmap.builder () in
+  Bitmap.merge ~into:virgin (Bitmap.sparse_of_trace b [| 1; 2; 3 |]);
+  Alcotest.(check bool) "populated" true (Bitmap.count_nonzero virgin > 0)
+
+let prop_sparse_edge_count =
+  QCheck.Test.make ~name:"one edge per trace step" ~count:200
+    QCheck.(small_list small_nat)
+    (fun trace ->
+      let b = Bitmap.builder () in
+      let sparse = Bitmap.sparse_of_trace b (Array.of_list trace) in
+      let total = List.fold_left (fun acc (_, _) -> acc + 1) 0 sparse in
+      (* Distinct edges cannot exceed trace length. *)
+      total <= List.length trace && (trace = [] ) = (sparse = []))
+
+(* {1 Mutators} *)
+
+let test_deterministic_counts () =
+  let input = "ab" in
+  let variants = Mutator.deterministic input in
+  (* bit flips: (16-1+1) + (16-2+1) + (16-4+1) = 16+15+13 = 44
+     byte flips: 2; arith: 2*10 = 20; interesting: 2*17 - 2 no-ops
+     ('a' and 'z'... only 'a' collides for this input) = 33. *)
+  Alcotest.(check int) "stage sizes" (44 + 2 + 20 + 33) (List.length variants);
+  Alcotest.(check int) "empty input has no variants" 0
+    (List.length (Mutator.deterministic ""))
+
+let prop_deterministic_changes =
+  QCheck.Test.make ~name:"deterministic variants differ from the input" ~count:100
+    QCheck.(string_of_size (QCheck.Gen.int_range 1 6))
+    (fun input ->
+      List.for_all (fun v -> v <> input) (Mutator.deterministic input))
+
+let prop_deterministic_preserves_length =
+  QCheck.Test.make ~name:"deterministic variants preserve length" ~count:100
+    QCheck.(string_of_size (QCheck.Gen.int_range 1 6))
+    (fun input ->
+      List.for_all
+        (fun v -> String.length v = String.length input)
+        (Mutator.deterministic input))
+
+let prop_havoc_bounded =
+  QCheck.Test.make ~name:"havoc output stays under 256 bytes" ~count:300
+    QCheck.(pair small_int (string_of_size (QCheck.Gen.int_range 0 64)))
+    (fun (seed, input) ->
+      let rng = Rng.make seed in
+      String.length (Mutator.havoc rng input) <= 256)
+
+let prop_havoc_deterministic =
+  QCheck.Test.make ~name:"havoc is deterministic per seed" ~count:200
+    QCheck.(pair small_int small_string)
+    (fun (seed, input) ->
+      Mutator.havoc (Rng.make seed) input = Mutator.havoc (Rng.make seed) input)
+
+let prop_splice_bounded =
+  QCheck.Test.make ~name:"splice output stays under 256 bytes" ~count:200
+    QCheck.(triple small_int small_string small_string)
+    (fun (seed, a, b) ->
+      let rng = Rng.make seed in
+      String.length (Mutator.splice rng a b) <= 256)
+
+(* {1 The fuzzer} *)
+
+let fuzz ?(seed = 1) ?(execs = 30_000) name =
+  let subject = Catalog.find name in
+  (Afl.fuzz { Afl.default_config with seed; max_executions = execs } subject, subject)
+
+let test_afl_finds_valid_csv () =
+  let result, subject = fuzz "csv" in
+  Alcotest.(check bool) "found valid inputs" true (List.length result.valid_inputs > 0);
+  List.iter
+    (fun input ->
+      if not (Subject.accepts subject input) then
+        Alcotest.failf "reported valid input %S is rejected" input)
+    result.valid_inputs
+
+let test_afl_deterministic () =
+  let r1, _ = fuzz "ini" ~execs:10_000 in
+  let r2, _ = fuzz "ini" ~execs:10_000 in
+  Alcotest.(check (list string)) "same seed, same corpus" r1.valid_inputs r2.valid_inputs
+
+let test_afl_budget () =
+  let result, _ = fuzz "ini" ~execs:500 in
+  Alcotest.(check int) "budget respected" 500 result.executions
+
+let test_afl_queue_grows () =
+  let result, _ = fuzz "json" ~execs:20_000 in
+  Alcotest.(check bool) "interesting queue grows beyond the seed" true
+    (result.queue_length > 1);
+  Alcotest.(check bool) "bitmap populated" true (result.bitmap_density > 0)
+
+let test_afl_misses_keywords () =
+  (* The paper's central negative result for AFL: random mutation does
+     not produce 4+-character keywords on json within a modest budget. *)
+  let result, subject = fuzz "json" ~execs:50_000 in
+  let tags = Pdf_eval.Token_report.found_tags subject result.valid_inputs in
+  List.iter
+    (fun kw ->
+      Alcotest.(check bool) (Printf.sprintf "misses %s" kw) false (List.mem kw tags))
+    [ "true"; "false"; "null" ]
+
+let () =
+  Alcotest.run "pdf_afl"
+    [
+      ( "bitmap",
+        [
+          Alcotest.test_case "new bits" `Quick test_bitmap_new_bits;
+          Alcotest.test_case "hit buckets" `Quick test_bitmap_hit_buckets;
+          Alcotest.test_case "builder reuse" `Quick test_bitmap_builder_reuse;
+          Alcotest.test_case "count nonzero" `Quick test_bitmap_count;
+          qtest prop_sparse_edge_count;
+        ] );
+      ( "mutator",
+        [
+          Alcotest.test_case "deterministic stage sizes" `Quick test_deterministic_counts;
+          qtest prop_deterministic_changes;
+          qtest prop_deterministic_preserves_length;
+          qtest prop_havoc_bounded;
+          qtest prop_havoc_deterministic;
+          qtest prop_splice_bounded;
+        ] );
+      ( "fuzzer",
+        [
+          Alcotest.test_case "finds valid csv" `Quick test_afl_finds_valid_csv;
+          Alcotest.test_case "deterministic" `Quick test_afl_deterministic;
+          Alcotest.test_case "budget respected" `Quick test_afl_budget;
+          Alcotest.test_case "queue grows" `Quick test_afl_queue_grows;
+          Alcotest.test_case "misses long keywords" `Slow test_afl_misses_keywords;
+        ] );
+    ]

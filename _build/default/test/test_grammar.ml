@@ -1,0 +1,158 @@
+module Grammar = Pdf_grammar.Grammar
+module Miner = Pdf_grammar.Miner
+module Generator = Pdf_grammar.Generator
+module Catalog = Pdf_subjects.Catalog
+module Subject = Pdf_subjects.Subject
+module Rng = Pdf_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* {1 Grammar} *)
+
+let test_grammar_basics () =
+  let g = Grammar.empty ~start:"s" in
+  Alcotest.(check string) "start" "s" (Grammar.start g);
+  Alcotest.(check int) "empty" 0 (Grammar.production_count g);
+  let p = [ Grammar.Terminal "a"; Grammar.Nonterminal "s" ] in
+  let g = Grammar.add_production g "s" p in
+  let g = Grammar.add_production g "s" p in
+  Alcotest.(check int) "duplicate productions kept once" 1 (Grammar.production_count g);
+  let g = Grammar.add_production g "s" [ Grammar.Terminal "b" ] in
+  Alcotest.(check int) "two rules" 2 (List.length (Grammar.productions g "s"));
+  Alcotest.(check (list string)) "nonterminals" [ "s" ] (Grammar.nonterminals g);
+  Alcotest.(check (list (list string))) "unknown nonterminal" []
+    (List.map (fun _ -> []) (Grammar.productions g "t"))
+
+let test_grammar_pp () =
+  let g =
+    Grammar.add_production (Grammar.empty ~start:"s") "s"
+      [ Grammar.Terminal "x"; Grammar.Nonterminal "t" ]
+  in
+  let out = Format.asprintf "%a" Grammar.pp g in
+  Alcotest.(check bool) "renders" true (String.length out > 5)
+
+(* {1 Generator} *)
+
+let recursive_grammar =
+  (* s ::= "(" s ")" | "x" — generation must terminate via the cheap
+     production even with generous depth. *)
+  let g = Grammar.empty ~start:"s" in
+  let g =
+    Grammar.add_production g "s"
+      [ Grammar.Terminal "("; Grammar.Nonterminal "s"; Grammar.Terminal ")" ]
+  in
+  Grammar.add_production g "s" [ Grammar.Terminal "x" ]
+
+let prop_generator_terminates =
+  QCheck.Test.make ~name:"generation terminates on recursive grammars" ~count:200
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.make seed in
+      let s = Generator.generate rng ~max_depth:20 recursive_grammar in
+      String.length s >= 1 && String.length s <= 50)
+
+let prop_generator_well_formed =
+  QCheck.Test.make ~name:"generated sentences match the grammar" ~count:200
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.make seed in
+      let s = Generator.generate rng ~max_depth:10 recursive_grammar in
+      (* Must be (^n x )^n. *)
+      let n = String.length s in
+      let rec check i j =
+        if i > j then false
+        else if i = j then s.[i] = 'x'
+        else s.[i] = '(' && s.[j] = ')' && check (i + 1) (j - 1)
+      in
+      n mod 2 = 1 && check 0 (n - 1))
+
+let test_generator_empty_grammar () =
+  let rng = Rng.make 1 in
+  Alcotest.(check string) "empty grammar yields empty string" ""
+    (Generator.generate rng (Grammar.empty ~start:"s"))
+
+let test_generate_many () =
+  let rng = Rng.make 1 in
+  Alcotest.(check int) "count" 25
+    (List.length (Generator.generate_many rng 25 recursive_grammar))
+
+(* {1 Miner} *)
+
+let test_mine_expr () =
+  let subject = Catalog.find "expr" in
+  let inputs = [ "1"; "1+1"; "(2-94)"; "-5"; "(1)" ] in
+  let g = Miner.mine subject inputs in
+  Alcotest.(check bool) "has productions" true (Grammar.production_count g > 0);
+  Alcotest.(check string) "start symbol is the root frame" "parse" (Grammar.start g)
+
+let test_mine_skips_invalid () =
+  let subject = Catalog.find "expr" in
+  let g = Miner.mine subject [ "((("; "xyz" ] in
+  Alcotest.(check int) "nothing mined from rejected inputs" 0
+    (Grammar.production_count g)
+
+let mined_generates_accepted name inputs samples =
+  let subject = Catalog.find name in
+  let g = Miner.mine subject inputs in
+  let rng = Rng.make 11 in
+  let sentences = Generator.generate_many rng ~max_depth:12 samples g in
+  List.iter
+    (fun s ->
+      (* The empty sentence is a known overgeneralisation: non-emptiness
+         is a semantic side condition the mined CFG cannot express
+         (paper §7.3). *)
+      if s <> "" && not (Subject.accepts subject s) then
+        Alcotest.failf "mined %s grammar generated rejected input %S" name s)
+    sentences
+
+let test_mined_expr_generates_valid () =
+  mined_generates_accepted "expr" [ "1"; "1+1"; "(2-94)"; "-5"; "(1)"; "12" ] 100
+
+let test_mined_json_generates_valid () =
+  mined_generates_accepted "json"
+    [ "1"; "[]"; "[1,2]"; "{\"k\":true}"; "\"s\""; "null"; "false"; "{\"a\":[{}]}" ]
+    100
+
+let test_mined_paren_generates_valid () =
+  mined_generates_accepted "paren" [ "()"; "[]"; "(())"; "([])"; "()()" ] 100
+
+let test_mined_grammar_recursion_depth () =
+  (* The §7.4 motivation: grammar-based generation reaches much deeper
+     recursion than the inputs it was mined from. *)
+  let subject = Catalog.find "paren" in
+  let inputs = [ "()"; "(())"; "[]" ] in
+  let g = Miner.mine subject inputs in
+  let rng = Rng.make 3 in
+  let sentences = Generator.generate_many rng ~max_depth:30 200 g in
+  let depth s = (Subject.run subject s).Pdf_instr.Runner.max_depth in
+  let max_gen = List.fold_left (fun acc s -> max acc (depth s)) 0 sentences in
+  let max_seed = List.fold_left (fun acc s -> max acc (depth s)) 0 inputs in
+  Alcotest.(check bool)
+    (Printf.sprintf "generated depth %d exceeds seed depth %d" max_gen max_seed)
+    true (max_gen > max_seed)
+
+let () =
+  Alcotest.run "pdf_grammar"
+    [
+      ( "grammar",
+        [
+          Alcotest.test_case "basics" `Quick test_grammar_basics;
+          Alcotest.test_case "pretty printing" `Quick test_grammar_pp;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "empty grammar" `Quick test_generator_empty_grammar;
+          Alcotest.test_case "generate_many" `Quick test_generate_many;
+          qtest prop_generator_terminates;
+          qtest prop_generator_well_formed;
+        ] );
+      ( "miner",
+        [
+          Alcotest.test_case "mines expr" `Quick test_mine_expr;
+          Alcotest.test_case "skips invalid inputs" `Quick test_mine_skips_invalid;
+          Alcotest.test_case "mined expr generates valid" `Quick test_mined_expr_generates_valid;
+          Alcotest.test_case "mined json generates valid" `Quick test_mined_json_generates_valid;
+          Alcotest.test_case "mined paren generates valid" `Quick test_mined_paren_generates_valid;
+          Alcotest.test_case "recursion beyond seeds" `Quick test_mined_grammar_recursion_depth;
+        ] );
+    ]

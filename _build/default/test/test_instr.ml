@@ -1,0 +1,336 @@
+module Site = Pdf_instr.Site
+module Coverage = Pdf_instr.Coverage
+module Comparison = Pdf_instr.Comparison
+module Ctx = Pdf_instr.Ctx
+module Runner = Pdf_instr.Runner
+module Frame = Pdf_instr.Frame
+module Charset = Pdf_util.Charset
+module Rng = Pdf_util.Rng
+module Tchar = Pdf_taint.Tchar
+module Tstring = Pdf_taint.Tstring
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* {1 Site} *)
+
+let test_site_registry () =
+  let r = Site.create_registry "t" in
+  let a = Site.block r "a" in
+  let b = Site.branch r "b" in
+  check Alcotest.int "dense ids" 0 (Site.id a);
+  check Alcotest.int "dense ids" 1 (Site.id b);
+  check Alcotest.string "name" "a" (Site.name a);
+  check Alcotest.int "site count" 2 (Site.site_count r);
+  check Alcotest.int "outcome total: block 1 + branch 2" 3 (Site.total_outcomes r);
+  check Alcotest.int "block outcome ignores taken" (Site.outcome a true) (Site.outcome a false);
+  Alcotest.(check bool) "branch outcomes differ" true
+    (Site.outcome b true <> Site.outcome b false);
+  check Alcotest.(list string) "declaration order" [ "a"; "b" ]
+    (List.map Site.name (Site.sites r));
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Site: duplicate site \"a\" in registry \"t\"") (fun () ->
+      ignore (Site.block r "a"))
+
+let test_site_outcome_names () =
+  let r = Site.create_registry "t" in
+  let a = Site.block r "blk" in
+  let b = Site.branch r "br" in
+  check Alcotest.string "block name" "blk" (Site.outcome_name r (Site.outcome a true));
+  check Alcotest.string "branch taken" "br:taken" (Site.outcome_name r (Site.outcome b true));
+  check Alcotest.string "branch fall" "br:fall" (Site.outcome_name r (Site.outcome b false))
+
+(* {1 Coverage} *)
+
+let test_coverage () =
+  let c = Coverage.of_list [ 1; 2; 3 ] in
+  check Alcotest.int "cardinal" 3 (Coverage.cardinal c);
+  Alcotest.(check bool) "mem" true (Coverage.mem 2 c);
+  let d = Coverage.of_list [ 3; 4 ] in
+  check Alcotest.int "union" 4 (Coverage.cardinal (Coverage.union c d));
+  check Alcotest.int "new_against" 1 (Coverage.new_against d ~baseline:c);
+  check Alcotest.int "diff" 2 (Coverage.cardinal (Coverage.diff c d));
+  Alcotest.(check bool) "equal" true (Coverage.equal c (Coverage.of_list [ 3; 2; 1 ]))
+
+(* {1 Comparison} *)
+
+let mk_cmp ?(index = 0) ?(result = false) kind =
+  { Comparison.seq = 0; trace_pos = 0; index; kind; result; stack_depth = 1 }
+
+let test_replacements () =
+  let rng = Rng.make 1 in
+  check Alcotest.(list string) "char eq" [ "x" ]
+    (Comparison.replacements rng (mk_cmp (Comparison.Char_eq 'x')));
+  let digits = Comparison.replacements rng (mk_cmp (Comparison.Char_range ('0', '9'))) in
+  check Alcotest.int "digit range enumerated" 10 (List.length digits);
+  let suffix =
+    Comparison.replacements rng
+      (mk_cmp (Comparison.Str_eq { expected = "while"; offset = 2 }))
+  in
+  check Alcotest.(list string) "keyword suffix" [ "ile" ] suffix;
+  check Alcotest.(list string) "exhausted keyword" []
+    (Comparison.replacements rng
+       (mk_cmp (Comparison.Str_eq { expected = "do"; offset = 2 })));
+  let sampled =
+    Comparison.replacements rng (mk_cmp (Comparison.Char_set (Charset.printable, "p")))
+  in
+  Alcotest.(check bool) "large set sampled, bounded" true
+    (List.length sampled >= 1 && List.length sampled <= 4)
+
+let prop_char_constraint =
+  QCheck.Test.make ~name:"char_constraint matches observed result" ~count:500
+    QCheck.(triple (map Char.chr (int_range 0 255)) (map Char.chr (int_range 0 255)) bool)
+    (fun (observed, expected, result) ->
+      (* For a Char_eq event with the given result, the constraint set
+         contains exactly the chars that would reproduce that result. *)
+      let cmp = mk_cmp ~result (Comparison.Char_eq expected) in
+      let set = Comparison.char_constraint cmp in
+      Charset.mem observed set = (if result then observed = expected else observed <> expected))
+
+(* {1 Ctx: a toy parser} *)
+
+let toy_registry = Site.create_registry "toy"
+let toy_root = Site.block toy_registry "root"
+let toy_digit = Site.branch toy_registry "digit?"
+let toy_kw = Site.branch toy_registry "kw?"
+let toy_inner = Site.block toy_registry "inner"
+
+(* Accepts one digit, or the keyword "hi". *)
+let toy_parse ctx =
+  Ctx.with_frame ctx toy_root @@ fun () ->
+  match Ctx.peek ctx with
+  | None -> Ctx.reject ctx "empty"
+  | Some c ->
+    if Ctx.in_range ctx toy_digit c '0' '9' then begin
+      ignore (Ctx.next ctx);
+      if not (Ctx.at_eof ctx) then Ctx.reject ctx "trailing"
+    end
+    else begin
+      let word =
+        Ctx.with_frame ctx toy_inner @@ fun () ->
+        let rec go acc =
+          match Ctx.next ctx with
+          | None -> acc
+          | Some c -> go (Tstring.append_char acc c)
+        in
+        go Tstring.empty
+      in
+      if not (Ctx.str_eq ctx toy_kw word "hi") then Ctx.reject ctx "bad keyword"
+    end
+
+let toy_run input = Runner.exec ~registry:toy_registry ~parse:toy_parse input
+
+let test_ctx_accept_digit () =
+  let run = toy_run "7" in
+  Alcotest.(check bool) "accepted" true (Runner.accepted run);
+  Alcotest.(check bool) "no eof hunger" false run.eof_access;
+  Alcotest.(check bool) "covered root" true
+    (Coverage.mem (Site.outcome toy_root true) run.coverage)
+
+let test_ctx_eof_access () =
+  let run = toy_run "" in
+  Alcotest.(check bool) "rejected" true (not (Runner.accepted run));
+  Alcotest.(check bool) "eof access on empty peek" true run.eof_access
+
+let test_ctx_comparisons () =
+  let run = toy_run "hx" in
+  (* digit check at 0 fails; word = "hx"; str_eq "hi": 'h' matches, 'x'
+     mismatches at index 1 with suffix event. *)
+  Alcotest.(check bool) "rejected" true (not (Runner.accepted run));
+  let idx = Runner.substitution_index run in
+  check Alcotest.(option int) "substitution at mismatch" (Some 1) idx;
+  let comps = Runner.comparisons_at_last_index run in
+  let has_i_suggestion =
+    List.exists
+      (fun (c : Comparison.t) ->
+        match c.kind with Comparison.Char_eq 'i' -> not c.result | _ -> false)
+      comps
+  in
+  Alcotest.(check bool) "suggests 'i' at index 1" true has_i_suggestion
+
+let test_ctx_str_eq_prefix () =
+  (* Input "h" is a proper prefix of "hi": the comparison must point one
+     past the token with the completing suffix. *)
+  let run = toy_run "h" in
+  let comps = Runner.comparisons_at_last_index run in
+  check Alcotest.(option int) "index just past token" (Some 1)
+    (Runner.substitution_index run);
+  let rng = Rng.make 1 in
+  let repls = List.concat_map (Comparison.replacements rng) comps in
+  Alcotest.(check bool) "suggests completing 'i'" true (List.mem "i" repls)
+
+let test_ctx_stack_depth () =
+  let run = toy_run "hx" in
+  check Alcotest.int "max depth: root + inner" 2 run.max_depth;
+  Alcotest.(check bool) "comparison depths recorded" true
+    (Array.exists (fun (c : Comparison.t) -> c.stack_depth >= 1) run.comparisons)
+
+let test_ctx_depth_restored_on_reject () =
+  let registry = Site.create_registry "depth-restore" in
+  let outer = Site.block registry "outer" in
+  let ctx = Ctx.make ~registry "x" in
+  (try Ctx.with_frame ctx outer (fun () -> Ctx.reject ctx "boom")
+   with Ctx.Reject _ -> ());
+  check Alcotest.int "depth restored after exception" 0 (Ctx.depth ctx)
+
+let test_ctx_fuel () =
+  let registry = Site.create_registry "fuel" in
+  let s = Site.block registry "loop" in
+  let parse ctx =
+    Ctx.with_frame ctx s @@ fun () ->
+    while true do
+      Ctx.tick ctx
+    done
+  in
+  let run = Runner.exec ~registry ~parse ~fuel:100 "x" in
+  Alcotest.(check bool) "hang verdict" true (run.verdict = Runner.Hang)
+
+let test_ctx_untracked () =
+  let ctx = Ctx.make ~registry:toy_registry ~track_comparisons:false "a" in
+  (try toy_parse ctx with Ctx.Reject _ -> ());
+  check Alcotest.int "no comparison events" 0 (List.length (Ctx.comparisons ctx));
+  Alcotest.(check bool) "coverage still recorded" true
+    (Coverage.cardinal (Ctx.coverage ctx) > 0)
+
+let test_ctx_untainted_no_event () =
+  let registry = Site.create_registry "untainted" in
+  let b = Site.branch registry "cmp" in
+  let ctx = Ctx.make ~registry "xyz" in
+  ignore (Ctx.eq ctx b (Tchar.untainted 'q') 'q');
+  check Alcotest.int "constant comparison emits nothing" 0
+    (List.length (Ctx.comparisons ctx))
+
+let test_expect_token () =
+  let registry = Site.create_registry "expect-token" in
+  let b = Site.branch registry "want-while" in
+  let ctx = Ctx.make ~registry "do x;" in
+  let matched = Ctx.expect_token ctx b ~at:5 ~spelling:"while" ~matched:false in
+  Alcotest.(check bool) "returns matched" false matched;
+  (match Ctx.comparisons ctx with
+   | [ c ] ->
+     check Alcotest.int "event at the token position" 5 c.Comparison.index;
+     let rng = Rng.make 1 in
+     check Alcotest.(list string) "suggests the spelling" [ "while" ]
+       (Comparison.replacements rng c)
+   | other -> Alcotest.failf "expected one event, got %d" (List.length other));
+  (* A matching expectation emits nothing. *)
+  let ctx2 = Ctx.make ~registry "while" in
+  ignore (Ctx.expect_token ctx2 b ~at:0 ~spelling:"while" ~matched:true);
+  check Alcotest.int "match emits no event" 0 (List.length (Ctx.comparisons ctx2))
+
+let test_frames () =
+  let ctx = Ctx.make ~registry:toy_registry ~track_frames:true "hi" in
+  toy_parse ctx;
+  let frames = Ctx.frames ctx in
+  check Alcotest.int "enter/exit pairs: root + inner" 4 (Array.length frames);
+  (match frames.(0) with
+   | Frame.Enter { site; pos } ->
+     check Alcotest.string "root first" "root" (Site.name site);
+     check Alcotest.int "at position 0" 0 pos
+   | Frame.Exit _ -> Alcotest.fail "expected enter");
+  match frames.(3) with
+  | Frame.Exit { pos } -> check Alcotest.int "root exits at end" 2 pos
+  | Frame.Enter _ -> Alcotest.fail "expected exit"
+
+(* {1 Runner helpers} *)
+
+let test_trace_and_path () =
+  let r1 = toy_run "3" and r2 = toy_run "hx" in
+  Alcotest.(check bool) "traces nonempty" true
+    (Array.length r1.trace > 0 && Array.length r2.trace > 0);
+  Alcotest.(check bool) "different paths hash differently" true
+    (Runner.path_hash r1 <> Runner.path_hash r2);
+  check Alcotest.int "same input same hash" (Runner.path_hash r1)
+    (Runner.path_hash (toy_run "3"))
+
+let test_avg_stack () =
+  let run = toy_run "hx" in
+  Alcotest.(check bool) "avg stack positive" true (Runner.avg_stack_of_last_two run > 0.0);
+  let empty_run = toy_run "" in
+  check (Alcotest.float 1e-9) "no comparisons -> 0" 0.0
+    (Runner.avg_stack_of_last_two empty_run)
+
+let test_coverage_up_to () =
+  let run = toy_run "hx" in
+  let upto = Runner.coverage_up_to_last_index run in
+  Alcotest.(check bool) "prefix coverage is a subset" true
+    (Coverage.cardinal (Coverage.diff upto run.coverage) = 0);
+  Alcotest.(check bool) "prefix coverage nonempty" true (Coverage.cardinal upto > 0)
+
+(* {1 Cross-subject invariants} *)
+
+let printable_gen =
+  QCheck.string_gen_of_size (QCheck.Gen.int_range 0 16) QCheck.Gen.printable
+
+let subject_invariants (subject : Pdf_subjects.Subject.t) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "instrumentation invariants hold on %s" subject.name)
+    ~count:300 printable_gen
+    (fun input ->
+      let run = Pdf_subjects.Subject.run ~track_frames:true subject input in
+      (* Coverage is the set of trace outcomes. *)
+      let trace_cov = Coverage.of_list (Array.to_list run.trace) in
+      let cov_ok = Coverage.equal trace_cov run.coverage in
+      (* Every comparison's trace position lies within the trace. *)
+      let pos_ok =
+        Array.for_all
+          (fun (c : Comparison.t) ->
+            c.trace_pos >= 0 && c.trace_pos <= Array.length run.trace)
+          run.comparisons
+      in
+      (* Comparison indices stay within (or just past) the input. *)
+      let idx_ok =
+        Array.for_all
+          (fun (c : Comparison.t) ->
+            c.index >= 0 && c.index <= String.length input)
+          run.comparisons
+      in
+      (* Frames balance on accepted runs. *)
+      let balance =
+        Array.fold_left
+          (fun acc event ->
+            match event with Frame.Enter _ -> acc + 1 | Frame.Exit _ -> acc - 1)
+          0 run.frames
+      in
+      let frames_ok = (not (Runner.accepted run)) || balance = 0 in
+      cov_ok && pos_ok && idx_ok && frames_ok)
+
+let invariant_tests =
+  List.map (fun s -> qtest (subject_invariants s)) Pdf_subjects.Catalog.all
+
+let () =
+  Alcotest.run "pdf_instr"
+    [
+      ( "site",
+        [
+          Alcotest.test_case "registry" `Quick test_site_registry;
+          Alcotest.test_case "outcome names" `Quick test_site_outcome_names;
+        ] );
+      ("coverage", [ Alcotest.test_case "set operations" `Quick test_coverage ]);
+      ( "comparison",
+        [
+          Alcotest.test_case "replacements" `Quick test_replacements;
+          qtest prop_char_constraint;
+        ] );
+      ( "ctx",
+        [
+          Alcotest.test_case "accepts digit" `Quick test_ctx_accept_digit;
+          Alcotest.test_case "eof access" `Quick test_ctx_eof_access;
+          Alcotest.test_case "comparison log" `Quick test_ctx_comparisons;
+          Alcotest.test_case "str_eq prefix suffix" `Quick test_ctx_str_eq_prefix;
+          Alcotest.test_case "stack depth" `Quick test_ctx_stack_depth;
+          Alcotest.test_case "depth restored on reject" `Quick test_ctx_depth_restored_on_reject;
+          Alcotest.test_case "fuel exhaustion" `Quick test_ctx_fuel;
+          Alcotest.test_case "untracked mode" `Quick test_ctx_untracked;
+          Alcotest.test_case "constants emit no events" `Quick test_ctx_untainted_no_event;
+          Alcotest.test_case "expect_token (7.2)" `Quick test_expect_token;
+          Alcotest.test_case "frame events" `Quick test_frames;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "trace and path hash" `Quick test_trace_and_path;
+          Alcotest.test_case "avg stack" `Quick test_avg_stack;
+          Alcotest.test_case "coverage up to last index" `Quick test_coverage_up_to;
+        ] );
+      ("invariants", invariant_tests);
+    ]

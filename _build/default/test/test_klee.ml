@@ -1,0 +1,174 @@
+module Path_constraint = Pdf_klee.Path_constraint
+module Solver = Pdf_klee.Solver
+module Klee = Pdf_klee.Klee
+module Comparison = Pdf_instr.Comparison
+module Charset = Pdf_util.Charset
+module Rng = Pdf_util.Rng
+module Catalog = Pdf_subjects.Catalog
+module Subject = Pdf_subjects.Subject
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* {1 Path constraints} *)
+
+let test_pc_basics () =
+  let pc = Path_constraint.empty in
+  Alcotest.(check bool) "empty satisfiable" true (Path_constraint.satisfiable pc);
+  Alcotest.(check int) "unconstrained allows all" 256
+    (Charset.cardinal (Path_constraint.allowed 0 pc));
+  let pc = Path_constraint.constrain 0 Charset.digits pc in
+  Alcotest.(check int) "constrained" 10 (Charset.cardinal (Path_constraint.allowed 0 pc));
+  let pc = Path_constraint.constrain 0 (Charset.singleton '5') pc in
+  Alcotest.(check int) "conjunction intersects" 1
+    (Charset.cardinal (Path_constraint.allowed 0 pc));
+  Alcotest.(check bool) "still satisfiable" true (Path_constraint.satisfiable pc);
+  let pc = Path_constraint.constrain 0 (Charset.singleton 'x') pc in
+  Alcotest.(check bool) "contradiction unsatisfiable" false
+    (Path_constraint.satisfiable pc);
+  Alcotest.(check (option int)) "max index" (Some 0) (Path_constraint.max_index pc);
+  Alcotest.(check int) "cardinality" 1 (Path_constraint.cardinality pc)
+
+let mk_cmp ~index ~result kind =
+  { Comparison.seq = 0; trace_pos = 0; index; kind; result; stack_depth = 0 }
+
+let test_pc_of_comparisons () =
+  (* Events: input[0] was not '{' (observed), input[1] was a digit
+     (observed). Negating event 1 demands a non-digit at index 1 while
+     keeping index 0 away from '{'. *)
+  let events =
+    [|
+      mk_cmp ~index:0 ~result:false (Comparison.Char_eq '{');
+      mk_cmp ~index:1 ~result:true (Comparison.Char_range ('0', '9'));
+    |]
+  in
+  let pc = Path_constraint.of_comparisons events 1 in
+  Alcotest.(check bool) "index 0 excludes brace" false
+    (Charset.mem '{' (Path_constraint.allowed 0 pc));
+  Alcotest.(check bool) "index 1 excludes digits" false
+    (Charset.mem '5' (Path_constraint.allowed 1 pc));
+  Alcotest.(check bool) "index 1 allows letters" true
+    (Charset.mem 'a' (Path_constraint.allowed 1 pc));
+  (* Negating event 0 instead demands the brace. *)
+  let pc0 = Path_constraint.of_comparisons events 0 in
+  Alcotest.(check bool) "negation forces brace" true
+    (Charset.equal (Path_constraint.allowed 0 pc0) (Charset.singleton '{'))
+
+(* {1 Solver} *)
+
+let test_solver_basic () =
+  let rng = Rng.make 1 in
+  let pc = Path_constraint.constrain 0 (Charset.singleton 'x') Path_constraint.empty in
+  Alcotest.(check (option string)) "solves a forced char" (Some "x")
+    (Solver.solve rng ~base:"a" ~min_length:0 pc);
+  let unsat = Path_constraint.constrain 0 Charset.empty Path_constraint.empty in
+  Alcotest.(check (option string)) "unsat gives None" None
+    (Solver.solve rng ~base:"a" ~min_length:0 unsat)
+
+let test_solver_keeps_base () =
+  let rng = Rng.make 1 in
+  let pc = Path_constraint.constrain 1 (Charset.singleton 'z') Path_constraint.empty in
+  Alcotest.(check (option string)) "unconstrained positions keep the base"
+    (Some "az") (Solver.solve rng ~base:"ab" ~min_length:0 pc)
+
+let test_solver_extends () =
+  let rng = Rng.make 1 in
+  let pc = Path_constraint.constrain 3 (Charset.singleton 'k') Path_constraint.empty in
+  match Solver.solve rng ~base:"ab" ~min_length:0 pc with
+  | None -> Alcotest.fail "should be satisfiable"
+  | Some s ->
+    Alcotest.(check int) "extended to cover constraint" 4 (String.length s);
+    Alcotest.(check char) "constraint honoured" 'k' s.[3];
+    Alcotest.(check string) "base prefix kept" "ab" (String.sub s 0 2)
+
+let prop_solver_sound =
+  QCheck.Test.make ~name:"solved strings satisfy every constraint" ~count:300
+    QCheck.(triple small_int (list_of_size (QCheck.Gen.int_range 0 5)
+      (pair (int_range 0 7) (small_list (map Char.chr (int_range 32 126))))) small_string)
+    (fun (seed, constraints, base) ->
+      let rng = Rng.make seed in
+      let pc =
+        List.fold_left
+          (fun pc (i, chars) ->
+            Path_constraint.constrain i (Charset.of_list chars) pc)
+          Path_constraint.empty constraints
+      in
+      match Solver.solve rng ~base ~min_length:0 pc with
+      | None -> not (Path_constraint.satisfiable pc)
+      | Some s ->
+        Path_constraint.satisfiable pc
+        && List.for_all
+             (fun (i, _) -> Charset.mem s.[i] (Path_constraint.allowed i pc))
+             constraints)
+
+let test_pick_prefers_printable () =
+  let rng = Rng.make 1 in
+  let set = Charset.of_list [ '\001'; 'a' ] in
+  for _ = 1 to 20 do
+    Alcotest.(check (option char)) "printable member preferred" (Some 'a')
+      (Solver.pick rng set)
+  done;
+  Alcotest.(check (option char)) "falls back to any member" (Some '\001')
+    (Solver.pick rng (Charset.singleton '\001'));
+  Alcotest.(check (option char)) "empty set" None (Solver.pick rng Charset.empty)
+
+(* {1 The engine} *)
+
+let fuzz ?(seed = 1) ?(execs = 5000) name =
+  let subject = Catalog.find name in
+  (Klee.fuzz { Klee.default_config with seed; max_executions = execs } subject, subject)
+
+let test_klee_finds_valid () =
+  let result, subject = fuzz "expr" in
+  Alcotest.(check bool) "found valid inputs" true (List.length result.valid_inputs > 0);
+  List.iter
+    (fun input ->
+      if not (Subject.accepts subject input) then
+        Alcotest.failf "reported valid input %S is rejected" input)
+    result.valid_inputs
+
+let test_klee_deterministic () =
+  let r1, _ = fuzz "csv" ~execs:2000 in
+  let r2, _ = fuzz "csv" ~execs:2000 in
+  Alcotest.(check (list string)) "same seed, same outputs" r1.valid_inputs r2.valid_inputs
+
+let test_klee_budget () =
+  let result, _ = fuzz "json" ~execs:300 in
+  Alcotest.(check bool) "budget respected" true (result.executions <= 300)
+
+let test_klee_state_explosion () =
+  (* The paper's observation: on mjs the frontier explodes and KLEE
+     reaches almost nothing. States must vastly outnumber executions. *)
+  let result, _ = fuzz "mjs" ~execs:2000 in
+  Alcotest.(check bool) "frontier explodes" true
+    (result.states_created > 2 * result.executions)
+
+let test_klee_solver_failures_counted () =
+  let result, _ = fuzz "json" ~execs:2000 in
+  Alcotest.(check bool) "some negations are unsatisfiable" true
+    (result.solver_failures > 0)
+
+let () =
+  Alcotest.run "pdf_klee"
+    [
+      ( "path-constraint",
+        [
+          Alcotest.test_case "basics" `Quick test_pc_basics;
+          Alcotest.test_case "of_comparisons" `Quick test_pc_of_comparisons;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "basic" `Quick test_solver_basic;
+          Alcotest.test_case "keeps base" `Quick test_solver_keeps_base;
+          Alcotest.test_case "extends" `Quick test_solver_extends;
+          Alcotest.test_case "pick printable" `Quick test_pick_prefers_printable;
+          qtest prop_solver_sound;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "finds valid inputs" `Quick test_klee_finds_valid;
+          Alcotest.test_case "deterministic" `Quick test_klee_deterministic;
+          Alcotest.test_case "budget respected" `Quick test_klee_budget;
+          Alcotest.test_case "state explosion on mjs" `Quick test_klee_state_explosion;
+          Alcotest.test_case "solver failures counted" `Quick test_klee_solver_failures_counted;
+        ] );
+    ]

@@ -1,0 +1,329 @@
+module Rng = Pdf_util.Rng
+module Charset = Pdf_util.Charset
+module Pqueue = Pdf_util.Pqueue
+module Stats = Pdf_util.Stats
+module Render = Pdf_util.Render
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* {1 Rng} *)
+
+let test_rng_determinism () =
+  let a = Rng.make 42 and b = Rng.make 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.make 1 and b = Rng.make 2 in
+  let draws rng = List.init 8 (fun _ -> Rng.bits64 rng) in
+  Alcotest.(check bool) "different seeds differ" false (draws a = draws b)
+
+let test_rng_copy () =
+  let a = Rng.make 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copies aligned" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.make 9 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs from parent" false
+    (List.init 8 (fun _ -> Rng.bits64 a) = List.init 8 (fun _ -> Rng.bits64 b))
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.make seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float stays in [0, bound)" ~count:200
+    QCheck.(pair small_int (float_range 0.001 100.0))
+    (fun (seed, bound) ->
+      let rng = Rng.make seed in
+      let v = Rng.float rng bound in
+      v >= 0.0 && v < bound)
+
+let test_rng_printable () =
+  let rng = Rng.make 3 in
+  for _ = 1 to 500 do
+    let c = Rng.printable rng in
+    if not ((c >= ' ' && c <= '~') || c = '\n' || c = '\t') then
+      Alcotest.failf "not printable: %C" c
+  done
+
+let prop_rng_shuffle_permutes =
+  QCheck.Test.make ~name:"Rng.shuffle preserves the multiset" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let rng = Rng.make seed in
+      let arr = Array.of_list xs in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let test_rng_choose () =
+  let rng = Rng.make 11 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    let x = Rng.choose rng arr in
+    Alcotest.(check bool) "member" true (Array.exists (( = ) x) arr)
+  done;
+  Alcotest.check_raises "empty choose_list" (Invalid_argument "Rng.choose_list: empty list")
+    (fun () -> ignore (Rng.choose_list rng []))
+
+(* {1 Charset} *)
+
+let char_gen = QCheck.map Char.chr (QCheck.int_range 0 255)
+
+let prop_charset_add_mem =
+  QCheck.Test.make ~name:"mem after add" ~count:500 char_gen (fun c ->
+      Charset.mem c (Charset.add c Charset.empty))
+
+let prop_charset_remove =
+  QCheck.Test.make ~name:"not mem after remove" ~count:500 char_gen (fun c ->
+      not (Charset.mem c (Charset.remove c Charset.full)))
+
+let prop_charset_union =
+  QCheck.Test.make ~name:"union membership" ~count:500
+    QCheck.(triple char_gen (small_list char_gen) (small_list char_gen))
+    (fun (c, xs, ys) ->
+      let a = Charset.of_list xs and b = Charset.of_list ys in
+      Charset.mem c (Charset.union a b) = (Charset.mem c a || Charset.mem c b))
+
+let prop_charset_inter =
+  QCheck.Test.make ~name:"inter membership" ~count:500
+    QCheck.(triple char_gen (small_list char_gen) (small_list char_gen))
+    (fun (c, xs, ys) ->
+      let a = Charset.of_list xs and b = Charset.of_list ys in
+      Charset.mem c (Charset.inter a b) = (Charset.mem c a && Charset.mem c b))
+
+let prop_charset_complement =
+  QCheck.Test.make ~name:"complement membership" ~count:500
+    QCheck.(pair char_gen (small_list char_gen))
+    (fun (c, xs) ->
+      let a = Charset.of_list xs in
+      Charset.mem c (Charset.complement a) = not (Charset.mem c a))
+
+let prop_charset_cardinal =
+  QCheck.Test.make ~name:"cardinal counts distinct members" ~count:300
+    QCheck.(small_list char_gen)
+    (fun xs ->
+      Charset.cardinal (Charset.of_list xs) = List.length (List.sort_uniq compare xs))
+
+let test_charset_basics () =
+  check Alcotest.int "full" 256 (Charset.cardinal Charset.full);
+  check Alcotest.int "empty" 0 (Charset.cardinal Charset.empty);
+  check Alcotest.int "digits" 10 (Charset.cardinal Charset.digits);
+  check Alcotest.int "letters" 52 (Charset.cardinal Charset.letters);
+  check Alcotest.int "printable" 95 (Charset.cardinal Charset.printable);
+  Alcotest.(check bool) "range empty when inverted" true
+    (Charset.is_empty (Charset.range 'z' 'a'));
+  check
+    Alcotest.(list char)
+    "to_list sorted" [ 'a'; 'b'; 'c' ]
+    (Charset.to_list (Charset.of_string "cba"));
+  check Alcotest.(option char) "min_elt" (Some 'a') (Charset.min_elt (Charset.of_string "ba"));
+  check Alcotest.(option char) "min_elt empty" None (Charset.min_elt Charset.empty)
+
+let prop_charset_pick_member =
+  QCheck.Test.make ~name:"pick returns a member" ~count:300
+    QCheck.(pair small_int (small_list char_gen))
+    (fun (seed, xs) ->
+      let set = Charset.of_list xs in
+      let rng = Rng.make seed in
+      match Charset.pick rng set with
+      | None -> Charset.is_empty set
+      | Some c -> Charset.mem c set)
+
+let test_charset_subset () =
+  Alcotest.(check bool) "digits subset printable" true
+    (Charset.subset Charset.digits Charset.printable);
+  Alcotest.(check bool) "printable not subset digits" false
+    (Charset.subset Charset.printable Charset.digits)
+
+(* {1 Pqueue} *)
+
+let prop_pqueue_pop_sorted =
+  QCheck.Test.make ~name:"pops descend by priority" ~count:300
+    QCheck.(small_list (float_bound_inclusive 100.0))
+    (fun prios ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.push q p i) prios;
+      let popped = ref [] in
+      let rec go () =
+        match Pqueue.pop q with
+        | None -> ()
+        | Some i ->
+          popped := List.nth prios i :: !popped;
+          go ()
+      in
+      go ();
+      let order = List.rev !popped in
+      (* Pops must be non-increasing and a permutation of the input;
+         equal priorities may interleave by insertion order. *)
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+        | [] | [ _ ] -> true
+      in
+      non_increasing order && List.sort compare order = List.sort compare prios)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1.0 "first";
+  Pqueue.push q 1.0 "second";
+  Pqueue.push q 1.0 "third";
+  check Alcotest.(option string) "tie: insertion order" (Some "first") (Pqueue.pop q);
+  check Alcotest.(option string) "tie: insertion order" (Some "second") (Pqueue.pop q)
+
+let test_pqueue_rerank () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1.0 10;
+  Pqueue.push q 2.0 20;
+  Pqueue.push q 3.0 30;
+  Pqueue.rerank q (fun v -> -.float_of_int v);
+  check Alcotest.(option int) "rerank inverts order" (Some 10) (Pqueue.pop q);
+  check Alcotest.(option int) "rerank inverts order" (Some 20) (Pqueue.pop q)
+
+let test_pqueue_drop_worst () =
+  let q = Pqueue.create () in
+  for i = 1 to 10 do
+    Pqueue.push q (float_of_int i) i
+  done;
+  Pqueue.drop_worst q 3;
+  check Alcotest.int "truncated" 3 (Pqueue.length q);
+  let popped = List.init 3 (fun _ -> Option.get (Pqueue.pop q)) in
+  check Alcotest.(list int) "kept the best" [ 10; 9; 8 ] popped
+
+let test_pqueue_empty () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  check Alcotest.(option int) "pop empty" None (Pqueue.pop q);
+  check Alcotest.(option int) "peek empty" None (Pqueue.peek q)
+
+let test_pqueue_iter_tolist () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.push q p v) [ (1.0, 1); (3.0, 3); (2.0, 2) ];
+  let seen = ref 0 in
+  Pqueue.iter (fun _ -> incr seen) q;
+  check Alcotest.int "iter visits all" 3 !seen;
+  check Alcotest.int "to_list length" 3 (List.length (Pqueue.to_list q));
+  check Alcotest.(option int) "peek is max" (Some 3) (Pqueue.peek q)
+
+(* {1 Stats} *)
+
+let test_stats () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check (Alcotest.float 1e-9) "mean empty" 0.0 (Stats.mean []);
+  check (Alcotest.float 1e-9) "stddev constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check (Alcotest.float 1e-6) "stddev" (sqrt (2.0 /. 3.0)) (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check (Alcotest.float 1e-9) "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  check (Alcotest.float 1e-9) "median" 2.0 (Stats.percentile 50.0 [ 3.0; 1.0; 2.0 ]);
+  check (Alcotest.float 1e-9) "p100" 3.0 (Stats.percentile 100.0 [ 3.0; 1.0; 2.0 ]);
+  check (Alcotest.float 1e-9) "ratio" 50.0 (Stats.ratio 1 2);
+  check (Alcotest.float 1e-9) "ratio zero den" 0.0 (Stats.ratio 1 0)
+
+(* {1 Render} *)
+
+let render_to_string f =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let found = ref false in
+  for i = 0 to hl - nl do
+    if String.sub haystack i nl = needle then found := true
+  done;
+  !found
+
+let test_render_table () =
+  let out =
+    render_to_string (fun ppf ->
+        Render.table ppf ~title:"T" ~header:[ "a"; "b" ]
+          [ [ "1"; "22" ]; [ "333"; "4" ] ])
+  in
+  List.iter
+    (fun cell ->
+      Alcotest.(check bool) (Printf.sprintf "contains %s" cell) true (contains out cell))
+    [ "333"; "22"; "| a " ]
+
+let test_render_table_arity () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Render.table: row arity mismatch") (fun () ->
+      render_to_string (fun ppf ->
+          Render.table ppf ~title:"T" ~header:[ "a"; "b" ] [ [ "1" ] ])
+      |> ignore)
+
+let test_render_bar_chart () =
+  let out =
+    render_to_string (fun ppf ->
+        Render.bar_chart ppf ~title:"coverage" [ ("x", 50.0); ("y", 100.0) ])
+  in
+  Alcotest.(check bool) "nonempty" true (String.length out > 10)
+
+let test_render_grouped () =
+  let out =
+    render_to_string (fun ppf ->
+        Render.grouped_bar_chart ppf ~title:"t" ~series:[ "A"; "B" ]
+          [ ("g", [ 1.0; 2.0 ]) ])
+  in
+  Alcotest.(check bool) "nonempty" true (String.length out > 10);
+  Alcotest.check_raises "series mismatch"
+    (Invalid_argument "Render.grouped_bar_chart: series arity mismatch") (fun () ->
+      render_to_string (fun ppf ->
+          Render.grouped_bar_chart ppf ~title:"t" ~series:[ "A" ] [ ("g", [ 1.0; 2.0 ]) ])
+      |> ignore)
+
+let () =
+  Alcotest.run "pdf_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "printable alphabet" `Quick test_rng_printable;
+          Alcotest.test_case "choose" `Quick test_rng_choose;
+          qtest prop_rng_int_bounds;
+          qtest prop_rng_float_bounds;
+          qtest prop_rng_shuffle_permutes;
+        ] );
+      ( "charset",
+        [
+          Alcotest.test_case "basics" `Quick test_charset_basics;
+          Alcotest.test_case "subset" `Quick test_charset_subset;
+          qtest prop_charset_add_mem;
+          qtest prop_charset_remove;
+          qtest prop_charset_union;
+          qtest prop_charset_inter;
+          qtest prop_charset_complement;
+          qtest prop_charset_cardinal;
+          qtest prop_charset_pick_member;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "rerank" `Quick test_pqueue_rerank;
+          Alcotest.test_case "drop_worst" `Quick test_pqueue_drop_worst;
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "iter/to_list/peek" `Quick test_pqueue_iter_tolist;
+          qtest prop_pqueue_pop_sorted;
+        ] );
+      ("stats", [ Alcotest.test_case "descriptive stats" `Quick test_stats ]);
+      ( "render",
+        [
+          Alcotest.test_case "table" `Quick test_render_table;
+          Alcotest.test_case "table arity" `Quick test_render_table_arity;
+          Alcotest.test_case "bar chart" `Quick test_render_bar_chart;
+          Alcotest.test_case "grouped chart" `Quick test_render_grouped;
+        ] );
+    ]
