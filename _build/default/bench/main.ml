@@ -23,11 +23,12 @@ module Token_report = Pdf_eval.Token_report
 
 let ppf = Format.std_formatter
 
-type options = { budget : int; seeds : int list; sections : string list }
+type options = { budget : int; seeds : int list; jobs : int; sections : string list }
 
 let parse_args () =
   let budget = ref 4_000_000 in
   let seeds = ref [ 1 ] in
+  let jobs = ref 1 in
   let sections = ref [] in
   let rec go = function
     | [] -> ()
@@ -40,12 +41,15 @@ let parse_args () =
     | "--seeds" :: v :: rest ->
       seeds := List.map int_of_string (String.split_on_char ',' v);
       go rest
+    | "--jobs" :: v :: rest ->
+      jobs := (if v = "auto" then Pdf_eval.Parallel.default_jobs () else int_of_string v);
+      go rest
     | section :: rest ->
       sections := section :: !sections;
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  { budget = !budget; seeds = !seeds; sections = List.rev !sections }
+  { budget = !budget; seeds = !seeds; jobs = !jobs; sections = List.rev !sections }
 
 let wants options section =
   options.sections = [] || List.mem section options.sections
@@ -73,10 +77,11 @@ let get_experiment options =
     in
     Format.fprintf ppf
       "@.Running the evaluation grid: budget %d units per (tool, subject),@.\
-       seeds %s; AFL pays 1 unit per execution, pFuzzer/KLEE pay 100.@."
+       seeds %s, %d job(s); AFL pays 1 unit per execution, pFuzzer/KLEE pay 100.@."
       options.budget
-      (String.concat "," (List.map string_of_int options.seeds));
-    let e = Experiment.run config Catalog.evaluation in
+      (String.concat "," (List.map string_of_int options.seeds))
+      options.jobs;
+    let e = Experiment.run ~jobs:options.jobs config Catalog.evaluation in
     experiment_result := Some e;
     e
 
@@ -369,7 +374,8 @@ let micro () =
   let tinyc = Catalog.find "tinyc" in
   let tinyc_input = "if(a<2)b=1;else while(0)c=c+1;" in
   let trace =
-    (Subject.run ~track_comparisons:false json sample_input).Pdf_instr.Runner.trace
+    (Subject.run ~track_comparisons:false ~track_trace:true json sample_input)
+      .Pdf_instr.Runner.trace
   in
   let builder = Pdf_afl.Bitmap.builder () in
   let rng = Rng.make 1 in
@@ -428,9 +434,15 @@ let micro () =
       "afl/havoc"; "pqueue/push-pop-1k";
     ]
   in
-  let rows = List.map (fun name -> [ name; Printf.sprintf "%.0f" (time_of name) ]) names in
+  let rows =
+    List.map
+      (fun name ->
+        let ns = time_of name in
+        [ name; Printf.sprintf "%.0f" ns; Printf.sprintf "%.0f" (1e9 /. ns) ])
+      names
+  in
   Render.table ppf ~title:"hot-path costs (OLS estimate)"
-    ~header:[ "benchmark"; "ns/run" ] rows;
+    ~header:[ "benchmark"; "ns/run"; "execs/sec" ] rows;
   let full = time_of "json/full-instrumentation"
   and scanner = time_of "json/oracle-scanner" in
   Format.fprintf ppf

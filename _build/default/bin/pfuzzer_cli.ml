@@ -101,10 +101,13 @@ let run_cmd =
 (* evaluate *)
 
 let evaluate_cmd =
-  let run budget seeds =
+  let run budget seeds jobs =
     let seeds = if seeds = [] then [ 1 ] else seeds in
+    let jobs = if jobs = 0 then Pdf_eval.Parallel.default_jobs () else jobs in
     let config = { Pdf_eval.Experiment.budget_units = budget; seeds; verbose = true } in
-    let experiment = Pdf_eval.Experiment.run config Pdf_subjects.Catalog.evaluation in
+    let experiment =
+      Pdf_eval.Experiment.run ~jobs config Pdf_subjects.Catalog.evaluation
+    in
     Pdf_eval.Report.full Format.std_formatter experiment
   in
   let budget =
@@ -117,7 +120,16 @@ let evaluate_cmd =
   let seeds =
     Arg.(value & opt (list int) [ 1 ] & info [ "seeds" ] ~docv:"S1,S2,..." ~doc:"Seeds; best run is reported.")
   in
-  let term = Term.(const run $ budget $ seeds) in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Evaluation-grid cells to run concurrently (OCaml domains). 1 is \
+             strictly sequential; 0 means one worker per recommended domain. \
+             Results are identical for every N.")
+  in
+  let term = Term.(const run $ budget $ seeds $ jobs) in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Run the paper's full evaluation and print every table and figure.")
     term

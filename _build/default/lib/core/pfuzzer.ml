@@ -31,6 +31,7 @@ type result = {
   candidates_created : int;
   queue_peak : int;
   first_valid_at : int option;
+  dedupe_resets : int;
 }
 
 type state = {
@@ -44,10 +45,18 @@ type state = {
   mutable candidates_created : int;
   mutable queue_peak : int;
   mutable first_valid_at : int option;
+  mutable dedupe_resets : int;
   path_counts : (int, int) Hashtbl.t;
   seen_inputs : (string, unit) Hashtbl.t;
   on_valid : string -> unit;
 }
+
+(* The dedupe table would otherwise grow without bound over a long run:
+   every distinct candidate string ever queued stays referenced. Cap it
+   at a small multiple of the queue bound and reset generationally —
+   after a reset some early duplicates may be re-executed once, which is
+   cheap compared to retaining millions of dead strings. *)
+let seen_inputs_cap config = 4 * config.queue_bound
 
 exception Budget_exhausted
 
@@ -69,7 +78,13 @@ let push_candidate st (candidate : Candidate.t) =
     (not st.config.dedupe) || not (Hashtbl.mem st.seen_inputs candidate.data)
   in
   if fresh && String.length candidate.data <= st.config.max_input_len then begin
-    if st.config.dedupe then Hashtbl.replace st.seen_inputs candidate.data ();
+    if st.config.dedupe then begin
+      if Hashtbl.length st.seen_inputs >= seen_inputs_cap st.config then begin
+        Hashtbl.reset st.seen_inputs;
+        st.dedupe_resets <- st.dedupe_resets + 1
+      end;
+      Hashtbl.replace st.seen_inputs candidate.data ()
+    end;
     st.candidates_created <- st.candidates_created + 1;
     let prio = Heuristic.score st.config.heuristic ~vbr:st.vbr candidate in
     Pqueue.push st.queue prio candidate;
@@ -145,6 +160,7 @@ let fuzz ?(on_valid = fun _ -> ()) ?(initial_inputs = []) config subject =
       candidates_created = 0;
       queue_peak = 0;
       first_valid_at = None;
+      dedupe_resets = 0;
       path_counts = Hashtbl.create 1024;
       seen_inputs = Hashtbl.create 4096;
       on_valid;
@@ -183,4 +199,5 @@ let fuzz ?(on_valid = fun _ -> ()) ?(initial_inputs = []) config subject =
     candidates_created = st.candidates_created;
     queue_peak = st.queue_peak;
     first_valid_at = st.first_valid_at;
+    dedupe_resets = st.dedupe_resets;
   }

@@ -32,6 +32,9 @@ type result = {
   queue_peak : int;
   first_valid_at : int option;
       (** execution count when the first valid input appeared *)
+  dedupe_resets : int;
+      (** times the input-dedupe table hit its cap (4 × [queue_bound])
+          and was generationally reset to bound memory *)
 }
 
 val fuzz :

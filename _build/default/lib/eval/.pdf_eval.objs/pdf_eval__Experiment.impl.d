@@ -1,1 +1,1 @@
-lib/eval/experiment.ml: List Pdf_instr Pdf_subjects Printf Token_report Tool
+lib/eval/experiment.ml: Array List Parallel Pdf_instr Pdf_subjects Printf Token_report Tool

@@ -31,7 +31,30 @@ let better a b =
     a.coverage_percent > b.coverage_percent
   else List.length a.found_tags > List.length b.found_tags
 
-let run ?(tools = Tool.all) config subjects =
+let run ?(tools = Tool.all) ?(jobs = 1) config subjects =
+  (* Flatten the (subject, tool, seed) grid: every cell is a pure
+     function of its coordinates, so the list can be mapped over a
+     domain pool. Parallel.map preserves input order, which makes the
+     regrouping below — and therefore the reported cells — identical to
+     the sequential nested-loop order for any [jobs]. *)
+  let grid =
+    List.concat_map
+      (fun (subject : Subject.t) ->
+        List.concat_map
+          (fun tool ->
+            List.map (fun seed -> (subject, tool, seed)) config.seeds)
+          tools)
+      subjects
+  in
+  let run_cell ((subject : Subject.t), tool, seed) =
+    if config.verbose then
+      Printf.eprintf "[experiment] %s on %s, seed %d...\n%!"
+        (Tool.display_name tool) subject.name seed;
+    let outcome = Tool.run tool ~budget_units:config.budget_units ~seed subject in
+    make_cell subject outcome
+  in
+  let results = Array.of_list (Parallel.map ~jobs run_cell grid) in
+  let idx = ref 0 in
   let cells =
     List.map
       (fun (subject : Subject.t) ->
@@ -40,14 +63,9 @@ let run ?(tools = Tool.all) config subjects =
             (fun tool ->
               let best = ref None in
               List.iter
-                (fun seed ->
-                  if config.verbose then
-                    Printf.eprintf "[experiment] %s on %s, seed %d...\n%!"
-                      (Tool.display_name tool) subject.name seed;
-                  let outcome =
-                    Tool.run tool ~budget_units:config.budget_units ~seed subject
-                  in
-                  let cell = make_cell subject outcome in
+                (fun _seed ->
+                  let cell = results.(!idx) in
+                  incr idx;
                   match !best with
                   | None -> best := Some cell
                   | Some b -> if better cell b then best := Some cell)

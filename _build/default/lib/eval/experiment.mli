@@ -25,9 +25,18 @@ type t = {
       (** subject name → per-tool best cells *)
 }
 
-val run : ?tools:Tool.name list -> config -> Pdf_subjects.Subject.t list -> t
+val run :
+  ?tools:Tool.name list ->
+  ?jobs:int ->
+  config ->
+  Pdf_subjects.Subject.t list ->
+  t
 (** Execute the full grid. Best per cell = highest valid-input branch
-    coverage, ties broken by number of tokens found. *)
+    coverage, ties broken by number of tokens found. [jobs] (default 1:
+    strictly sequential, bit-identical to the historical behaviour) fans
+    the independent (tool, subject, seed) cells across a {!Parallel}
+    domain pool; the merge order is deterministic, so the resulting
+    cells are identical to the sequential run for the same seeds. *)
 
 val cell : t -> string -> Tool.name -> cell
 (** Lookup; raises [Not_found] for an unknown subject/tool. *)

@@ -1,1 +1,1 @@
-lib/instr/coverage.ml: Int Pdf_util Set Site
+lib/instr/coverage.ml: Array List Pdf_util Site Sys

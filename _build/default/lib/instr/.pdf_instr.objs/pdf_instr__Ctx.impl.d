@@ -1,1 +1,1 @@
-lib/instr/ctx.ml: Array Bytes Comparison Coverage Frame Fun List Pdf_taint Pdf_util Printf Site String
+lib/instr/ctx.ml: Bytes Comparison Coverage Frame Pdf_taint Pdf_util Site String

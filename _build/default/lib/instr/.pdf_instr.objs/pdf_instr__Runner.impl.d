@@ -1,1 +1,1 @@
-lib/instr/runner.ml: Array Comparison Coverage Ctx Format Frame Hashtbl List
+lib/instr/runner.ml: Array Comparison Coverage Ctx Format Frame List

@@ -8,7 +8,6 @@ type kind =
   | Str_eq of { expected : string; offset : int }
 
 type t = {
-  seq : int;
   trace_pos : int;
   index : int;
   kind : kind;
@@ -68,5 +67,5 @@ let pp ppf t =
     | Char_set (_, label) -> Printf.sprintf "in %s" label
     | Str_eq { expected; offset } -> Printf.sprintf "streq %S@%d" expected offset
   in
-  Format.fprintf ppf "#%d idx=%d %s -> %b (depth %d)" t.seq t.index kind_str t.result
+  Format.fprintf ppf "idx=%d %s -> %b (depth %d)" t.index kind_str t.result
     t.stack_depth

@@ -17,8 +17,9 @@ type kind =
           mismatch (or exhaustion) happened *)
 
 type t = {
-  seq : int;  (** global event order within the run *)
-  trace_pos : int;  (** number of coverage events emitted before this one *)
+  trace_pos : int;
+      (** number of {e distinct} outcomes covered before this event — an
+          index into the run's first-occurrence order ([touched]) *)
   index : int;  (** input index of the compared character *)
   kind : kind;
   result : bool;

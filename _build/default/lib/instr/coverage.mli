@@ -1,8 +1,11 @@
-(** Persistent sets of covered outcomes.
+(** Sets of covered outcomes, as dense bitsets.
 
-    Snapshots are taken frequently by the fuzzers (e.g. "branches covered
-    up to the last accepted character"), so the representation is a
-    persistent integer set. *)
+    Outcome ids are dense within a registry, so coverage is a bit vector
+    sized by the highest recorded outcome — at most
+    [Site.total_outcomes]. Values are immutable; [union], [diff] and
+    [new_against] are word-parallel O(words) operations, which matters
+    because the fuzzers take and compare these snapshots on every
+    execution. *)
 
 type t
 
@@ -14,7 +17,21 @@ val diff : t -> t -> t
 val cardinal : t -> int
 val is_empty : t -> bool
 val of_list : int list -> t
+
+val of_array : ?len:int -> int array -> t
+(** [of_array ~len a] is the set of the first [len] (default all)
+    elements of [a] — the bulk constructor the run harness uses to turn
+    a trace prefix or a touched-outcome buffer into coverage without
+    element-by-element rebuilding. *)
+
+val of_iter : ((int -> unit) -> unit) -> t
+(** [of_iter iter] builds a set from a push-style iterator. [iter] is
+    invoked twice (sizing pass, fill pass) and must enumerate the same
+    elements both times. *)
+
 val to_list : t -> int list
+(** In increasing order. *)
+
 val new_against : t -> baseline:t -> int
 (** [new_against c ~baseline] counts outcomes in [c] absent from
     [baseline] — the [size(branches \ vBr)] term of the heuristic. *)

@@ -2,48 +2,69 @@ module Tchar = Pdf_taint.Tchar
 module Tstring = Pdf_taint.Tstring
 module Taint = Pdf_taint.Taint
 module Charset = Pdf_util.Charset
+module Vec = Pdf_util.Vec
 
 exception Reject of string
 exception Out_of_fuel
 
+(* All per-run observations land in growable buffers (Vec) rather than
+   reversed lists: recording an outcome or a comparison event is an
+   amortised O(1) array store with no per-element cons, and the final
+   packaging into arrays is a single blit instead of a list reversal. *)
 type t = {
   registry : Site.registry;
   text : string;
   mutable cursor : int;
   mutable eof_access : bool;
-  mutable seq : int;
-  mutable comparisons : Comparison.t list; (* reverse order *)
+  comparisons : Comparison.t Vec.t;
   covered : Bytes.t; (* dense outcome presence, indexed by outcome id *)
-  mutable touched : int list; (* outcomes covered, first-occurrence order *)
-  mutable rev_trace : int list;
-  mutable trace_len : int;
+  touched : int Vec.t; (* outcomes covered, first-occurrence order *)
+  trace : int Vec.t;
   mutable stack : int;
   mutable max_stack : int;
   mutable fuel : int;
   track_comparisons : bool;
+  track_trace : bool;
   track_frames : bool;
-  mutable rev_frames : Frame.event list;
+  frames : Frame.event Vec.t;
+  (* Memoised [peek] result: parsers probe the same position repeatedly
+     when trying alternatives, and each probe would otherwise allocate a
+     fresh tainted character. *)
+  mutable peeked : Tchar.t option;
+  mutable peeked_at : int;
 }
 
+let dummy_comparison =
+  {
+    Comparison.trace_pos = 0;
+    index = 0;
+    kind = Comparison.Char_eq '\000';
+    result = false;
+    stack_depth = 0;
+  }
+
+let dummy_frame = Frame.Exit { pos = 0 }
+
 let make ~registry ?(fuel = 100_000) ?(track_comparisons = true)
-    ?(track_frames = false) text =
+    ?(track_trace = false) ?(track_frames = false) text =
   {
     registry;
     text;
     cursor = 0;
     eof_access = false;
-    seq = 0;
-    comparisons = [];
+    comparisons = Vec.create dummy_comparison;
     covered = Bytes.make (2 * Site.site_count registry) '\000';
-    touched = [];
-    rev_trace = [];
-    trace_len = 0;
+    touched = Vec.create 0;
+    trace = Vec.create ~capacity:64 0;
     stack = 0;
     max_stack = 0;
     fuel;
     track_comparisons;
+    track_trace;
     track_frames;
-    rev_frames = [];
+    frames = Vec.create dummy_frame;
+    peeked = None;
+    peeked_at = -1;
   }
 
 let pos t = t.cursor
@@ -56,7 +77,14 @@ let peek t =
     t.eof_access <- true;
     None
   end
-  else Some (Tchar.input t.cursor t.text.[t.cursor])
+  else if t.peeked_at = t.cursor then t.peeked
+  else begin
+    (* [at_eof] above established [cursor < length text]. *)
+    let c = Some (Tchar.input t.cursor (String.unsafe_get t.text t.cursor)) in
+    t.peeked <- c;
+    t.peeked_at <- t.cursor;
+    c
+  end
 
 let next t =
   match peek t with
@@ -65,13 +93,15 @@ let next t =
     t.cursor <- t.cursor + 1;
     c
 
+(* Outcome ids come from this run's registry, so [oid] is within
+   [covered] by construction (it was sized from the same registry) and
+   the accesses can skip their bound checks. *)
 let record_outcome t oid =
-  if Bytes.get t.covered oid = '\000' then begin
-    Bytes.set t.covered oid '\001';
-    t.touched <- oid :: t.touched
+  if Bytes.unsafe_get t.covered oid = '\000' then begin
+    Bytes.unsafe_set t.covered oid '\001';
+    Vec.push t.touched oid
   end;
-  t.rev_trace <- oid :: t.rev_trace;
-  t.trace_len <- t.trace_len + 1
+  if t.track_trace then Vec.push t.trace oid
 
 let cover t site = record_outcome t (Site.outcome site true)
 
@@ -84,64 +114,96 @@ let enter_frame t site =
   t.stack <- t.stack + 1;
   if t.stack > t.max_stack then t.max_stack <- t.stack;
   if t.track_frames then
-    t.rev_frames <- Frame.Enter { site; pos = t.cursor } :: t.rev_frames
+    Vec.push t.frames (Frame.Enter { site; pos = t.cursor })
 
 let exit_frame t =
   t.stack <- t.stack - 1;
-  if t.track_frames then
-    t.rev_frames <- Frame.Exit { pos = t.cursor } :: t.rev_frames
+  if t.track_frames then Vec.push t.frames (Frame.Exit { pos = t.cursor })
 
+(* Hand-rolled protect: [Fun.protect] allocates a closure for [finally]
+   on every call, and nonterminal entry is one of the hottest sites in a
+   recursive-descent parse. *)
 let with_frame t site f =
   enter_frame t site;
-  Fun.protect ~finally:(fun () -> exit_frame t) f
+  match f () with
+  | v ->
+    exit_frame t;
+    v
+  | exception e ->
+    exit_frame t;
+    raise e
 
 let tick t =
   if t.fuel <= 0 then raise Out_of_fuel;
   t.fuel <- t.fuel - 1
 
 let emit t ~index ~kind ~result =
-  if t.track_comparisons then begin
-  let event =
-    {
-      Comparison.seq = t.seq;
-      trace_pos = t.trace_len;
-      index;
-      kind;
-      result;
-      stack_depth = t.stack;
-    }
-  in
-  t.seq <- t.seq + 1;
-  t.comparisons <- event :: t.comparisons
-  end
+  if t.track_comparisons then
+    Vec.push t.comparisons
+      {
+        Comparison.trace_pos = Vec.length t.touched;
+        index;
+        kind;
+        result;
+        stack_depth = t.stack;
+      }
 
 (* A comparison against a tainted character: record the branch outcome
    always; log the comparison event only when the operand actually derives
-   from the input (constants have nothing to substitute). *)
-let compare_tainted t site (c : Tchar.t) kind result =
-  (match Taint.max_index c.taint with
-   | None -> ()
-   | Some index -> emit t ~index ~kind ~result);
-  branch t site result
+   from the input (constants have nothing to substitute). The boolean is
+   computed first and the event payload built only when it will actually
+   be logged — constructing a [kind] block for an untracked run (or, for
+   [one_of], a charset and a label per call) is wasted allocation on the
+   hottest path. *)
+let emit_tainted t (c : Tchar.t) kind result =
+  let index = Taint.max_index_raw c.taint in
+  if index >= 0 then emit t ~index ~kind ~result
 
 let eq t site c expected =
-  compare_tainted t site c (Comparison.Char_eq expected) (c.Tchar.ch = expected)
+  let result = c.Tchar.ch = expected in
+  if t.track_comparisons then
+    emit_tainted t c (Comparison.Char_eq expected) result;
+  branch t site result
 
 let in_range t site c lo hi =
   let result = c.Tchar.ch >= lo && c.Tchar.ch <= hi in
-  compare_tainted t site c (Comparison.Char_range (lo, hi)) result
+  if t.track_comparisons then
+    emit_tainted t c (Comparison.Char_range (lo, hi)) result;
+  branch t site result
 
 let in_set t site ~label c set =
-  compare_tainted t site c (Comparison.Char_set (set, label)) (Charset.mem c.Tchar.ch set)
+  let result = Charset.mem c.Tchar.ch set in
+  if t.track_comparisons then
+    emit_tainted t c (Comparison.Char_set (set, label)) result;
+  branch t site result
 
 let one_of t site c chars =
-  in_set t site ~label:(Printf.sprintf "one-of %S" chars) c (Charset.of_string chars)
+  let result = String.contains chars c.Tchar.ch in
+  if t.track_comparisons then
+    emit_tainted t c
+      (Comparison.Char_set (Charset.of_string chars, "one-of " ^ chars))
+      result;
+  branch t site result
 
 (* Instrumented strcmp. Walk the token and the keyword in lockstep,
    emitting a per-position character event; on a mismatch after partial
    progress, additionally emit the keyword-suffix event whose replacement
    completes the keyword in one substitution. *)
-let str_eq t site (tok : Tstring.t) keyword =
+let rec str_eq t site (tok : Tstring.t) keyword =
+  if not t.track_comparisons then begin
+    (* Untracked fast path: plain lockstep compare, no taint fold and no
+       event payloads. *)
+    let tok_len = Tstring.length tok and kw_len = String.length keyword in
+    let rec same i =
+      if i >= tok_len then i >= kw_len
+      else if i >= kw_len then false
+      else (Tstring.get tok i).Tchar.ch = keyword.[i] && same (i + 1)
+    in
+    branch t site (same 0)
+  end
+  else str_eq_tracked t site tok keyword
+
+and str_eq_tracked t site (tok : Tstring.t) keyword =
   let tok_len = Tstring.length tok and kw_len = String.length keyword in
   let next_input_index () =
     (* Position just past the token in the input: where an extension of
@@ -152,9 +214,8 @@ let str_eq t site (tok : Tstring.t) keyword =
   in
   let emit_char_event i result =
     let c = Tstring.get tok i in
-    match Taint.max_index c.Tchar.taint with
-    | None -> ()
-    | Some index -> emit t ~index ~kind:(Comparison.Char_eq keyword.[i]) ~result
+    let index = Taint.max_index_raw c.Tchar.taint in
+    if index >= 0 then emit t ~index ~kind:(Comparison.Char_eq keyword.[i]) ~result
   in
   let emit_suffix_event ~index ~offset =
     emit t ~index ~kind:(Comparison.Str_eq { expected = keyword; offset }) ~result:false
@@ -209,20 +270,11 @@ let expect_token t site ~at ~spelling ~matched =
 
 let reject _t reason = raise (Reject reason)
 
-let comparisons t = List.rev t.comparisons
-let coverage t = Coverage.of_list t.touched
-
-let trace t =
-  let arr = Array.make t.trace_len 0 in
-  let rec fill i = function
-    | [] -> ()
-    | x :: rest ->
-      arr.(i) <- x;
-      fill (i - 1) rest
-  in
-  fill (t.trace_len - 1) t.rev_trace;
-  arr
-
+let comparisons t = Vec.to_list t.comparisons
+let comparisons_array t = Vec.to_array t.comparisons
+let coverage t = Coverage.of_iter (fun f -> Vec.iter f t.touched)
+let trace t = Vec.to_array t.trace
+let touched t = Vec.to_array t.touched
 let eof_access t = t.eof_access
 let max_depth t = t.max_stack
-let frames t = Array.of_list (List.rev t.rev_frames)
+let frames t = Vec.to_array t.frames

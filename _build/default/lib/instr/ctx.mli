@@ -22,6 +22,7 @@ val make :
   registry:Site.registry ->
   ?fuel:int ->
   ?track_comparisons:bool ->
+  ?track_trace:bool ->
   ?track_frames:bool ->
   string ->
   t
@@ -29,7 +30,11 @@ val make :
     {!tick} calls (default 100_000). [track_comparisons] (default true)
     controls whether comparison events are logged; lexical fuzzers that
     only consume coverage can turn it off, mirroring the much lighter
-    instrumentation AFL needs (§4, §6.2). *)
+    instrumentation AFL needs (§4, §6.2). [track_trace] (default false)
+    records the full outcome sequence with multiplicities — needed only
+    by consumers that care about hit counts, such as the AFL shim's edge
+    bitmap; the search heuristics work from the deduplicated
+    first-occurrence order, which is always maintained. *)
 
 (** {1 Input access} *)
 
@@ -116,9 +121,17 @@ val reject : t -> string -> 'a
 val comparisons : t -> Comparison.t list
 (** In event order. *)
 
+val comparisons_array : t -> Comparison.t array
+(** In event order, without an intermediate list. *)
+
 val coverage : t -> Coverage.t
 val trace : t -> int array
-(** Outcome ids in the order they were recorded. *)
+(** Outcome ids in the order they were recorded; empty unless the
+    context was created with [~track_trace:true]. *)
+
+val touched : t -> int array
+(** Distinct outcome ids in first-occurrence order — the run's path
+    identity, maintained incrementally during execution. *)
 
 val eof_access : t -> bool
 val max_depth : t -> int

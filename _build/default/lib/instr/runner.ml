@@ -6,13 +6,17 @@ type run = {
   comparisons : Comparison.t array;
   coverage : Coverage.t;
   trace : int array;
+  touched : int array;
   eof_access : bool;
   max_depth : int;
   frames : Frame.event array;
 }
 
-let exec ~registry ~parse ?fuel ?track_comparisons ?track_frames input =
-  let ctx = Ctx.make ~registry ?fuel ?track_comparisons ?track_frames input in
+let exec ~registry ~parse ?fuel ?track_comparisons ?track_trace ?track_frames
+    input =
+  let ctx =
+    Ctx.make ~registry ?fuel ?track_comparisons ?track_trace ?track_frames input
+  in
   let verdict =
     match parse ctx with
     | () -> Accepted
@@ -22,9 +26,10 @@ let exec ~registry ~parse ?fuel ?track_comparisons ?track_frames input =
   {
     input;
     verdict;
-    comparisons = Array.of_list (Ctx.comparisons ctx);
+    comparisons = Ctx.comparisons_array ctx;
     coverage = Ctx.coverage ctx;
     trace = Ctx.trace ctx;
+    touched = Ctx.touched ctx;
     eof_access = Ctx.eof_access ctx;
     max_depth = Ctx.max_depth ctx;
     frames = Ctx.frames ctx;
@@ -65,18 +70,17 @@ let coverage_up_to_last_index run =
   match substitution_index run with
   | None -> run.coverage
   | Some idx ->
-    (* Trace position of the first comparison touching the last index. *)
+    (* [trace_pos] counts distinct outcomes covered before the event, and
+       [touched] lists outcomes in first-occurrence order — so the
+       coverage accumulated before the first comparison at the last index
+       is exactly a prefix of [touched]. No full trace required. *)
     let cut =
       Array.fold_left
         (fun acc (c : Comparison.t) ->
           if c.index = idx then min acc c.trace_pos else acc)
-        (Array.length run.trace) run.comparisons
+        (Array.length run.touched) run.comparisons
     in
-    let cov = ref Coverage.empty in
-    for i = 0 to min cut (Array.length run.trace) - 1 do
-      cov := Coverage.add run.trace.(i) !cov
-    done;
-    !cov
+    Coverage.of_array ~len:(min cut (Array.length run.touched)) run.touched
 
 let avg_stack_of_last_two run =
   let n = Array.length run.comparisons in
@@ -86,19 +90,16 @@ let avg_stack_of_last_two run =
     float_of_int (run.comparisons.(n - 1).stack_depth + run.comparisons.(n - 2).stack_depth)
     /. 2.0
 
+(* First-occurrence order of outcomes: a compact path identity that is
+   insensitive to loop iteration counts ("non-duplicate branches"). The
+   context maintains that order incrementally, so hashing it is one
+   allocation-free FNV-1a pass over [touched] — no per-run hash table. *)
 let path_hash run =
-  (* First-occurrence order of outcomes: a compact path identity that is
-     insensitive to loop iteration counts ("non-duplicate branches"). *)
-  let seen = Hashtbl.create 64 in
-  let firsts = ref [] in
+  let h = ref 0x811c9dc5 in
   Array.iter
-    (fun oid ->
-      if not (Hashtbl.mem seen oid) then begin
-        Hashtbl.add seen oid ();
-        firsts := oid :: !firsts
-      end)
-    run.trace;
-  Hashtbl.hash (List.rev !firsts)
+    (fun oid -> h := (!h lxor oid) * 0x0100_0193 land max_int)
+    run.touched;
+  !h
 
 let pp_verdict ppf = function
   | Accepted -> Format.fprintf ppf "accepted"

@@ -14,7 +14,12 @@ type run = {
   verdict : verdict;
   comparisons : Comparison.t array;  (** in event order *)
   coverage : Coverage.t;
-  trace : int array;  (** outcome ids in recording order *)
+  trace : int array;
+      (** outcome ids in recording order, with multiplicities; empty
+          unless run with [~track_trace:true] *)
+  touched : int array;
+      (** distinct outcome ids in first-occurrence order — the run's
+          path identity *)
   eof_access : bool;
   max_depth : int;
   frames : Frame.event array;
@@ -26,12 +31,14 @@ val exec :
   parse:(Ctx.t -> unit) ->
   ?fuel:int ->
   ?track_comparisons:bool ->
+  ?track_trace:bool ->
   ?track_frames:bool ->
   string ->
   run
 (** Run the parser on the given input. Only {!Ctx.Reject} and
     {!Ctx.Out_of_fuel} are caught; any other exception is a bug in the
-    subject and propagates. *)
+    subject and propagates. [track_trace] (default false) fills the
+    [trace] field; see {!Ctx.make}. *)
 
 val accepted : run -> bool
 
@@ -50,18 +57,19 @@ val comparisons_at_last_index : run -> Comparison.t list
     substitution candidates of Algorithm 1's [addInputs]. *)
 
 val coverage_up_to_last_index : run -> Coverage.t
-(** Coverage restricted to the trace prefix before the first comparison
+(** Coverage restricted to what was covered before the first comparison
     of the last compared character — §3.1's "covered branches up to the
     last accepted character", which keeps error-handling code from
-    attracting the search. *)
+    attracting the search. Computed from the first-occurrence prefix of
+    [touched], so it does not require [~track_trace:true]. *)
 
 val avg_stack_of_last_two : run -> float
 (** Mean stack depth of the last two comparison events (§3.1's
     [avgStackSize]); 0 when there are no comparisons. *)
 
 val path_hash : run -> int
-(** Hash of the sequence of first occurrences of outcomes in the trace —
-    the "path" identity used to rank inputs exploring novel paths
-    higher. *)
+(** Hash of the sequence of first occurrences of outcomes in the trace
+    (the [touched] field) — the "path" identity used to rank inputs
+    exploring novel paths higher. Allocation-free. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,1 +1,1 @@
-lib/subjects/helpers.ml: Pdf_instr Pdf_taint Pdf_util Printf
+lib/subjects/helpers.ml: List Pdf_instr Pdf_taint Pdf_util Printf

@@ -15,17 +15,20 @@ let rec skip_set ctx site ~label set =
     end
 
 let read_set ctx site ~label set =
+  (* Accumulate in reverse and build the token once: appending to an
+     immutable Tstring per character would copy the whole prefix each
+     time (quadratic in token length). *)
   let rec go acc =
     match Ctx.peek ctx with
     | None -> acc
     | Some c ->
       if Ctx.in_set ctx site ~label c set then begin
         ignore (Ctx.next ctx);
-        go (Tstring.append_char acc c)
+        go (c :: acc)
       end
       else acc
   in
-  go Tstring.empty
+  Tstring.of_chars (List.rev (go []))
 
 let expect ctx site expected =
   match Ctx.next ctx with

@@ -102,6 +102,10 @@ let word_start = Charset.union Charset.letters (Charset.of_string "_$")
 let word_chars = Charset.union word_start Charset.digits
 let ws = Charset.of_string " \t\r\n"
 
+let hex_digits =
+  Charset.union Charset.digits
+    (Charset.union (Charset.range 'a' 'f') (Charset.range 'A' 'F'))
+
 let lex_word ctx =
   Ctx.with_frame ctx s_lex_word @@ fun () ->
   let word = Helpers.read_set ctx b_word_more ~label:"word-char" word_chars in
@@ -120,8 +124,7 @@ let lex_number ctx =
       | Some c
         when first.Tchar.ch = '0' && Ctx.one_of ctx b_num_hex c "xX" ->
         ignore (Ctx.next ctx);
-        let hex = Charset.union Charset.digits (Charset.union (Charset.range 'a' 'f') (Charset.range 'A' 'F')) in
-        let ds = Helpers.read_set ctx b_num_hex_digit ~label:"hex-digit" hex in
+        let ds = Helpers.read_set ctx b_num_hex_digit ~label:"hex-digit" hex_digits in
         if Tstring.length ds = 0 then Ctx.reject ctx "missing hex digits"
       | Some _ | None ->
         ignore (Helpers.read_set ctx b_num_more ~label:"digit" Charset.digits);

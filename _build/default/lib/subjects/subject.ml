@@ -9,8 +9,8 @@ type t = {
   original_loc : int;
 }
 
-let run ?track_comparisons ?track_frames t input =
+let run ?track_comparisons ?track_trace ?track_frames t input =
   Pdf_instr.Runner.exec ~registry:t.registry ~parse:t.parse ~fuel:t.fuel
-    ?track_comparisons ?track_frames input
+    ?track_comparisons ?track_trace ?track_frames input
 
 let accepts t input = Pdf_instr.Runner.accepted (run t input)

@@ -19,10 +19,13 @@ type t = {
 }
 
 val run :
-  ?track_comparisons:bool -> ?track_frames:bool -> t -> string ->
+  ?track_comparisons:bool -> ?track_trace:bool -> ?track_frames:bool ->
+  t -> string ->
   Pdf_instr.Runner.run
 (** Execute the subject on one input with its fuel budget. Pass
     [~track_comparisons:false] to skip the comparison log (lexical
-    fuzzers need only coverage). *)
+    fuzzers need only coverage) and [~track_trace:true] to record the
+    full outcome trace with multiplicities (the AFL shim's bitmap needs
+    it; the pFuzzer search does not). *)
 
 val accepts : t -> string -> bool

@@ -100,6 +100,7 @@ type stmt =
 type parser_state = { ctx : Ctx.t; mutable tok : token; mutable tok_start : int }
 
 let ws = Charset.of_string " \t\r\n"
+let lower = Charset.range 'a' 'z'
 
 (* Returns the token and the input position where it starts. *)
 let next_token ctx =
@@ -111,7 +112,7 @@ let next_token ctx =
   | None -> Eof
   | Some c ->
     if Ctx.in_range ctx b_letter c 'a' 'z' then begin
-      let word = Helpers.read_set ctx b_letter ~label:"letter" (Charset.range 'a' 'z') in
+      let word = Helpers.read_set ctx b_letter ~label:"letter" lower in
       if Ctx.str_eq ctx b_kw_if word "if" then Kw_if
       else if Ctx.str_eq ctx b_kw_else word "else" then Kw_else
       else if Ctx.str_eq ctx b_kw_while word "while" then Kw_while

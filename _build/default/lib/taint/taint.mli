@@ -24,6 +24,11 @@ val max_index : t -> int option
 (** The rightmost input position involved, i.e. where a substitution must
     be applied to change this value. [None] for {!empty}. *)
 
+val max_index_raw : t -> int
+(** [max_index] without the option allocation: [-1] for {!empty}. For the
+    execution hot path, where every emitted comparison event queries the
+    operand's taint. *)
+
 val min_index : t -> int option
 
 val cardinal : t -> int

@@ -1,1 +1,1 @@
-lib/util/charset.ml: Char Format Int64 List Rng String
+lib/util/charset.ml: Char Format List Rng String

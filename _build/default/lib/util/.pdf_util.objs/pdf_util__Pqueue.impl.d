@@ -1,1 +1,1 @@
-lib/util/pqueue.ml: Array
+lib/util/pqueue.ml: Array Obj

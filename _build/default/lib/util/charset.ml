@@ -1,9 +1,33 @@
-(* A char set is four 64-bit words; character [c] lives in word [c/64],
-   bit [c mod 64]. *)
-type t = { w0 : int64; w1 : int64; w2 : int64; w3 : int64 }
+(* A char set is eight 32-bit words packed in immediate OCaml ints;
+   character [c] lives in word [c/32], bit [c mod 32]. Plain ints keep
+   the hot [mem] test allocation-free — the previous int64 encoding
+   boxed every intermediate word. *)
+type t = {
+  w0 : int;
+  w1 : int;
+  w2 : int;
+  w3 : int;
+  w4 : int;
+  w5 : int;
+  w6 : int;
+  w7 : int;
+}
 
-let empty = { w0 = 0L; w1 = 0L; w2 = 0L; w3 = 0L }
-let full = { w0 = -1L; w1 = -1L; w2 = -1L; w3 = -1L }
+let mask32 = 0xffff_ffff
+
+let empty = { w0 = 0; w1 = 0; w2 = 0; w3 = 0; w4 = 0; w5 = 0; w6 = 0; w7 = 0 }
+
+let full =
+  {
+    w0 = mask32;
+    w1 = mask32;
+    w2 = mask32;
+    w3 = mask32;
+    w4 = mask32;
+    w5 = mask32;
+    w6 = mask32;
+    w7 = mask32;
+  }
 
 let word t i =
   match i with
@@ -11,6 +35,10 @@ let word t i =
   | 1 -> t.w1
   | 2 -> t.w2
   | 3 -> t.w3
+  | 4 -> t.w4
+  | 5 -> t.w5
+  | 6 -> t.w6
+  | 7 -> t.w7
   | _ -> assert false
 
 let with_word t i w =
@@ -19,20 +47,24 @@ let with_word t i w =
   | 1 -> { t with w1 = w }
   | 2 -> { t with w2 = w }
   | 3 -> { t with w3 = w }
+  | 4 -> { t with w4 = w }
+  | 5 -> { t with w5 = w }
+  | 6 -> { t with w6 = w }
+  | 7 -> { t with w7 = w }
   | _ -> assert false
 
-let bit c = Int64.shift_left 1L (Char.code c land 63)
-let idx c = Char.code c lsr 6
+let bit c = 1 lsl (Char.code c land 31)
+let idx c = Char.code c lsr 5
 
 let add c t =
   let i = idx c in
-  with_word t i (Int64.logor (word t i) (bit c))
+  with_word t i (word t i lor bit c)
 
 let remove c t =
   let i = idx c in
-  with_word t i (Int64.logand (word t i) (Int64.lognot (bit c)))
+  with_word t i (word t i land lnot (bit c))
 
-let mem c t = Int64.logand (word t (idx c)) (bit c) <> 0L
+let mem c t = word t (idx c) land bit c <> 0
 
 let singleton c = add c empty
 let of_list cs = List.fold_left (fun t c -> add c t) empty cs
@@ -50,20 +82,38 @@ let range lo hi =
   !t
 
 let map2 f a b =
-  { w0 = f a.w0 b.w0; w1 = f a.w1 b.w1; w2 = f a.w2 b.w2; w3 = f a.w3 b.w3 }
+  {
+    w0 = f a.w0 b.w0;
+    w1 = f a.w1 b.w1;
+    w2 = f a.w2 b.w2;
+    w3 = f a.w3 b.w3;
+    w4 = f a.w4 b.w4;
+    w5 = f a.w5 b.w5;
+    w6 = f a.w6 b.w6;
+    w7 = f a.w7 b.w7;
+  }
 
-let union = map2 Int64.logor
-let inter = map2 Int64.logand
-let diff a b = map2 (fun x y -> Int64.logand x (Int64.lognot y)) a b
+let union = map2 ( lor )
+let inter = map2 ( land )
+let diff a b = map2 (fun x y -> x land lnot y land mask32) a b
 let complement t = diff full t
 
-let popcount64 x =
-  let rec go acc x = if x = 0L then acc else go (acc + 1) Int64.(logand x (sub x 1L)) in
+let popcount32 x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
   go 0 x
 
-let cardinal t = popcount64 t.w0 + popcount64 t.w1 + popcount64 t.w2 + popcount64 t.w3
-let is_empty t = t.w0 = 0L && t.w1 = 0L && t.w2 = 0L && t.w3 = 0L
-let equal a b = a.w0 = b.w0 && a.w1 = b.w1 && a.w2 = b.w2 && a.w3 = b.w3
+let cardinal t =
+  popcount32 t.w0 + popcount32 t.w1 + popcount32 t.w2 + popcount32 t.w3
+  + popcount32 t.w4 + popcount32 t.w5 + popcount32 t.w6 + popcount32 t.w7
+
+let is_empty t =
+  t.w0 = 0 && t.w1 = 0 && t.w2 = 0 && t.w3 = 0 && t.w4 = 0 && t.w5 = 0
+  && t.w6 = 0 && t.w7 = 0
+
+let equal a b =
+  a.w0 = b.w0 && a.w1 = b.w1 && a.w2 = b.w2 && a.w3 = b.w3 && a.w4 = b.w4
+  && a.w5 = b.w5 && a.w6 = b.w6 && a.w7 = b.w7
+
 let subset a b = is_empty (diff a b)
 
 let iter f t =

@@ -2,6 +2,15 @@ type 'a entry = { mutable prio : float; seq : int; value : 'a }
 
 type 'a t = { mutable heap : 'a entry array; mutable size : int; mutable next_seq : int }
 
+(* Sentinel entry filling every slot at index >= size. Vacated slots must
+   not keep pointing at popped entries: the backing array would otherwise
+   retain dead values (and their whole candidate payloads) until the slot
+   happens to be overwritten. The sentinel is a single shared record whose
+   payload is [()]; it is never returned, so the unsafe cast never
+   escapes. *)
+let dummy : unit entry = { prio = neg_infinity; seq = -1; value = () }
+let dummy_entry () : 'a entry = Obj.magic dummy
+
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
@@ -39,7 +48,7 @@ let grow t =
   let cap = Array.length t.heap in
   if t.size = cap then begin
     let ncap = max 16 (2 * cap) in
-    let nheap = Array.make ncap t.heap.(0) in
+    let nheap = Array.make ncap (dummy_entry ()) in
     Array.blit t.heap 0 nheap 0 t.size;
     t.heap <- nheap
   end
@@ -47,16 +56,10 @@ let grow t =
 let push t prio value =
   let entry = { prio; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = 0 then begin
-    t.heap <- Array.make 16 entry;
-    t.size <- 1
-  end
-  else begin
-    grow t;
-    t.heap.(t.size) <- entry;
-    t.size <- t.size + 1;
-    sift_up t (t.size - 1)
-  end
+  grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
 
 let pop t =
   if t.size = 0 then None
@@ -65,8 +68,10 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.heap.(0) <- t.heap.(t.size);
+      t.heap.(t.size) <- dummy_entry ();
       sift_down t 0
-    end;
+    end
+    else t.heap.(0) <- dummy_entry ();
     Some top.value
   end
 
@@ -92,8 +97,9 @@ let drop_worst t n =
   if t.size > n then begin
     let entries = Array.sub t.heap 0 t.size in
     Array.sort (fun a b -> if before a b then -1 else 1) entries;
-    t.size <- n;
     Array.blit entries 0 t.heap 0 n;
+    Array.fill t.heap n (t.size - n) (dummy_entry ());
+    t.size <- n;
     heapify t
   end
 

@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Buffer Char Format List Option Pdf_util Printf QCheck QCheck_alcotest String
+test/test_util.ml: Alcotest Array Buffer Bytes Char Format Gc List Option Pdf_util Printf QCheck QCheck_alcotest String Weak

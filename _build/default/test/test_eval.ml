@@ -112,6 +112,20 @@ let test_experiment_best_of_seeds () =
   Alcotest.(check bool) "best of seeds >= each single seed" true
     (cell.Experiment.coverage_percent >= Float.max (single 1) (single 2))
 
+(* The domain-pool runner must be an implementation detail: the same
+   grid fanned over 4 domains merges into cells structurally identical
+   to the sequential run (outcomes carry coverage bitsets and input
+   lists, so [=] compares everything that matters). *)
+let test_experiment_jobs_deterministic () =
+  let config =
+    { Experiment.budget_units = 20_000; seeds = [ 1; 2 ]; verbose = false }
+  in
+  let subjects = [ Catalog.find "expr"; Catalog.find "paren" ] in
+  let seq = Experiment.run ~jobs:1 config subjects in
+  let par = Experiment.run ~jobs:4 config subjects in
+  Alcotest.(check bool) "jobs:4 cells identical to jobs:1" true
+    (seq.Experiment.cells = par.Experiment.cells)
+
 let test_pipeline () =
   let subject = Catalog.find "expr" in
   let result = Pdf_eval.Pipeline.run ~budget_units:100_000 ~seed:1 subject in
@@ -192,6 +206,7 @@ let () =
           Alcotest.test_case "cell lookup" `Quick test_experiment_cell_lookup;
           Alcotest.test_case "headline" `Quick test_experiment_headline;
           Alcotest.test_case "best of seeds" `Slow test_experiment_best_of_seeds;
+          Alcotest.test_case "jobs determinism" `Slow test_experiment_jobs_deterministic;
         ] );
       ( "pipeline", [ Alcotest.test_case "three-stage hand-over" `Quick test_pipeline ] );
       ( "report",

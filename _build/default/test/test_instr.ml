@@ -55,7 +55,7 @@ let test_coverage () =
 (* {1 Comparison} *)
 
 let mk_cmp ?(index = 0) ?(result = false) kind =
-  { Comparison.seq = 0; trace_pos = 0; index; kind; result; stack_depth = 1 }
+  { Comparison.trace_pos = 0; index; kind; result; stack_depth = 1 }
 
 let test_replacements () =
   let rng = Rng.make 1 in
@@ -118,7 +118,8 @@ let toy_parse ctx =
       if not (Ctx.str_eq ctx toy_kw word "hi") then Ctx.reject ctx "bad keyword"
     end
 
-let toy_run input = Runner.exec ~registry:toy_registry ~parse:toy_parse input
+let toy_run input =
+  Runner.exec ~registry:toy_registry ~parse:toy_parse ~track_trace:true input
 
 let test_ctx_accept_digit () =
   let run = toy_run "7" in
@@ -267,7 +268,10 @@ let subject_invariants (subject : Pdf_subjects.Subject.t) =
     ~name:(Printf.sprintf "instrumentation invariants hold on %s" subject.name)
     ~count:300 printable_gen
     (fun input ->
-      let run = Pdf_subjects.Subject.run ~track_frames:true subject input in
+      let run =
+        Pdf_subjects.Subject.run ~track_trace:true ~track_frames:true subject
+          input
+      in
       (* Coverage is the set of trace outcomes. *)
       let trace_cov = Coverage.of_list (Array.to_list run.trace) in
       let cov_ok = Coverage.equal trace_cov run.coverage in

@@ -204,6 +204,32 @@ let test_pqueue_empty () =
   check Alcotest.(option int) "pop empty" None (Pqueue.pop q);
   check Alcotest.(option int) "peek empty" None (Pqueue.peek q)
 
+(* Regression test for the heap's space leak: a popped (or truncated)
+   entry must not stay strongly reachable from the queue's backing
+   array. Track the payloads through weak pointers and demand the GC can
+   reclaim them while the queue itself is still alive. *)
+let test_pqueue_no_retention () =
+  let q = Pqueue.create () in
+  let w = Weak.create 2 in
+  (* Local function so the payloads' only strong refs are the queue's. *)
+  let fill () =
+    let a = Bytes.make 16 'a' and b = Bytes.make 16 'b' in
+    Weak.set w 0 (Some a);
+    Weak.set w 1 (Some b);
+    Pqueue.push q 2.0 a;
+    Pqueue.push q 1.0 b
+  in
+  fill ();
+  ignore (Pqueue.pop q);
+  (* [b] leaves via truncation rather than popping. *)
+  Pqueue.drop_worst q 0;
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload reclaimed" false (Weak.check w 0);
+  Alcotest.(check bool) "truncated payload reclaimed" false (Weak.check w 1);
+  Alcotest.(check bool) "queue still usable" true
+    (Pqueue.push q 1.0 (Bytes.make 1 'c');
+     Pqueue.pop q <> None)
+
 let test_pqueue_iter_tolist () =
   let q = Pqueue.create () in
   List.iter (fun (p, v) -> Pqueue.push q p v) [ (1.0, 1); (3.0, 3); (2.0, 2) ];
@@ -316,6 +342,7 @@ let () =
           Alcotest.test_case "drop_worst" `Quick test_pqueue_drop_worst;
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
           Alcotest.test_case "iter/to_list/peek" `Quick test_pqueue_iter_tolist;
+          Alcotest.test_case "no retention after pop" `Quick test_pqueue_no_retention;
           qtest prop_pqueue_pop_sorted;
         ] );
       ("stats", [ Alcotest.test_case "descriptive stats" `Quick test_stats ]);

@@ -51,7 +51,7 @@ exception Budget_exhausted
 let execute st input =
   if st.executions >= st.config.max_executions then raise Budget_exhausted;
   st.executions <- st.executions + 1;
-  let run = Subject.run ~track_comparisons:false st.subject input in
+  let run = Subject.run ~track_comparisons:false ~track_trace:true st.subject input in
   let sparse = Bitmap.sparse_of_trace st.builder run.trace in
   if Bitmap.new_bits ~virgin:st.virgin sparse then begin
     Bitmap.merge ~into:st.virgin sparse;

@@ -1,0 +1,24 @@
+(** Domain-pool execution of independent tasks (OCaml 5 [Domain]s).
+
+    The evaluation grid is embarrassingly parallel: every
+    (tool, subject, seed) cell is a pure function of its arguments, so
+    the cells can be fanned out across domains and merged back in a
+    deterministic order. Tasks must not share mutable state; every
+    fuzzer run in this repository builds its own RNG, queue and tables,
+    and registries are only mutated at module initialisation, before any
+    domain is spawned. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism to
+    use when the caller asks for "as many workers as make sense". *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] computes [List.map f items], running up to
+    [jobs] tasks concurrently on separate domains. Results are returned
+    in input order regardless of completion order, so output is
+    deterministic whenever [f] is. [jobs] is honoured as requested,
+    clamped only to the number of items (use {!default_jobs} for a
+    machine-sized pool);
+    with [jobs <= 1] (the default) this {e is} [List.map f items] — same
+    order of evaluation, no domain is spawned. If [f] raises, the first
+    exception in input order is re-raised after all workers finish. *)

@@ -1,0 +1,56 @@
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ?(capacity = 0) dummy =
+  {
+    data = (if capacity <= 0 then [||] else Array.make capacity dummy);
+    len = 0;
+    dummy;
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  let ndata = Array.make ncap t.dummy in
+  Array.blit t.data 0 ndata 0 t.len;
+  t.data <- ndata
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  (* len < capacity after the grow check, so the store needs no bound
+     check of its own. *)
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  t.data.(i)
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+
+let clear t =
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_array t = Array.sub t.data 0 t.len
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := t.data.(i) :: !acc
+  done;
+  !acc

@@ -1,0 +1,40 @@
+(** Growable arrays (amortised O(1) push).
+
+    The allocation-free backing store of the execution hot path: traces,
+    comparison logs and frame logs are appended here instead of being
+    consed onto reversed lists. A vector is created with a [dummy]
+    element used to fill unoccupied capacity, which keeps the
+    implementation free of [Obj.magic] and keeps vacated slots from
+    retaining dead values. *)
+
+type 'a t
+
+val create : ?capacity:int -> 'a -> 'a t
+(** [create dummy] is an empty vector. [dummy] fills unused slots; it is
+    never returned by accessors. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append one element, growing the backing array geometrically. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th element; raises [Invalid_argument] out of
+    bounds. *)
+
+val last : 'a t -> 'a option
+
+val clear : 'a t -> unit
+(** Reset the length to 0 and overwrite occupied slots with the dummy so
+    previous contents can be collected. Capacity is retained. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** In insertion order. *)
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_array : 'a t -> 'a array
+(** Fresh array of exactly [length t] elements. *)
+
+val to_list : 'a t -> 'a list

@@ -1,0 +1,143 @@
+(* Property tests for the bitset {!Pdf_instr.Coverage} against a
+   [Set.Make (Int)] reference model.
+
+   The bitset's word-parallel operations (SWAR popcount in particular)
+   have failure modes a few unit tests will not catch — e.g. a popcount
+   that is correct modulo small counts but wrong once byte sums carry
+   past bit 32. Driving both implementations with the same random
+   operation sequences and comparing every observation closes that
+   gap. *)
+
+module Coverage = Pdf_instr.Coverage
+module Iset = Set.Make (Int)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Outcome ids span several bitset words, including ids right at word
+   boundaries (63-bit words: 62, 63, 64, 125, 126, ...). *)
+let oid_gen =
+  QCheck.(
+    oneof
+      [
+        int_range 0 400;
+        (* word-boundary neighbourhoods *)
+        map (fun k -> (Sys.int_size * (1 + (abs k mod 6))) - 1 + (abs k mod 3))
+          small_int;
+      ])
+
+let oids_gen = QCheck.small_list oid_gen
+
+let of_model s = Coverage.of_list (Iset.elements s)
+
+let check_same_elements name (model : Iset.t) (cov : Coverage.t) =
+  if Coverage.to_list cov <> Iset.elements model then
+    QCheck.Test.fail_reportf "%s: to_list mismatch" name;
+  if Coverage.cardinal cov <> Iset.cardinal model then
+    QCheck.Test.fail_reportf "%s: cardinal %d, model %d" name
+      (Coverage.cardinal cov) (Iset.cardinal model);
+  if Coverage.is_empty cov <> Iset.is_empty model then
+    QCheck.Test.fail_reportf "%s: is_empty mismatch" name;
+  true
+
+let test_build =
+  QCheck.Test.make ~name:"of_list/add agree with model" ~count:500 oids_gen
+    (fun oids ->
+      let model = Iset.of_list oids in
+      let by_of_list = Coverage.of_list oids in
+      let by_add =
+        List.fold_left (fun acc i -> Coverage.add i acc) Coverage.empty oids
+      in
+      ignore (check_same_elements "of_list" model by_of_list);
+      ignore (check_same_elements "add" model by_add);
+      if not (Coverage.equal by_of_list by_add) then
+        QCheck.Test.fail_report "of_list and add built unequal sets";
+      true)
+
+let test_mem =
+  QCheck.Test.make ~name:"mem agrees with model" ~count:500
+    QCheck.(pair oids_gen oid_gen)
+    (fun (oids, probe) ->
+      let model = Iset.of_list oids in
+      let cov = Coverage.of_list oids in
+      List.for_all (fun i -> Coverage.mem i cov) oids
+      && Coverage.mem probe cov = Iset.mem probe model)
+
+let test_union =
+  QCheck.Test.make ~name:"union agrees with model" ~count:500
+    QCheck.(pair oids_gen oids_gen)
+    (fun (a, b) ->
+      let ma = Iset.of_list a and mb = Iset.of_list b in
+      check_same_elements "union"
+        (Iset.union ma mb)
+        (Coverage.union (of_model ma) (of_model mb)))
+
+let test_diff =
+  QCheck.Test.make ~name:"diff agrees with model" ~count:500
+    QCheck.(pair oids_gen oids_gen)
+    (fun (a, b) ->
+      let ma = Iset.of_list a and mb = Iset.of_list b in
+      check_same_elements "diff"
+        (Iset.diff ma mb)
+        (Coverage.diff (of_model ma) (of_model mb)))
+
+let test_new_against =
+  QCheck.Test.make ~name:"new_against = |c \\ baseline|" ~count:500
+    QCheck.(pair oids_gen oids_gen)
+    (fun (c, baseline) ->
+      let mc = Iset.of_list c and mb = Iset.of_list baseline in
+      Coverage.new_against (of_model mc) ~baseline:(of_model mb)
+      = Iset.cardinal (Iset.diff mc mb))
+
+let test_equal =
+  QCheck.Test.make ~name:"equal ignores trailing zero words" ~count:500
+    QCheck.(pair oids_gen oids_gen)
+    (fun (a, b) ->
+      let ma = Iset.of_list a and mb = Iset.of_list b in
+      (* Build one side with a high id added and removed again via diff,
+         so its array may carry trailing zero words. *)
+      let high = 1000 in
+      let padded =
+        Coverage.diff
+          (Coverage.add high (of_model ma))
+          (Coverage.of_list [ high ])
+      in
+      Coverage.equal padded (of_model ma)
+      && Coverage.equal (of_model ma) (of_model mb) = Iset.equal ma mb)
+
+let test_of_array_len =
+  QCheck.Test.make ~name:"of_array ~len takes a prefix" ~count:500
+    QCheck.(pair oids_gen small_nat)
+    (fun (oids, len) ->
+      let arr = Array.of_list oids in
+      let len = min len (Array.length arr) in
+      let model = Iset.of_list (Array.to_list (Array.sub arr 0 len)) in
+      check_same_elements "of_array" model (Coverage.of_array ~len arr))
+
+(* The regression that motivated this file: a dense set big enough that
+   per-word population counts exceed what survives in the low byte of a
+   32-bit SWAR multiply only if the result is properly masked. *)
+let test_dense_cardinal () =
+  let n = 300 in
+  let all = List.init n (fun i -> i) in
+  Alcotest.(check int)
+    "cardinal of [0..299]" n
+    (Coverage.cardinal (Coverage.of_list all));
+  Alcotest.(check int)
+    "new_against empty counts all" n
+    (Coverage.new_against (Coverage.of_list all) ~baseline:Coverage.empty)
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "bitset vs Set.Make(Int)",
+        [
+          qtest test_build;
+          qtest test_mem;
+          qtest test_union;
+          qtest test_diff;
+          qtest test_new_against;
+          qtest test_equal;
+          qtest test_of_array_len;
+          Alcotest.test_case "dense cardinal" `Quick test_dense_cardinal;
+        ] );
+    ]

@@ -29,7 +29,7 @@ let test_pc_basics () =
   Alcotest.(check int) "cardinality" 1 (Path_constraint.cardinality pc)
 
 let mk_cmp ~index ~result kind =
-  { Comparison.seq = 0; trace_pos = 0; index; kind; result; stack_depth = 0 }
+  { Comparison.trace_pos = 0; index; kind; result; stack_depth = 0 }
 
 let test_pc_of_comparisons () =
   (* Events: input[0] was not '{' (observed), input[1] was a digit
