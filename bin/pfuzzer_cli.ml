@@ -4,6 +4,7 @@
      pfuzzer run --subject tinyc "if(a<2)b=1;"
      pfuzzer evaluate --budget 2000000 --seeds 1,2,3
      pfuzzer mine --subject expr --executions 3000 --samples 20
+     pfuzzer check --subject json --executions 2000 --seed 1
      pfuzzer subjects
 *)
 
@@ -195,6 +196,42 @@ let pipeline_cmd =
        ~doc:"Run the Section 6.2 tool chain: AFL, then pFuzzer, then KLEE, handing the corpus over.")
     term
 
+(* check *)
+
+let check_cmd =
+  let run subject_name seed executions =
+    let subjects =
+      match subject_name with
+      | None -> Ok (Pdf_check.Harness.checked_subjects ())
+      | Some name ->
+        (match find_subject name with
+         | Error e -> Error e
+         | Ok subject -> Ok [ subject ])
+    in
+    match subjects with
+    | Error e -> Error e
+    | Ok subjects ->
+      let outcome = Pdf_check.Harness.run ~execs:executions ~seed subjects in
+      Format.printf "%a" Pdf_check.Harness.pp outcome;
+      if Pdf_check.Harness.ok outcome then Ok ()
+      else Error (`Msg "correctness checks failed")
+  in
+  let subject =
+    let doc =
+      "Subject to check (defaults to every subject with a reference oracle)."
+    in
+    Arg.(value & opt (some string) None & info [ "s"; "subject" ] ~docv:"NAME" ~doc)
+  in
+  let term =
+    Term.(term_result (const run $ subject $ seed_arg $ executions_arg 2000))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the correctness harness: differential fuzzing against reference \
+          oracles (with shrinking) plus fuzzer invariant checks.")
+    term
+
 (* subjects *)
 
 let subjects_cmd =
@@ -216,4 +253,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fuzz_cmd; run_cmd; evaluate_cmd; mine_cmd; pipeline_cmd; subjects_cmd ]))
+          [
+            fuzz_cmd;
+            run_cmd;
+            evaluate_cmd;
+            mine_cmd;
+            pipeline_cmd;
+            check_cmd;
+            subjects_cmd;
+          ]))

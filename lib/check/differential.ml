@@ -1,0 +1,161 @@
+module Rng = Pdf_util.Rng
+module Subject = Pdf_subjects.Subject
+module Runner = Pdf_instr.Runner
+
+type kind = Verdict_mismatch | Hang | Eof_starvation
+
+type disagreement = {
+  input : string;
+  shrunk : string;
+  kind : kind;
+  detail : string;
+}
+
+type report = {
+  subject : string;
+  executions : int;
+  inputs_checked : int;
+  prefixes_checked : int;
+  disagreements : disagreement list;
+}
+
+let max_disagreements = 10
+
+(* Prefix sweeps are quadratic in input length; keep them on short
+   inputs, where the EOF-hunger property is just as observable. *)
+let max_prefix_len = 32
+
+type state = {
+  subject : Subject.t;
+  oracle : Oracle.t;
+  mutable executions : int;
+  mutable inputs_checked : int;
+  mutable prefixes_checked : int;
+  mutable disagreements : disagreement list;
+}
+
+let run_subject st input =
+  st.executions <- st.executions + 1;
+  Subject.run st.subject input
+
+(* [None] = hang; [Some b] = accepted? *)
+let subject_accepts st input =
+  match (run_subject st input).verdict with
+  | Runner.Accepted -> Some true
+  | Runner.Rejected _ -> Some false
+  | Runner.Hang -> None
+
+let disagrees st input =
+  match subject_accepts st input with
+  | None -> true
+  | Some a -> a <> st.oracle.accepts input
+
+(* A rejected prefix of a valid input must have asked for input at EOF:
+   the only thing wrong with it is that it ends too early. *)
+let starving_prefix st input =
+  let n = String.length input in
+  let rec go i =
+    if i >= n then None
+    else begin
+      st.prefixes_checked <- st.prefixes_checked + 1;
+      let run = run_subject st (String.sub input 0 i) in
+      match run.verdict with
+      | Runner.Rejected _ when not run.eof_access -> Some (String.sub input 0 i)
+      | Runner.Hang -> Some (String.sub input 0 i)
+      | _ -> go (i + 1)
+    end
+  in
+  go 0
+
+let record st ~input ~shrunk ~kind ~detail =
+  st.disagreements <- { input; shrunk; kind; detail } :: st.disagreements
+
+let verdict_detail st input =
+  let subject =
+    match subject_accepts st input with
+    | None -> "hang"
+    | Some true -> "accept"
+    | Some false -> "reject"
+  in
+  Printf.sprintf "subject: %s, oracle: %s" subject
+    (if st.oracle.accepts input then "accept" else "reject")
+
+let check_input st input =
+  st.inputs_checked <- st.inputs_checked + 1;
+  match subject_accepts st input with
+  | None ->
+    let shrunk = Shrink.shrink (fun s -> subject_accepts st s = None) input in
+    record st ~input ~shrunk ~kind:Hang ~detail:"subject ran out of fuel"
+  | Some a when a <> st.oracle.accepts input ->
+    let shrunk = Shrink.shrink (disagrees st) input in
+    record st ~input ~shrunk ~kind:Verdict_mismatch
+      ~detail:(verdict_detail st shrunk)
+  | Some true when String.length input <= max_prefix_len -> begin
+    (* Subject and oracle agree the input is valid: sweep its prefixes
+       for EOF-hunger violations. *)
+    match starving_prefix st input with
+    | None -> ()
+    | Some prefix ->
+      let starves s =
+        st.oracle.accepts s
+        && subject_accepts st s = Some true
+        && String.length s <= max_prefix_len
+        && starving_prefix st s <> None
+      in
+      let shrunk_valid = Shrink.shrink ~max_evals:300 starves input in
+      let shrunk =
+        Option.value ~default:prefix (starving_prefix st shrunk_valid)
+      in
+      record st ~input ~shrunk ~kind:Eof_starvation
+        ~detail:
+          (Printf.sprintf "prefix %S rejected without EOF access" shrunk)
+  end
+  | Some _ -> ()
+
+let run ?(execs = 2000) ?(seed = 1) subject oracle =
+  let st =
+    {
+      subject;
+      oracle;
+      executions = 0;
+      inputs_checked = 0;
+      prefixes_checked = 0;
+      disagreements = [];
+    }
+  in
+  let rng = Rng.make seed in
+  while
+    st.executions < execs
+    && List.length st.disagreements < max_disagreements
+  do
+    let input =
+      match st.inputs_checked mod 3 with
+      | 0 -> Option.value ~default:(Producer.random_input rng) (Producer.valid rng oracle)
+      | 1 -> Option.value ~default:(Producer.random_input rng) (Producer.invalid rng oracle)
+      | _ -> Producer.random_input rng
+    in
+    check_input st input
+  done;
+  {
+    subject = subject.Subject.name;
+    executions = st.executions;
+    inputs_checked = st.inputs_checked;
+    prefixes_checked = st.prefixes_checked;
+    disagreements = List.rev st.disagreements;
+  }
+
+let pp_kind ppf = function
+  | Verdict_mismatch -> Format.pp_print_string ppf "verdict-mismatch"
+  | Hang -> Format.pp_print_string ppf "hang"
+  | Eof_starvation -> Format.pp_print_string ppf "eof-starvation"
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "differential %s: %d inputs (%d prefixes, %d executions), %d disagreement(s)"
+    r.subject r.inputs_checked r.prefixes_checked r.executions
+    (List.length r.disagreements);
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "@.  [%a] %S (from %S): %s" pp_kind d.kind d.shrunk
+        d.input d.detail)
+    r.disagreements

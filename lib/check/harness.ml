@@ -1,0 +1,51 @@
+module Subject = Pdf_subjects.Subject
+
+type subject_outcome = {
+  differential : Differential.report option;
+  invariants : Invariants.report;
+}
+
+type t = { outcomes : (string * subject_outcome) list }
+
+let checked_subjects () =
+  List.filter
+    (fun (s : Subject.t) -> Oracle.find s.name <> None)
+    Pdf_subjects.Catalog.all
+
+let run ?(execs = 2000) ?(seed = 1) subjects =
+  let outcomes =
+    List.map
+      (fun (subject : Subject.t) ->
+        let differential =
+          Option.map
+            (fun oracle -> Differential.run ~execs ~seed subject oracle)
+            (Oracle.find subject.name)
+        in
+        let invariants =
+          Invariants.run ~execs:(max 100 (execs / 4)) ~seed subject
+        in
+        (subject.name, { differential; invariants }))
+      subjects
+  in
+  { outcomes }
+
+let subject_ok o =
+  (match o.differential with
+   | None -> true
+   | Some d -> d.Differential.disagreements = [])
+  && Invariants.ok o.invariants
+
+let ok t = List.for_all (fun (_, o) -> subject_ok o) t.outcomes
+
+let pp ppf t =
+  List.iter
+    (fun (name, o) ->
+      Format.fprintf ppf "== %s%s@." name
+        (if subject_ok o then "" else "  ** PROBLEMS FOUND **");
+      (match o.differential with
+       | None -> Format.fprintf ppf "no reference oracle; differential pass skipped@."
+       | Some d -> Format.fprintf ppf "%a@." Differential.pp_report d);
+      Format.fprintf ppf "%a@." Invariants.pp_report o.invariants)
+    t.outcomes;
+  Format.fprintf ppf "%s@."
+    (if ok t then "all checks passed" else "CHECKS FAILED")

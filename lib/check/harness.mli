@@ -1,0 +1,26 @@
+(** One-call correctness harness: differential and invariant passes over
+    a set of subjects, as exposed by [pfuzzer check]. *)
+
+type subject_outcome = {
+  differential : Differential.report option;
+      (** [None] when the subject has no reference oracle *)
+  invariants : Invariants.report;
+}
+
+type t = { outcomes : (string * subject_outcome) list }
+
+val run :
+  ?execs:int -> ?seed:int -> Pdf_subjects.Subject.t list -> t
+(** [run subjects] checks every subject: a differential pass against its
+    oracle (when {!Oracle.find} knows one) and the full invariant
+    suite. [execs] (default 2000) is the per-subject differential
+    execution budget; invariants run on a quarter of it. *)
+
+val ok : t -> bool
+(** No disagreements and no failed invariant checks. *)
+
+val pp : Format.formatter -> t -> unit
+
+val checked_subjects : unit -> Pdf_subjects.Subject.t list
+(** The catalog subjects that have reference oracles — the default
+    subject set of [pfuzzer check]. *)

@@ -1,0 +1,209 @@
+module Rng = Pdf_util.Rng
+module Coverage = Pdf_instr.Coverage
+module Runner = Pdf_instr.Runner
+module Subject = Pdf_subjects.Subject
+module Pfuzzer = Pdf_core.Pfuzzer
+module Experiment = Pdf_eval.Experiment
+
+type check = { name : string; ok : bool; detail : string }
+
+type report = { subject : string; checks : check list }
+
+(* {1 Reference queue model}
+
+   A list in insertion order with explicit sequence numbers. Pop must
+   return the entry with maximal priority, earliest insertion first on
+   ties — exactly {!Pdf_util.Pqueue}'s contract. Snapshot events
+   (rerank, truncation) replace the population while preserving relative
+   insertion order. *)
+
+module Queue_model = struct
+  type entry = { prio : float; seq : int; data : string }
+
+  type t = { mutable entries : entry list; mutable next_seq : int }
+
+  let create () = { entries = []; next_seq = 0 }
+
+  let fresh_seq t =
+    let s = t.next_seq in
+    t.next_seq <- s + 1;
+    s
+
+  let push t prio data =
+    t.entries <- t.entries @ [ { prio; seq = fresh_seq t; data } ]
+
+  let replace t snapshot =
+    t.entries <- List.map (fun (prio, data) -> { prio; seq = fresh_seq t; data }) snapshot
+
+  let best t =
+    match t.entries with
+    | [] -> None
+    | e :: rest ->
+      Some
+        (List.fold_left
+           (fun acc e ->
+             if e.prio > acc.prio || (e.prio = acc.prio && e.seq < acc.seq) then e
+             else acc)
+           e rest)
+
+  let remove t e = t.entries <- List.filter (fun e' -> e'.seq <> e.seq) t.entries
+end
+
+(* Replay the fuzzer's queue events; return the first violation. *)
+let replay_queue_events config subject =
+  let model = Queue_model.create () in
+  let violation = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if !violation = None then violation := Some m) fmt in
+  let on_queue_event = function
+    | Pfuzzer.Pushed (prio, data) -> Queue_model.push model prio data
+    | Pfuzzer.Reranked snapshot | Pfuzzer.Truncated snapshot ->
+      Queue_model.replace model snapshot
+    | Pfuzzer.Popped (prio, data) -> begin
+      match Queue_model.best model with
+      | None -> fail "popped %S from an empty model queue" data
+      | Some e ->
+        if e.prio <> prio || e.data <> data then
+          fail "popped (%g, %S) but model expected (%g, %S)" prio data e.prio
+            e.data
+        else Queue_model.remove model e
+    end
+  in
+  ignore (Pfuzzer.fuzz ~on_queue_event config subject);
+  !violation
+
+(* {1 Trace/coverage agreement} *)
+
+let first_occurrences trace =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  Array.iter
+    (fun oid ->
+      if not (Hashtbl.mem seen oid) then begin
+        Hashtbl.add seen oid ();
+        acc := oid :: !acc
+      end)
+    trace;
+  Array.of_list (List.rev !acc)
+
+let trace_agreement subject input =
+  let traced = Subject.run ~track_trace:true subject input in
+  let plain = Subject.run subject input in
+  if first_occurrences traced.trace <> traced.touched then
+    Some (Printf.sprintf "%S: touched is not the trace's first-occurrence order" input)
+  else if not (Coverage.equal (Coverage.of_array traced.touched) traced.coverage) then
+    Some (Printf.sprintf "%S: touched and the coverage bitset disagree" input)
+  else if traced.touched <> plain.touched then
+    Some (Printf.sprintf "%S: tracking the trace perturbed touched" input)
+  else if Runner.path_hash traced <> Runner.path_hash plain then
+    Some (Printf.sprintf "%S: path_hash unstable across runs" input)
+  else if traced.verdict <> plain.verdict then
+    Some (Printf.sprintf "%S: tracking the trace perturbed the verdict" input)
+  else if
+    not (Coverage.subset (Runner.coverage_up_to_last_index traced) traced.coverage)
+  then Some (Printf.sprintf "%S: coverage_up_to_last_index not a subset" input)
+  else None
+
+(* {1 The checks} *)
+
+let results_equal (a : Pfuzzer.result) (b : Pfuzzer.result) =
+  a.valid_inputs = b.valid_inputs
+  && Coverage.equal a.valid_coverage b.valid_coverage
+  && a.executions = b.executions
+  && a.candidates_created = b.candidates_created
+  && a.queue_peak = b.queue_peak
+  && a.first_valid_at = b.first_valid_at
+
+let run ?(execs = 400) ?(seed = 1) subject =
+  let checks = ref [] in
+  let add name ok detail = checks := { name; ok; detail } :: !checks in
+  let config = { Pfuzzer.default_config with seed; max_executions = execs } in
+  let r1 = Pfuzzer.fuzz config subject in
+  let r2 = Pfuzzer.fuzz config subject in
+  add "pfuzzer-determinism" (results_equal r1 r2)
+    (if results_equal r1 r2 then
+       Printf.sprintf "%d executions, %d valid inputs, bit-identical twice"
+         r1.executions (List.length r1.valid_inputs)
+     else "two runs from the same seed diverged");
+  (match replay_queue_events config subject with
+   | None ->
+     add "queue-priority-monotonicity" true
+       (Printf.sprintf "%d candidates replayed against the model"
+          r1.candidates_created)
+   | Some violation -> add "queue-priority-monotonicity" false violation);
+  (* Coverage-union monotonicity: replay the valid inputs in discovery
+     order. Each must be accepted, contribute new coverage over its
+     predecessors, and their union must be the reported set. *)
+  let union = ref Coverage.empty in
+  let monotone = ref true in
+  let why = ref "" in
+  List.iter
+    (fun input ->
+      let run = Subject.run subject input in
+      if not (Runner.accepted run) then begin
+        monotone := false;
+        why := Printf.sprintf "reported valid input %S is not accepted" input
+      end
+      else if Coverage.new_against run.coverage ~baseline:!union = 0 then begin
+        monotone := false;
+        why := Printf.sprintf "valid input %S added no new coverage" input
+      end;
+      let extended = Coverage.union !union run.coverage in
+      if not (Coverage.subset !union extended) then begin
+        monotone := false;
+        why := "coverage union shrank"
+      end;
+      union := extended)
+    r1.valid_inputs;
+  if !monotone && not (Coverage.equal !union r1.valid_coverage) then begin
+    monotone := false;
+    why := "union of valid inputs' coverage differs from reported valid_coverage"
+  end;
+  add "coverage-union-monotonicity" !monotone
+    (if !monotone then
+       Printf.sprintf "%d valid inputs, %d outcomes"
+         (List.length r1.valid_inputs)
+         (Coverage.cardinal !union)
+     else !why);
+  (* Grid determinism: the parallel evaluation must be bit-identical to
+     the sequential one. *)
+  let econfig =
+    {
+      Experiment.budget_units = execs * 100;
+      seeds = [ seed; seed + 1 ];
+      verbose = false;
+    }
+  in
+  let sequential = Experiment.run ~jobs:1 econfig [ subject ] in
+  let parallel = Experiment.run ~jobs:3 econfig [ subject ] in
+  add "grid-determinism"
+    (Experiment.equal sequential parallel)
+    (if Experiment.equal sequential parallel then "jobs:1 = jobs:3 on the full tool grid"
+     else "jobs:1 and jobs:3 grids differ");
+  (* Trace/coverage agreement over a mixed sample: the fuzzer's valid
+     inputs plus random strings. *)
+  let rng = Rng.make (seed + 17) in
+  let sample =
+    (let rec take n = function
+       | x :: rest when n > 0 -> x :: take (n - 1) rest
+       | _ -> []
+     in
+     take 15 r1.valid_inputs)
+    @ List.init 30 (fun _ -> Producer.random_input rng)
+  in
+  (match List.find_map (trace_agreement subject) sample with
+   | None ->
+     add "trace-coverage-agreement" true
+       (Printf.sprintf "%d inputs cross-checked" (List.length sample))
+   | Some violation -> add "trace-coverage-agreement" false violation);
+  { subject = subject.Subject.name; checks = List.rev !checks }
+
+let ok r = List.for_all (fun c -> c.ok) r.checks
+
+let pp_report ppf r =
+  Format.fprintf ppf "invariants %s:" r.subject;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@.  [%s] %s: %s"
+        (if c.ok then "ok" else "FAIL")
+        c.name c.detail)
+    r.checks

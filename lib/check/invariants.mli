@@ -1,0 +1,30 @@
+(** Machine-checked invariants of the fuzzer's own machinery, run
+    against a live {!Pdf_core.Pfuzzer} search under a seeded RNG.
+
+    Checked:
+    - {b determinism}: two runs from the same seed are identical;
+    - {b queue-priority monotonicity}: every queue operation the fuzzer
+      performs, replayed against a reference model (sorted list with
+      insertion-order tie-break), pops exactly the entry the model
+      predicts;
+    - {b coverage-union monotonicity}: the reported valid coverage is
+      the union of the valid inputs' coverage, and each valid input
+      contributed branches new at its discovery time (Algorithm 1's
+      [runCheck] condition);
+    - {b grid determinism}: [Experiment.run ~jobs:1] and [~jobs:3]
+      produce semantically equal cells;
+    - {b trace/coverage agreement}: the [touched] first-occurrence
+      order, the coverage bitset, [coverage_up_to_last_index] and
+      [path_hash] are mutually consistent, and opting into the full
+      trace does not perturb any of them. *)
+
+type check = { name : string; ok : bool; detail : string }
+
+type report = { subject : string; checks : check list }
+
+val run : ?execs:int -> ?seed:int -> Pdf_subjects.Subject.t -> report
+(** [run subject] drives the fuzzer for [execs] (default 400)
+    executions with [seed] (default 1) and evaluates every invariant. *)
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit

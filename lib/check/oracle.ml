@@ -1,0 +1,337 @@
+(* Reference recognizers, deliberately written in the most boring style
+   available: an index-passing recursive descent over the plain input
+   string, one local function per grammar rule, an exception for the
+   first failure. No instrumentation, no taint, no sharing with
+   lib/subjects — these are the independent second opinion the
+   differential driver compares the instrumented parsers against. *)
+
+module Cfg = Pdf_tables.Cfg
+
+type t = {
+  name : string;
+  accepts : string -> bool;
+  grammar : Cfg.t;
+}
+
+exception Fail
+
+(* {1 paren} — non-empty balanced brackets over ()[]{}<>. *)
+
+let paren_accepts s =
+  let n = String.length s in
+  let close_of = function
+    | '(' -> ')'
+    | '[' -> ']'
+    | '{' -> '}'
+    | '<' -> '>'
+    | _ -> raise Fail
+  in
+  let is_open = function '(' | '[' | '{' | '<' -> true | _ -> false in
+  (* Position after the longest balanced sequence starting at [i]. *)
+  let rec seq i =
+    if i < n && is_open s.[i] then begin
+      let j = seq (i + 1) in
+      if j < n && s.[j] = close_of s.[i] then seq (j + 1) else raise Fail
+    end
+    else i
+  in
+  n > 0 && (try seq 0 = n with Fail -> false)
+
+(* {1 expr} — signed arithmetic over integers, [+]/[-], parentheses. *)
+
+let expr_accepts s =
+  let n = String.length s in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec expr i =
+    let rec ops i =
+      if i < n && (s.[i] = '+' || s.[i] = '-') then ops (factor (i + 1)) else i
+    in
+    ops (factor i)
+  and factor i =
+    (* At most one unary sign. *)
+    let i = if i < n && (s.[i] = '+' || s.[i] = '-') then i + 1 else i in
+    if i < n && is_digit s.[i] then begin
+      let rec digits j = if j < n && is_digit s.[j] then digits (j + 1) else j in
+      digits (i + 1)
+    end
+    else if i < n && s.[i] = '(' then begin
+      let j = expr (i + 1) in
+      if j < n && s.[j] = ')' then j + 1 else raise Fail
+    end
+    else raise Fail
+  in
+  (try expr 0 = n with Fail -> false)
+
+(* {1 ini} — lines: blank, comment, [section], key = value. *)
+
+let ini_accepts s =
+  let n = String.length s in
+  let is_inline_ws c = c = ' ' || c = '\t' || c = '\r' in
+  let is_key c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '-'
+  in
+  let rec skip_ws i = if i < n && is_inline_ws s.[i] then skip_ws (i + 1) else i in
+  let rec to_eol i = if i < n && s.[i] <> '\n' then to_eol (i + 1) else i in
+  (* Position after one line's body: past the newline when the line form
+     consumed it itself (blank line), otherwise at the newline/EOF. *)
+  let line i =
+    let i = skip_ws i in
+    if i >= n then i
+    else if s.[i] = '\n' then i + 1
+    else if s.[i] = ';' || s.[i] = '#' then to_eol (i + 1)
+    else if s.[i] = '[' then begin
+      let rec name j =
+        if j >= n then raise Fail (* unterminated header *)
+        else if s.[j] = ']' then to_eol (j + 1)
+        else if s.[j] = '\n' then raise Fail (* newline in header *)
+        else name (j + 1)
+      in
+      name (i + 1)
+    end
+    else if is_key s.[i] then begin
+      let rec key j = if j < n && is_key s.[j] then key (j + 1) else j in
+      let j = skip_ws (key (i + 1)) in
+      if j < n && s.[j] = '=' then to_eol (j + 1) else raise Fail
+    end
+    else raise Fail
+  in
+  let rec lines i =
+    if i >= n then true
+    else begin
+      let j = line i in
+      let j = if j < n && s.[j] = '\n' then j + 1 else j in
+      lines j
+    end
+  in
+  (try lines 0 with Fail -> false)
+
+(* {1 csv} — records of comma-separated bare or quoted fields. *)
+
+let csv_accepts s =
+  let n = String.length s in
+  (* Position after the closing quote of a quoted body; '""' continues
+     the field. *)
+  let rec quoted i =
+    if i >= n then raise Fail (* unterminated *)
+    else if s.[i] = '"' then
+      if i + 1 < n && s.[i + 1] = '"' then quoted (i + 2) else i + 1
+    else quoted (i + 1)
+  in
+  let field i =
+    if i < n && s.[i] = '"' then quoted (i + 1)
+    else begin
+      let rec bare j =
+        if j < n && s.[j] <> ',' && s.[j] <> '"' && s.[j] <> '\n' then bare (j + 1)
+        else j
+      in
+      bare i
+    end
+  in
+  let rec record i =
+    let j = field i in
+    if j < n && s.[j] = ',' then record (j + 1) else j
+  in
+  let rec file i =
+    let j = record i in
+    if j = n then true
+    else if s.[j] = '\n' then j + 1 = n || file (j + 1)
+    else raise Fail (* junk after a field, e.g. closed quote then text *)
+  in
+  (try file 0 with Fail -> false)
+
+(* {1 json} — cJSON-style JSON: objects, arrays, strings with escapes
+   and surrogate-pair checking, numbers (leading zeros allowed, as in
+   the subject), the three keywords, whitespace, nothing trailing. *)
+
+let json_accepts s =
+  let n = String.length s in
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' || c = '\n' in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
+  let hex_val c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> raise Fail
+  in
+  let rec ws i = if i < n && is_ws s.[i] then ws (i + 1) else i in
+  let digits i =
+    if i < n && is_digit s.[i] then begin
+      let rec go j = if j < n && is_digit s.[j] then go (j + 1) else j in
+      go (i + 1)
+    end
+    else raise Fail
+  in
+  let quad i =
+    if i + 4 > n then raise Fail;
+    let v = ref 0 in
+    for k = i to i + 3 do
+      v := (!v * 16) + hex_val s.[k]
+    done;
+    (!v, i + 4)
+  in
+  let escape i =
+    if i >= n then raise Fail;
+    match s.[i] with
+    | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> i + 1
+    | 'u' ->
+      let v, j = quad (i + 1) in
+      if v >= 0xD800 && v <= 0xDBFF then begin
+        (* High surrogate: must pair with \uDC00..\uDFFF. *)
+        if j + 1 < n && s.[j] = '\\' && s.[j + 1] = 'u' then begin
+          let w, k = quad (j + 2) in
+          if w >= 0xDC00 && w <= 0xDFFF then k else raise Fail
+        end
+        else raise Fail
+      end
+      else if v >= 0xDC00 && v <= 0xDFFF then raise Fail (* unpaired low *)
+      else j
+    | _ -> raise Fail
+  in
+  (* Position after the closing quote; [i] is just after the opener. *)
+  let string_body i =
+    let rec go i =
+      if i >= n then raise Fail
+      else
+        match s.[i] with
+        | '"' -> i + 1
+        | '\\' -> go (escape (i + 1))
+        | c when Char.code c < 0x20 -> raise Fail
+        | _ -> go (i + 1)
+    in
+    go i
+  in
+  let number i =
+    let i = if i < n && s.[i] = '-' then i + 1 else i in
+    let i = digits i in
+    let i = if i < n && s.[i] = '.' then digits (i + 1) else i in
+    if i < n && (s.[i] = 'e' || s.[i] = 'E') then begin
+      let i = i + 1 in
+      let i = if i < n && (s.[i] = '+' || s.[i] = '-') then i + 1 else i in
+      digits i
+    end
+    else i
+  in
+  let rec value i =
+    if i >= n then raise Fail
+    else
+      match s.[i] with
+      | '{' -> obj (ws (i + 1))
+      | '[' -> arr (ws (i + 1))
+      | '"' -> string_body (i + 1)
+      | '-' -> number i
+      | c when is_digit c -> number i
+      | c when is_letter c ->
+        let rec word j = if j < n && is_letter s.[j] then word (j + 1) else j in
+        let j = word i in
+        (match String.sub s i (j - i) with
+         | "true" | "false" | "null" -> j
+         | _ -> raise Fail)
+      | _ -> raise Fail
+  and obj i =
+    if i < n && s.[i] = '}' then i + 1
+    else begin
+      let rec members i =
+        let i = ws i in
+        if not (i < n && s.[i] = '"') then raise Fail;
+        let i = ws (string_body (i + 1)) in
+        if not (i < n && s.[i] = ':') then raise Fail;
+        let i = ws (value (ws (i + 1))) in
+        if i < n && s.[i] = ',' then members (i + 1)
+        else if i < n && s.[i] = '}' then i + 1
+        else raise Fail
+      in
+      members i
+    end
+  and arr i =
+    if i < n && s.[i] = ']' then i + 1
+    else begin
+      let rec elements i =
+        let i = ws (value (ws i)) in
+        if i < n && s.[i] = ',' then elements (i + 1)
+        else if i < n && s.[i] = ']' then i + 1
+        else raise Fail
+      in
+      elements i
+    end
+  in
+  (try ws (value (ws 0)) = n with Fail -> false)
+
+(* {1 Producer grammars for ini and csv}
+
+   lib/tables ships character-level grammars for the other three
+   languages (arith, dyck, json); these two cover a diverse valid subset
+   of ini and csv. They need not be exhaustive — the differential driver
+   also feeds mutants and random strings — but everything they generate
+   should be valid, so the known-valid stream stays cheap. *)
+
+let class_ nt chars rest =
+  List.map (fun c -> { Cfg.lhs = nt; rhs = Cfg.T c :: rest }) chars
+
+let chars_of_string s = List.init (String.length s) (String.get s)
+
+let ini_grammar =
+  let p lhs rhs = { Cfg.lhs; rhs } in
+  let t c = Cfg.T c and n x = Cfg.N x in
+  Cfg.make ~start:"file"
+    ([
+       p "file" [];
+       p "file" [ n "line"; n "file" ];
+       p "line" [ n "ws"; t '\n' ];
+       p "line" [ n "ws"; t ';'; n "rest"; t '\n' ];
+       p "line" [ n "ws"; t '#'; n "rest"; t '\n' ];
+       p "line" [ n "ws"; t '['; n "name"; t ']'; n "rest"; t '\n' ];
+       p "line" [ n "ws"; n "key"; n "ws"; t '='; n "value"; t '\n' ];
+       p "ws" [];
+       p "ws" [ t ' '; n "ws" ];
+       p "ws" [ t '\t'; n "ws" ];
+       p "name" [];
+       p "key-rest" [];
+       p "rest" [];
+       p "value" [];
+     ]
+    @ class_ "name" (chars_of_string "abs1_ .") [ Cfg.N "name" ]
+    @ class_ "key" (chars_of_string "kaZ09_.-") [ Cfg.N "key-rest" ]
+    @ class_ "key-rest" (chars_of_string "ey1._-") [ Cfg.N "key-rest" ]
+    @ class_ "rest" (chars_of_string "cmt =[;x") [ Cfg.N "rest" ]
+    @ class_ "value" (chars_of_string "val 42;#]") [ Cfg.N "value" ])
+
+let csv_grammar =
+  let p lhs rhs = { Cfg.lhs; rhs } in
+  let t c = Cfg.T c and n x = Cfg.N x in
+  Cfg.make ~start:"file"
+    ([
+       p "file" [ n "record" ];
+       p "file" [ n "record"; t '\n' ];
+       p "file" [ n "record"; t '\n'; n "file" ];
+       p "record" [ n "field" ];
+       p "record" [ n "field"; t ','; n "record" ];
+       p "field" [];
+       p "field" [ t '"'; n "qbody" ];
+       p "qbody" [ t '"' ];
+       p "qbody" [ t '"'; t '"'; n "qbody" ];
+       p "bare-rest" [];
+     ]
+    @ class_ "field" (chars_of_string "abc1 ;") [ Cfg.N "bare-rest" ]
+    @ class_ "bare-rest" (chars_of_string "xyz2 .") [ Cfg.N "bare-rest" ]
+    @ class_ "qbody" (chars_of_string "q,\nz ") [ Cfg.N "qbody" ])
+
+let paren =
+  { name = "paren"; accepts = paren_accepts; grammar = Pdf_tables.Grammars.dyck }
+
+let expr =
+  { name = "expr"; accepts = expr_accepts; grammar = Pdf_tables.Grammars.arith }
+
+let ini = { name = "ini"; accepts = ini_accepts; grammar = ini_grammar }
+let csv = { name = "csv"; accepts = csv_accepts; grammar = csv_grammar }
+
+let json =
+  { name = "json"; accepts = json_accepts; grammar = Pdf_tables.Grammars.json }
+
+let all = [ expr; paren; ini; csv; json ]
+
+let find name = List.find_opt (fun o -> o.name = name) all

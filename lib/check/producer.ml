@@ -1,0 +1,79 @@
+module Rng = Pdf_util.Rng
+module Cfg = Pdf_tables.Cfg
+module Grammar = Pdf_grammar.Grammar
+module Generator = Pdf_grammar.Generator
+
+let grammar_of_cfg cfg =
+  List.fold_left
+    (fun g { Cfg.lhs; rhs } ->
+      Grammar.add_production g lhs
+        (List.map
+           (function
+             | Cfg.T c -> Grammar.Terminal (String.make 1 c)
+             | Cfg.N n -> Grammar.Nonterminal n)
+           rhs))
+    (Grammar.empty ~start:(Cfg.start cfg))
+    (Cfg.productions cfg)
+
+(* Converted grammars, memoised per oracle name: the conversion walks
+   every production and the JSON grammar has several hundred. *)
+let converted : (string, Grammar.t) Hashtbl.t = Hashtbl.create 8
+
+let grammar_for (oracle : Oracle.t) =
+  match Hashtbl.find_opt converted oracle.name with
+  | Some g -> g
+  | None ->
+    let g = grammar_of_cfg oracle.grammar in
+    Hashtbl.add converted oracle.name g;
+    g
+
+let retries = 30
+
+let valid rng (oracle : Oracle.t) =
+  let grammar = grammar_for oracle in
+  let rec go k =
+    if k = 0 then None
+    else begin
+      let depth = 3 + Rng.int rng 10 in
+      let candidate = Generator.generate rng ~max_depth:depth grammar in
+      if oracle.accepts candidate then Some candidate else go (k - 1)
+    end
+  in
+  go retries
+
+let mutate rng s =
+  let n = String.length s in
+  match Rng.int rng (if n = 0 then 2 else 5) with
+  | 0 -> s ^ String.make 1 (Rng.printable rng) (* append *)
+  | 1 ->
+    (* insert *)
+    let at = Rng.int rng (n + 1) in
+    String.sub s 0 at ^ String.make 1 (Rng.printable rng) ^ String.sub s at (n - at)
+  | 2 ->
+    (* delete *)
+    let at = Rng.int rng n in
+    String.sub s 0 at ^ String.sub s (at + 1) (n - at - 1)
+  | 3 ->
+    (* substitute *)
+    let at = Rng.int rng n in
+    String.sub s 0 at ^ String.make 1 (Rng.printable rng) ^ String.sub s (at + 1) (n - at - 1)
+  | _ ->
+    (* truncate *)
+    String.sub s 0 (Rng.int rng n)
+
+let invalid rng (oracle : Oracle.t) =
+  match valid rng oracle with
+  | None -> None
+  | Some seed ->
+    let rec go s k =
+      if k = 0 then None
+      else begin
+        let mutant = mutate rng s in
+        if not (oracle.accepts mutant) then Some mutant else go mutant (k - 1)
+      end
+    in
+    go seed retries
+
+let random_input rng =
+  let len = Rng.int rng 13 in
+  String.init len (fun _ -> Rng.printable rng)

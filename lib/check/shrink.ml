@@ -1,0 +1,57 @@
+let canonical_chars = [ 'a'; '0'; ' ' ]
+
+let shrink ?(max_evals = 5_000) p s =
+  let evals = ref 0 in
+  let holds s = incr evals; !evals <= max_evals && p s in
+  let best = ref s in
+  (* Chunk deletion, largest chunks first; restart from the top after
+     every successful deletion so later chunks are re-tried against the
+     shorter string. *)
+  let rec delete_pass () =
+    let s = !best in
+    let n = String.length s in
+    let try_chunk size =
+      let found = ref false in
+      let at = ref 0 in
+      while (not !found) && !at + size <= n do
+        let candidate =
+          String.sub s 0 !at ^ String.sub s (!at + size) (n - !at - size)
+        in
+        if holds candidate then begin
+          best := candidate;
+          found := true
+        end
+        else incr at
+      done;
+      !found
+    in
+    let rec sizes size =
+      if size >= 1 && !evals <= max_evals then
+        if try_chunk size then delete_pass () else sizes (size / 2)
+    in
+    if n > 0 then sizes (max 1 (n / 2))
+  in
+  delete_pass ();
+  (* Character canonicalisation on the length-minimal survivor. *)
+  let canon_pass () =
+    let changed = ref false in
+    String.iteri
+      (fun i c ->
+        List.iter
+          (fun r ->
+            if r < c && !evals <= max_evals then begin
+              let s = !best in
+              let candidate = String.mapi (fun j d -> if j = i then r else d) s in
+              if holds candidate then begin
+                best := candidate;
+                changed := true
+              end
+            end)
+          canonical_chars)
+      !best;
+    !changed
+  in
+  while canon_pass () && !evals <= max_evals do
+    ()
+  done;
+  !best

@@ -1,0 +1,11 @@
+(** Greedy delta-debugging-style input minimisation.
+
+    [shrink p s] requires [p s = true] and returns a string on which [p]
+    still holds and from which no single chunk deletion or character
+    canonicalisation [p]-preservingly applies — a local minimum, reached
+    by trying ever-smaller chunk deletions (halves down to single
+    characters) and then replacing surviving characters with canonical
+    ones. The predicate evaluation budget is bounded, so shrinking always
+    terminates quickly even when [p] runs a subject twice. *)
+
+val shrink : ?max_evals:int -> (string -> bool) -> string -> string

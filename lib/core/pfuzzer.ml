@@ -34,11 +34,18 @@ type result = {
   dedupe_resets : int;
 }
 
+type queue_event =
+  | Pushed of float * string
+  | Popped of float * string
+  | Reranked of (float * string) list
+  | Truncated of (float * string) list
+
 type state = {
   config : config;
   subject : Subject.t;
   rng : Rng.t;
   queue : Candidate.t Pqueue.t;
+  on_queue_event : (queue_event -> unit) option;
   mutable vbr : Coverage.t;  (* branches covered by valid inputs *)
   mutable valid_rev : string list;
   mutable executions : int;
@@ -57,6 +64,14 @@ type state = {
    after a reset some early duplicates may be re-executed once, which is
    cheap compared to retaining millions of dead strings. *)
 let seen_inputs_cap config = 4 * config.queue_bound
+
+let emit st event =
+  match st.on_queue_event with None -> () | Some f -> f (event ())
+
+(* Queue snapshot for the observer, in insertion order. Only built when
+   an observer is installed (see [emit]'s laziness). *)
+let observed_snapshot st =
+  List.map (fun (prio, (c : Candidate.t)) -> (prio, c.data)) (Pqueue.snapshot st.queue)
 
 exception Budget_exhausted
 
@@ -88,10 +103,13 @@ let push_candidate st (candidate : Candidate.t) =
     st.candidates_created <- st.candidates_created + 1;
     let prio = Heuristic.score st.config.heuristic ~vbr:st.vbr candidate in
     Pqueue.push st.queue prio candidate;
+    emit st (fun () -> Pushed (prio, candidate.data));
     (* Truncate with hysteresis: a full drop sorts the heap, so only do
        it after the queue has doubled past its bound. *)
-    if Pqueue.length st.queue > 2 * st.config.queue_bound then
+    if Pqueue.length st.queue > 2 * st.config.queue_bound then begin
       Pqueue.drop_worst st.queue st.config.queue_bound;
+      emit st (fun () -> Truncated (observed_snapshot st))
+    end;
     st.queue_peak <- max st.queue_peak (Pqueue.length st.queue)
   end
 
@@ -132,6 +150,7 @@ let valid_input st ~(parent : Candidate.t) (run : Runner.run) =
   st.vbr <- Coverage.union st.vbr run.coverage;
   Pqueue.rerank st.queue (fun candidate ->
       Heuristic.score st.config.heuristic ~vbr:st.vbr candidate);
+  emit st (fun () -> Reranked (observed_snapshot st));
   add_inputs st ~parent run
 
 (* Algorithm 1, [runCheck]: an input counts as valid only if it is
@@ -147,13 +166,15 @@ let run_check st ~parent input =
 
 let random_char st = String.make 1 (Rng.printable st.rng)
 
-let fuzz ?(on_valid = fun _ -> ()) ?(initial_inputs = []) config subject =
+let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?(initial_inputs = []) config
+    subject =
   let st =
     {
       config;
       subject;
       rng = Rng.make config.seed;
       queue = Pqueue.create ();
+      on_queue_event;
       vbr = Coverage.empty;
       valid_rev = [];
       executions = 0;
@@ -167,8 +188,10 @@ let fuzz ?(on_valid = fun _ -> ()) ?(initial_inputs = []) config subject =
     }
   in
   let next_candidate () =
-    match Pqueue.pop st.queue with
-    | Some c -> c
+    match Pqueue.pop_with_priority st.queue with
+    | Some (prio, c) ->
+      emit st (fun () -> Popped (prio, c.Candidate.data));
+      c
     | None ->
       (* Queue exhausted: restart from a fresh random character, as at
          the beginning of the search. *)

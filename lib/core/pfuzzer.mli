@@ -37,13 +37,27 @@ type result = {
           and was generationally reset to bound memory *)
 }
 
+type queue_event =
+  | Pushed of float * string  (** candidate enqueued with this priority *)
+  | Popped of float * string  (** candidate dequeued for execution *)
+  | Reranked of (float * string) list
+      (** queue re-prioritised after a valid input; the snapshot lists
+          the pending entries in insertion order with new priorities *)
+  | Truncated of (float * string) list
+      (** queue truncated to its bound; snapshot as in [Reranked] *)
+
 val fuzz :
   ?on_valid:(string -> unit) ->
+  ?on_queue_event:(queue_event -> unit) ->
   ?initial_inputs:string list ->
   config ->
   Pdf_subjects.Subject.t ->
   result
 (** Run the fuzzer against a subject until the execution budget is
     exhausted. [on_valid] is called on each valid input as it is found.
-    [initial_inputs] seeds the candidate queue — the §6.2 hand-over point
-    when pFuzzer continues from a lexical fuzzer's corpus. *)
+    [on_queue_event] observes every candidate-queue operation (snapshots
+    are only taken when the observer is present) — the correctness
+    harness replays them against a reference queue model to check
+    priority monotonicity. [initial_inputs] seeds the candidate queue —
+    the §6.2 hand-over point when pFuzzer continues from a lexical
+    fuzzer's corpus. *)

@@ -82,6 +82,28 @@ let run ?(tools = Tool.all) ?(jobs = 1) config subjects =
 
 let cell t subject tool = List.assoc tool (List.assoc subject t.cells)
 
+let cell_equal a b =
+  let outcome_equal (a : Tool.outcome) (b : Tool.outcome) =
+    a.tool = b.tool && a.subject = b.subject
+    && a.valid_inputs = b.valid_inputs
+    && Coverage.equal a.valid_coverage b.valid_coverage
+    && a.executions = b.executions
+  in
+  outcome_equal a.outcome b.outcome
+  && a.coverage_percent = b.coverage_percent
+  && a.found_tags = b.found_tags
+
+let equal a b =
+  List.length a.cells = List.length b.cells
+  && List.for_all2
+       (fun (sa, ta) (sb, tb) ->
+         sa = sb
+         && List.length ta = List.length tb
+         && List.for_all2
+              (fun (na, ca) (nb, cb) -> na = nb && cell_equal ca cb)
+              ta tb)
+       a.cells b.cells
+
 let headline t ~min_len ~max_len =
   let tools = match t.cells with [] -> [] | (_, per_tool) :: _ -> List.map fst per_tool in
   List.map

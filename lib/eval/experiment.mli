@@ -41,6 +41,12 @@ val run :
 val cell : t -> string -> Tool.name -> cell
 (** Lookup; raises [Not_found] for an unknown subject/tool. *)
 
+val equal : t -> t -> bool
+(** Cell-wise semantic equality: same grid shape and, per cell, the same
+    valid inputs, executions, coverage set, coverage percentage and found
+    tokens. The determinism invariant [run ~jobs:1 ≡ run ~jobs:n] is
+    checked with this. *)
+
 val headline : t -> min_len:int -> max_len:int -> (Tool.name * float) list
 (** Token share per tool in a length band, across all subjects in the
     experiment. *)

@@ -113,6 +113,16 @@ let new_against c ~baseline =
 let percent c registry =
   Pdf_util.Stats.ratio (cardinal c) (Site.total_outcomes registry)
 
+let subset a b =
+  let lb = Array.length b in
+  let ok = ref true in
+  Array.iteri
+    (fun i w ->
+      let wb = if i < lb then b.(i) else 0 in
+      if w land lnot wb <> 0 then ok := false)
+    a;
+  !ok
+
 let equal a b =
   let la = Array.length a and lb = Array.length b in
   let n = max la lb in

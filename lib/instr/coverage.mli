@@ -40,3 +40,6 @@ val percent : t -> Site.registry -> float
 (** Covered outcomes as a percentage of the registry's total. *)
 
 val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is true when every outcome in [a] is also in [b]. *)

@@ -38,7 +38,11 @@ let rec seq ctx =
 
 let parse ctx =
   Ctx.with_frame ctx s_parse @@ fun () ->
-  if Ctx.branch ctx b_empty (Ctx.at_eof ctx) then
+  (* Probe with [peek], not [at_eof]: rejecting the empty input must
+     register an EOF access so the fuzzer (and the EOF-hunger oracle
+     check) can tell this rejection wants *more* input rather than
+     different input. *)
+  if Ctx.branch ctx b_empty (Ctx.peek ctx = None) then
     Ctx.reject ctx "empty input";
   seq ctx;
   match Ctx.peek ctx with

@@ -61,7 +61,7 @@ let push t prio value =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let pop t =
+let pop_entry t =
   if t.size = 0 then None
   else begin
     let top = t.heap.(0) in
@@ -72,8 +72,12 @@ let pop t =
       sift_down t 0
     end
     else t.heap.(0) <- dummy_entry ();
-    Some top.value
+    Some top
   end
+
+let pop t = Option.map (fun e -> e.value) (pop_entry t)
+
+let pop_with_priority t = Option.map (fun e -> (e.prio, e.value)) (pop_entry t)
 
 let peek t = if t.size = 0 then None else Some t.heap.(0).value
 
@@ -109,3 +113,8 @@ let to_list t =
     acc := (t.heap.(i).prio, t.heap.(i).value) :: !acc
   done;
   !acc
+
+let snapshot t =
+  let entries = Array.sub t.heap 0 t.size in
+  Array.sort (fun a b -> compare a.seq b.seq) entries;
+  Array.to_list (Array.map (fun e -> (e.prio, e.value)) entries)

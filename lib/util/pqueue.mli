@@ -20,6 +20,11 @@ val pop : 'a t -> 'a option
     by insertion order (earlier insertions first), which keeps runs
     deterministic. *)
 
+val pop_with_priority : 'a t -> (float * 'a) option
+(** Like {!pop}, also returning the element's stored priority — the
+    observation the correctness harness replays against its queue
+    model. *)
+
 val peek : 'a t -> 'a option
 
 val iter : ('a -> unit) -> 'a t -> unit
@@ -36,3 +41,8 @@ val drop_worst : 'a t -> int -> unit
 
 val to_list : 'a t -> (float * 'a) list
 (** Snapshot in unspecified order. *)
+
+val snapshot : 'a t -> (float * 'a) list
+(** Snapshot of the pending entries in insertion order (oldest first)
+    with their current priorities. Unlike {!to_list} this is a total
+    order the queue's tie-breaking can be checked against. *)

@@ -1,0 +1,153 @@
+(* Property tests for the 256-bit vector {!Pdf_util.Charset} against a
+   [Set.Make (Char)] reference model.
+
+   The bit-vector operations (word-wise union/inter/diff/complement and
+   the popcount behind [cardinal]) are exactly the kind of code where an
+   off-by-one at a word boundary or a sign bit survives unit tests;
+   random operation trees compared against the functorial set close that
+   gap. Characters are drawn with byte-boundary bias (0x00, 0x3f, 0x40,
+   0x7f, 0x80, 0xff) so word edges are exercised constantly. *)
+
+module Charset = Pdf_util.Charset
+module Cset = Set.Make (Char)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let char_gen =
+  QCheck.(
+    oneof
+      [
+        map Char.chr (int_range 0 255);
+        (* word/byte boundary neighbourhoods of the underlying vector *)
+        oneofl [ '\x00'; '\x01'; '\x3e'; '\x3f'; '\x40'; '\x7e'; '\x7f';
+                 '\x80'; '\xbf'; '\xc0'; '\xfe'; '\xff' ];
+        (* a tiny alphabet so intersections are non-trivially non-empty *)
+        map (fun i -> Char.chr (97 + (abs i mod 4))) small_int;
+      ])
+
+let chars_gen = QCheck.small_list char_gen
+
+let of_model s = Charset.of_list (Cset.elements s)
+
+let check_same name (model : Cset.t) (cs : Charset.t) =
+  if Charset.to_list cs <> Cset.elements model then
+    QCheck.Test.fail_reportf "%s: to_list mismatch" name;
+  if Charset.cardinal cs <> Cset.cardinal model then
+    QCheck.Test.fail_reportf "%s: cardinal %d, model %d" name
+      (Charset.cardinal cs) (Cset.cardinal model);
+  if Charset.is_empty cs <> Cset.is_empty model then
+    QCheck.Test.fail_reportf "%s: is_empty mismatch" name;
+  if Charset.min_elt cs <> Cset.min_elt_opt model then
+    QCheck.Test.fail_reportf "%s: min_elt mismatch" name;
+  for i = 0 to 255 do
+    let c = Char.chr i in
+    if Charset.mem c cs <> Cset.mem c model then
+      QCheck.Test.fail_reportf "%s: mem %C mismatch" name c
+  done;
+  true
+
+let test_build =
+  QCheck.Test.make ~name:"of_list/add/of_string agree with model" ~count:500
+    chars_gen (fun chars ->
+      let model = Cset.of_list chars in
+      ignore (check_same "of_list" model (Charset.of_list chars));
+      let by_add =
+        List.fold_left (fun acc c -> Charset.add c acc) Charset.empty chars
+      in
+      ignore (check_same "add" model by_add);
+      let s = String.init (List.length chars) (List.nth chars) in
+      ignore (check_same "of_string" model (Charset.of_string s));
+      true)
+
+let test_remove =
+  QCheck.Test.make ~name:"remove agrees with model" ~count:500
+    QCheck.(pair chars_gen chars_gen)
+    (fun (chars, removals) ->
+      let model =
+        List.fold_left (fun s c -> Cset.remove c s) (Cset.of_list chars)
+          removals
+      in
+      let cs =
+        List.fold_left
+          (fun s c -> Charset.remove c s)
+          (Charset.of_list chars) removals
+      in
+      check_same "remove" model cs)
+
+let test_algebra =
+  QCheck.Test.make ~name:"union/inter/diff/complement agree with model"
+    ~count:500
+    QCheck.(pair chars_gen chars_gen)
+    (fun (xs, ys) ->
+      let mx = Cset.of_list xs and my = Cset.of_list ys in
+      let cx = of_model mx and cy = of_model my in
+      ignore (check_same "union" (Cset.union mx my) (Charset.union cx cy));
+      ignore (check_same "inter" (Cset.inter mx my) (Charset.inter cx cy));
+      ignore (check_same "diff" (Cset.diff mx my) (Charset.diff cx cy));
+      let full =
+        List.init 256 Char.chr |> Cset.of_list
+      in
+      ignore
+        (check_same "complement" (Cset.diff full mx) (Charset.complement cx));
+      true)
+
+let test_relations =
+  QCheck.Test.make ~name:"equal/subset agree with model" ~count:500
+    QCheck.(pair chars_gen chars_gen)
+    (fun (xs, ys) ->
+      let mx = Cset.of_list xs and my = Cset.of_list ys in
+      let cx = of_model mx and cy = of_model my in
+      Charset.equal cx cy = Cset.equal mx my
+      && Charset.subset cx cy = Cset.subset mx my
+      && Charset.subset cx (Charset.union cx cy)
+      && Charset.equal cx cx)
+
+let test_range =
+  QCheck.Test.make ~name:"range agrees with filtered model" ~count:500
+    QCheck.(pair char_gen char_gen)
+    (fun (a, b) ->
+      let model =
+        List.init 256 Char.chr
+        |> List.filter (fun c -> a <= c && c <= b)
+        |> Cset.of_list
+      in
+      check_same "range" model (Charset.range a b))
+
+let test_fold_iter =
+  QCheck.Test.make ~name:"fold and iter visit exactly the members" ~count:500
+    chars_gen (fun chars ->
+      let model = Cset.of_list chars in
+      let cs = of_model model in
+      let folded = Charset.fold (fun c acc -> c :: acc) cs [] in
+      if List.sort compare folded <> Cset.elements model then
+        QCheck.Test.fail_report "fold visited the wrong members";
+      let visited = ref [] in
+      Charset.iter (fun c -> visited := c :: !visited) cs;
+      if List.sort compare !visited <> Cset.elements model then
+        QCheck.Test.fail_report "iter visited the wrong members";
+      true)
+
+let test_named_sets () =
+  Alcotest.(check int) "digits" 10 (Charset.cardinal Charset.digits);
+  Alcotest.(check int) "letters" 52 (Charset.cardinal Charset.letters);
+  Alcotest.(check bool) "digits in printable" true
+    (Charset.subset Charset.digits Charset.printable);
+  Alcotest.(check bool) "letters in printable" true
+    (Charset.subset Charset.letters Charset.printable);
+  Alcotest.(check bool) "full has everything" true
+    (Charset.equal Charset.full (Charset.complement Charset.empty))
+
+let () =
+  Alcotest.run "charset"
+    [
+      ( "model",
+        [
+          qtest test_build;
+          qtest test_remove;
+          qtest test_algebra;
+          qtest test_relations;
+          qtest test_range;
+          qtest test_fold_iter;
+          Alcotest.test_case "named sets" `Quick test_named_sets;
+        ] );
+    ]

@@ -1,0 +1,309 @@
+(* Tests for the correctness harness itself: oracle unit vectors, the
+   shrinker, the producers, differential + invariant smoke passes over
+   every seed subject, and — the part that proves the harness has teeth —
+   mutation tests that inject a bug into a subject and require the
+   differential driver to find it and shrink the counterexample to a
+   handful of characters. *)
+
+module Ctx = Pdf_instr.Ctx
+module Subject = Pdf_subjects.Subject
+module Oracle = Pdf_check.Oracle
+module Producer = Pdf_check.Producer
+module Shrink = Pdf_check.Shrink
+module Differential = Pdf_check.Differential
+module Invariants = Pdf_check.Invariants
+module Harness = Pdf_check.Harness
+module Rng = Pdf_util.Rng
+
+let subject name =
+  try Pdf_subjects.Catalog.find name
+  with Not_found -> Alcotest.failf "no subject %S in the catalog" name
+
+let oracle name =
+  match Oracle.find name with
+  | Some o -> o
+  | None -> Alcotest.failf "no oracle %S" name
+
+(* {1 Oracle unit vectors}
+
+   Hand-picked inputs with known verdicts, independent of both the
+   oracles and the subjects. Each is checked against the oracle *and*
+   the instrumented subject, so a vector typo shows up as a double
+   failure rather than a silent agreement. *)
+
+let vectors =
+  [
+    ( "paren",
+      [ "()"; "[]"; "<>"; "{}"; "([]{})"; "<<[()]>>"; "()()" ],
+      [ ""; "("; ")"; "(]"; "([)]"; "()x"; "x"; "(()" ] );
+    ( "expr",
+      [ "1"; "42"; "1+2"; "-3"; "(1+2)"; "1+-2"; "(((7)))"; "10-2+3" ],
+      [ ""; "+"; "1+"; "--1"; "(1"; "1)"; "a"; "1 + 2" ] );
+    ( "ini",
+      [ ""; "\n"; "; comment\n"; "# comment\n"; "[sec]\n"; "key=value\n";
+        "[s]\nk=v\n"; "k.e-y_2=v\n"; "key = spaced\n";
+        (* the final newline is optional, and a section header tolerates
+           trailing junk on its line *)
+        "key=v"; "[a]b\n" ],
+      [ "[sec\n"; "=v\n"; "key\n"; "key!=v\n" ] );
+    ( "csv",
+      [ ""; "a"; "a,b"; "a,b\nc,d"; "\"a,b\""; "\"he said \"\"hi\"\"\"";
+        "a,\nb,"; "\"\"" ],
+      [ "\"a"; "\"a\"x"; "\"a\"\"" ] );
+    ( "json",
+      [ "1"; "-0.5"; "007"; "true"; "null"; "[]"; "[1,2]"; "{}";
+        "{\"a\":1}"; "\"s\""; "\"\\u0041\""; "\"\\ud834\\udd1e\"";
+        " [ 1 , { \"k\" : false } ] " ],
+      [ ""; "tru"; "truely"; "[1,]"; "{\"a\":}"; "\"\\u12\""; "\"\\ud834\"";
+        "\"a\nb\""; "01a"; "[1 2]" ] );
+  ]
+
+let test_oracle_vectors () =
+  List.iter
+    (fun (name, accepted, rejected) ->
+      let o = oracle name and s = subject name in
+      List.iter
+        (fun input ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s oracle accepts %S" name input)
+            true (o.Oracle.accepts input);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s subject accepts %S" name input)
+            true (Subject.accepts s input))
+        accepted;
+      List.iter
+        (fun input ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s oracle rejects %S" name input)
+            false (o.Oracle.accepts input);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s subject rejects %S" name input)
+            false (Subject.accepts s input))
+        rejected)
+    vectors
+
+(* {1 Shrinker} *)
+
+let test_shrink_units () =
+  let contains c s = String.contains s c in
+  Alcotest.(check string) "single relevant char survives" "x"
+    (Shrink.shrink (contains 'x') "aaxbb");
+  Alcotest.(check string) "already minimal" "x" (Shrink.shrink (contains 'x') "x");
+  Alcotest.(check string) "empty stays empty"
+    "" (Shrink.shrink (fun _ -> true) "");
+  (* A length predicate shrinks to exactly the threshold, all-canonical. *)
+  let s = Shrink.shrink (fun s -> String.length s >= 3) "kqzwvut" in
+  Alcotest.(check int) "length predicate hits the bound" 3 (String.length s);
+  (* Pair predicate: both halves must survive chunk deletion. *)
+  let p s = contains '(' s && contains ')' s in
+  let s = Shrink.shrink p "xx(yyy)zz" in
+  Alcotest.(check bool) "predicate preserved" true (p s);
+  Alcotest.(check bool) "shrunk to the two relevant chars"
+    true (String.length s = 2)
+
+let test_shrink_preserves_predicate () =
+  (* Random predicates over random strings: the result must satisfy the
+     predicate and be no longer than the input. *)
+  let rng = Rng.make 11 in
+  for _ = 1 to 50 do
+    let n = Rng.int rng 20 in
+    let input = String.init n (fun _ -> Rng.printable rng) in
+    let c = Rng.printable rng in
+    let p s = not (String.contains s c) in
+    if p input then begin
+      let s = Shrink.shrink p input in
+      Alcotest.(check bool) "predicate holds on result" true (p s);
+      Alcotest.(check bool) "no longer than input" true
+        (String.length s <= String.length input)
+    end
+  done
+
+(* {1 Producers} *)
+
+let test_producers () =
+  let rng = Rng.make 3 in
+  List.iter
+    (fun (o : Oracle.t) ->
+      let valids = ref 0 and invalids = ref 0 in
+      for _ = 1 to 40 do
+        (match Producer.valid rng o with
+         | Some s ->
+           incr valids;
+           Alcotest.(check bool)
+             (Printf.sprintf "%s producer valid %S accepted" o.name s)
+             true (o.accepts s)
+         | None -> ());
+        match Producer.invalid rng o with
+        | Some s ->
+          incr invalids;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s producer invalid %S rejected" o.name s)
+            false (o.accepts s)
+        | None -> ()
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s producer yields valid inputs" o.name)
+        true (!valids > 10);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s producer yields invalid inputs" o.name)
+        true (!invalids > 10))
+    Oracle.all
+
+(* {1 Differential + invariant smoke}
+
+   Small budgets: the full-size pass is [pfuzzer check]'s job; here we
+   only need every subject wired up and agreeing. *)
+
+let test_differential_smoke () =
+  List.iter
+    (fun (s : Subject.t) ->
+      let o = oracle s.name in
+      let r = Differential.run ~execs:400 ~seed:7 s o in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: no disagreements" s.name)
+        0
+        (List.length r.disagreements);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: inputs were actually checked" s.name)
+        true (r.inputs_checked > 20))
+    (Harness.checked_subjects ())
+
+let test_invariants_smoke () =
+  List.iter
+    (fun (s : Subject.t) ->
+      let r = Invariants.run ~execs:150 ~seed:5 s in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: five invariants evaluated" s.name)
+        5
+        (List.length r.checks);
+      if not (Invariants.ok r) then
+        Alcotest.failf "%s" (Format.asprintf "%a" Invariants.pp_report r))
+    (Harness.checked_subjects ())
+
+(* {1 Mutation tests}
+
+   Inject a bug into a seed subject and require the differential driver
+   to (a) notice and (b) shrink the witness to at most 8 characters —
+   the acceptance bar for the harness being useful, not just green. *)
+
+let check_finds_bug ~name ~max_len buggy oracle_name =
+  let o = oracle oracle_name in
+  let r = Differential.run ~execs:1500 ~seed:1 buggy o in
+  if r.disagreements = [] then
+    Alcotest.failf "%s: differential driver missed the injected bug" name;
+  List.iter
+    (fun (d : Differential.disagreement) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: shrunk %S no longer than original %S" name
+           d.shrunk d.input)
+        true
+        (String.length d.shrunk <= String.length d.input))
+    r.disagreements;
+  let best =
+    List.fold_left
+      (fun acc (d : Differential.disagreement) ->
+        min acc (String.length d.shrunk))
+      max_int r.disagreements
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: a counterexample shrank to <= %d chars (got %d)"
+       name max_len best)
+    true (best <= max_len)
+
+let test_mutation_spurious_reject () =
+  (* The subject wrongly rejects any input mentioning '<'; minimal
+     witness is "<>" (a lone '<' is rejected by both sides). *)
+  let base = subject "paren" in
+  let buggy =
+    {
+      base with
+      name = "paren(buggy-reject)";
+      parse =
+        (fun ctx ->
+          base.parse ctx;
+          if String.contains (Ctx.input ctx) '<' then
+            Ctx.reject ctx "injected bug");
+    }
+  in
+  check_finds_bug ~name:"spurious-reject" ~max_len:8 buggy "paren"
+
+let test_mutation_accept_everything () =
+  (* The subject swallows its own parse errors — the classic forgotten
+     exit code. Minimal witness is any 1-char invalid input. *)
+  let base = subject "expr" in
+  let buggy =
+    {
+      base with
+      name = "expr(buggy-accept)";
+      parse =
+        (fun ctx -> try base.parse ctx with Ctx.Reject _ -> ());
+    }
+  in
+  check_finds_bug ~name:"accept-everything" ~max_len:8 buggy "expr"
+
+let test_mutation_object_slip () =
+  (* The subject chokes on every object member — any json containing a
+     ':' is wrongly rejected. The minimal witness is a small object like
+     {"":0}, which exercises shrinking through the json oracle's richer
+     language (a bare deletion pass cannot reach it; whole-chunk deletions
+     must cooperate). *)
+  let base = subject "json" in
+  let buggy =
+    {
+      base with
+      name = "json(buggy-object)";
+      parse =
+        (fun ctx ->
+          base.parse ctx;
+          if String.contains (Ctx.input ctx) ':' then
+            Ctx.reject ctx "injected bug");
+    }
+  in
+  check_finds_bug ~name:"object-slip" ~max_len:8 buggy "json"
+
+(* {1 Harness aggregation} *)
+
+let test_harness_runs () =
+  let subjects = Harness.checked_subjects () in
+  Alcotest.(check int) "five subjects have oracles" 5 (List.length subjects);
+  let outcome = Harness.run ~execs:300 ~seed:2 [ subject "paren" ] in
+  Alcotest.(check bool) "paren harness passes" true (Harness.ok outcome)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "unit vectors (oracle and subject)" `Quick
+            test_oracle_vectors;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "unit cases" `Quick test_shrink_units;
+          Alcotest.test_case "predicate preserved on random inputs" `Quick
+            test_shrink_preserves_predicate;
+        ] );
+      ( "producer",
+        [ Alcotest.test_case "valid/invalid as labelled" `Quick test_producers ] );
+      ( "differential",
+        [
+          Alcotest.test_case "seed subjects agree with oracles" `Quick
+            test_differential_smoke;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "all invariants hold on seed subjects" `Slow
+            test_invariants_smoke;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "spurious reject is found and shrunk" `Quick
+            test_mutation_spurious_reject;
+          Alcotest.test_case "accept-everything is found and shrunk" `Quick
+            test_mutation_accept_everything;
+          Alcotest.test_case "object slip is found and shrunk" `Quick
+            test_mutation_object_slip;
+        ] );
+      ( "harness",
+        [ Alcotest.test_case "aggregation and subject set" `Quick test_harness_runs ] );
+    ]

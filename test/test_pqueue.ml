@@ -1,0 +1,177 @@
+(* Property tests for {!Pdf_util.Pqueue} against a sorted-list reference
+   model.
+
+   The queue's contract is total: pop order is (priority desc, insertion
+   order asc), and [rerank] keeps original insertion order for
+   tie-breaking while [drop_worst] keeps the n best under the same
+   order. The model is a plain association list with explicit sequence
+   numbers, so every observable — pop, peek, length, snapshot — can be
+   predicted exactly, not just up to ties. Priorities are drawn from a
+   tiny set to make ties the common case rather than the rare one. *)
+
+module Pqueue = Pdf_util.Pqueue
+
+let qtest = QCheck_alcotest.to_alcotest
+
+type op = Push of int | Pop | Peek | Rerank of int | Drop_worst of int
+
+let op_gen =
+  QCheck.(
+    oneof
+      [
+        map (fun p -> Push (abs p mod 4)) small_int;
+        always Pop;
+        always Peek;
+        map (fun k -> Rerank (abs k mod 5)) small_int;
+        map (fun n -> Drop_worst (abs n mod 6)) small_int;
+      ])
+
+let ops_gen =
+  QCheck.(
+    make
+      ~print:(fun ops ->
+        String.concat ";"
+          (List.map
+             (function
+               | Push p -> Printf.sprintf "push %d" p
+               | Pop -> "pop"
+               | Peek -> "peek"
+               | Rerank k -> Printf.sprintf "rerank %d" k
+               | Drop_worst n -> Printf.sprintf "drop_worst %d" n)
+             ops))
+      Gen.(list_size (int_range 0 40) (QCheck.gen op_gen)))
+
+(* Reference model: entries in insertion order with explicit seqs. *)
+module Model = struct
+  type entry = { mutable prio : float; seq : int; value : int }
+  type t = { mutable entries : entry list; mutable next_seq : int }
+
+  let create () = { entries = []; next_seq = 0 }
+
+  let push t prio value =
+    t.entries <- t.entries @ [ { prio; seq = t.next_seq; value } ];
+    t.next_seq <- t.next_seq + 1
+
+  let order a b =
+    (* priority desc, then seq asc — Pqueue's [before] as a comparator *)
+    if a.prio > b.prio then -1
+    else if a.prio < b.prio then 1
+    else compare a.seq b.seq
+
+  let best t =
+    match List.sort order t.entries with [] -> None | e :: _ -> Some e
+
+  let pop t =
+    match best t with
+    | None -> None
+    | Some e ->
+      t.entries <- List.filter (fun e' -> e'.seq <> e.seq) t.entries;
+      Some (e.prio, e.value)
+
+  let peek t = Option.map (fun e -> e.value) (best t)
+
+  let rerank t f = List.iter (fun e -> e.prio <- f e.value) t.entries
+
+  let drop_worst t n =
+    let kept = List.filteri (fun i _ -> i < n) (List.sort order t.entries) in
+    t.entries <-
+      List.sort (fun a b -> compare a.seq b.seq) kept
+
+  let snapshot t =
+    List.map
+      (fun e -> (e.prio, e.value))
+      (List.sort (fun a b -> compare a.seq b.seq) t.entries)
+
+  let length t = List.length t.entries
+end
+
+let rerank_fn k v = float_of_int ((v * (k + 2)) mod 5)
+
+let check_snapshot model q =
+  if Pqueue.length q <> Model.length model then
+    QCheck.Test.fail_reportf "length %d, model %d" (Pqueue.length q)
+      (Model.length model);
+  let snap = Pqueue.snapshot q and msnap = Model.snapshot model in
+  if snap <> msnap then QCheck.Test.fail_report "snapshot mismatch";
+  (* to_list is order-free; compare as multisets. *)
+  if List.sort compare (Pqueue.to_list q) <> List.sort compare msnap then
+    QCheck.Test.fail_report "to_list multiset mismatch"
+
+let apply model q counter op =
+  match op with
+  | Push p ->
+    let v = !counter in
+    incr counter;
+    let prio = float_of_int p in
+    Pqueue.push q prio v;
+    Model.push model prio v
+  | Pop ->
+    let got = Pqueue.pop_with_priority q and want = Model.pop model in
+    if got <> want then QCheck.Test.fail_report "pop_with_priority mismatch"
+  | Peek ->
+    if Pqueue.peek q <> Model.peek model then
+      QCheck.Test.fail_report "peek mismatch"
+  | Rerank k ->
+    Pqueue.rerank q (rerank_fn k);
+    Model.rerank model (rerank_fn k)
+  | Drop_worst n ->
+    Pqueue.drop_worst q n;
+    Model.drop_worst model n
+
+let test_ops_model =
+  QCheck.Test.make ~name:"op sequences agree with sorted-list model"
+    ~count:1000 ops_gen (fun ops ->
+      let model = Model.create () and q = Pqueue.create () in
+      let counter = ref 0 in
+      List.iter
+        (fun op ->
+          apply model q counter op;
+          check_snapshot model q)
+        ops;
+      (* Drain: full pop order must match the model's. *)
+      let rec drain () =
+        let got = Pqueue.pop_with_priority q and want = Model.pop model in
+        if got <> want then QCheck.Test.fail_report "drain order mismatch";
+        if got <> None then drain ()
+      in
+      drain ();
+      if not (Pqueue.is_empty q) then
+        QCheck.Test.fail_report "queue not empty after drain";
+      true)
+
+let test_fifo_on_ties =
+  QCheck.Test.make ~name:"equal priorities pop in insertion order" ~count:200
+    QCheck.(int_range 0 50)
+    (fun n ->
+      let q = Pqueue.create () in
+      for v = 0 to n - 1 do
+        Pqueue.push q 1.0 v
+      done;
+      let order = List.init n (fun _ -> Option.get (Pqueue.pop q)) in
+      order = List.init n Fun.id)
+
+let test_rerank_keeps_tie_order =
+  QCheck.Test.make ~name:"rerank preserves insertion order on ties" ~count:200
+    QCheck.(int_range 1 30)
+    (fun n ->
+      let q = Pqueue.create () in
+      for v = 0 to n - 1 do
+        (* Distinct priorities going in... *)
+        Pqueue.push q (float_of_int v) v
+      done;
+      (* ...collapsed to one tie class by rerank: insertion order must
+         decide the pop order. *)
+      Pqueue.rerank q (fun _ -> 0.0);
+      let order = List.init n (fun _ -> Option.get (Pqueue.pop q)) in
+      order = List.init n Fun.id)
+
+let () =
+  Alcotest.run "pqueue"
+    [
+      ( "model",
+        [
+          qtest test_ops_model;
+          qtest test_fifo_on_ties;
+          qtest test_rerank_keeps_tie_order;
+        ] );
+    ]
