@@ -6,9 +6,15 @@
      dune exec bench/main.exe -- --quick      # small budgets (seconds)
      dune exec bench/main.exe -- figure-2     # one section
      dune exec bench/main.exe -- --budget 10000000 --seeds 1,2,3
+     dune exec bench/main.exe -- micro --quick --out micro.json
 
    Sections: table-1 table-2 table-3 table-4 figure-2 figure-3 headline
-             ablation-dyck ablation-heuristic ablation-grammar micro *)
+             ablation-dyck ablation-heuristic ablation-grammar micro
+             incremental
+
+   --out FILE dumps the machine-readable results of the sections that
+   produce them (micro, incremental) as JSON — the CI bench smoke step
+   uploads this as an artifact. *)
 
 module Render = Pdf_util.Render
 module Rng = Pdf_util.Rng
@@ -23,17 +29,27 @@ module Token_report = Pdf_eval.Token_report
 
 let ppf = Format.std_formatter
 
-type options = { budget : int; seeds : int list; jobs : int; sections : string list }
+type options = {
+  budget : int;
+  seeds : int list;
+  jobs : int;
+  sections : string list;
+  quick : bool;
+  out : string option;
+}
 
 let parse_args () =
   let budget = ref 4_000_000 in
   let seeds = ref [ 1 ] in
   let jobs = ref 1 in
   let sections = ref [] in
+  let quick = ref false in
+  let out = ref None in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
       budget := 400_000;
+      quick := true;
       go rest
     | "--budget" :: v :: rest ->
       budget := int_of_string v;
@@ -44,12 +60,40 @@ let parse_args () =
     | "--jobs" :: v :: rest ->
       jobs := (if v = "auto" then Pdf_eval.Parallel.default_jobs () else int_of_string v);
       go rest
+    | "--out" :: v :: rest ->
+      out := Some v;
+      go rest
     | section :: rest ->
       sections := section :: !sections;
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  { budget = !budget; seeds = !seeds; jobs = !jobs; sections = List.rev !sections }
+  {
+    budget = !budget;
+    seeds = !seeds;
+    jobs = !jobs;
+    sections = List.rev !sections;
+    quick = !quick;
+    out = !out;
+  }
+
+(* Machine-readable output: sections that measure something append a JSON
+   fragment here; --out writes them as one object, in section order. *)
+let json_sections : (string * string) list ref = ref []
+let add_json name fragment = json_sections := (name, fragment) :: !json_sections
+
+let write_json options =
+  match options.out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    Printf.fprintf oc "{\n%s\n}\n"
+      (String.concat ",\n"
+         (List.map
+            (fun (k, v) -> Printf.sprintf "  %S: %s" k v)
+            (List.rev !json_sections)));
+    close_out oc;
+    Format.fprintf ppf "@.Wrote JSON results to %s@." file
 
 let wants options section =
   options.sections = [] || List.mem section options.sections
@@ -366,7 +410,7 @@ let pipeline options =
 
 (* {1 Micro-benchmarks (Bechamel): instrumentation overhead (Section 4)} *)
 
-let micro () =
+let micro options =
   Render.section ppf "micro: instrumentation overhead and hot-path costs (Bechamel)";
   let open Bechamel in
   let json = Catalog.find "json" in
@@ -409,7 +453,10 @@ let micro () =
              done));
     ]
   in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let cfg =
+    if options.quick then Benchmark.cfg ~limit:500 ~quota:(Time.second 0.1) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ()
+  in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |] in
   let results = Hashtbl.create 16 in
@@ -443,12 +490,188 @@ let micro () =
   in
   Render.table ppf ~title:"hot-path costs (OLS estimate)"
     ~header:[ "benchmark"; "ns/run"; "execs/sec" ] rows;
+  add_json "micro"
+    (Printf.sprintf "[\n%s\n  ]"
+       (String.concat ",\n"
+          (List.map
+             (fun name ->
+               let ns = time_of name in
+               Printf.sprintf
+                 "    { \"name\": %S, \"ns_per_run\": %.0f, \"execs_per_sec\": %.0f }"
+                 name ns (1e9 /. ns))
+             names)));
   let full = time_of "json/full-instrumentation"
   and scanner = time_of "json/oracle-scanner" in
   Format.fprintf ppf
     "@.Instrumentation overhead vs a plain scanner: %.0fx (the paper reports@.\
      a ~100x slowdown for its LLVM taint instrumentation, Section 4).@."
     (full /. scanner)
+
+(* {1 Incremental execution: prefix-snapshot resume vs full re-execution}
+
+   The fuzzer's dominant execution is a one-character extension of an
+   input it just ran. With the prefix-snapshot cache the child resumes
+   from the parent's suspended parse and executes only the new suffix;
+   this section measures that saving directly on deeply nested inputs
+   (where the shared prefix — hence the saving — is largest) and reports
+   the cache hit rate of a real fuzzing run.
+
+   Noise discipline as in BENCH_hotpath.json: full and resumed
+   executions are timed in interleaved rounds on the same boot, paired
+   per round, and the median pairwise speedup is reported. *)
+
+module Runner = Pdf_instr.Runner
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let time_ns_per_run f iters =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  ((Unix.gettimeofday () -. t0) *. 1e9) /. float_of_int iters
+
+let incremental options =
+  Render.section ppf
+    "incremental: prefix-snapshot resume vs full re-execution";
+  let rounds = 6 in
+  let iters = if options.quick then 400 else 4000 in
+  let cases =
+    List.concat_map
+      (fun (name, opener, closer) ->
+        List.map (fun depth -> (name, opener, closer, depth)) [ 16; 32; 64 ])
+      [ ("json", '[', ']'); ("expr", '(', ')') ]
+  in
+  let measured =
+    List.map
+      (fun (name, opener, closer, depth) ->
+        let subject = Catalog.find name in
+        let machine =
+          match subject.Subject.machine with
+          | Some m -> m
+          | None -> failwith (name ^ " has no machine-form parser")
+        in
+        (* The fuzzer's extension scenario: the parent ran, its
+           EOF-position snapshot is cached, the child appends one
+           character. *)
+        let child =
+          String.make depth opener ^ "1" ^ String.make depth closer
+        in
+        let parent = String.sub child 0 (String.length child - 1) in
+        let _parent_run, journal = Subject.exec_journaled subject machine parent in
+        let snap =
+          match Runner.snapshot_at journal (String.length parent) with
+          | Some s -> s
+          | None -> failwith "parent run has no EOF-position snapshot"
+        in
+        (* Equivalence sanity before timing anything. *)
+        let full_run, _ = Subject.exec_journaled subject machine child in
+        let res_run, _ = Runner.resume snap child in
+        if
+          full_run.Runner.verdict <> res_run.Runner.verdict
+          || full_run.Runner.comparisons <> res_run.Runner.comparisons
+          || not (Coverage.equal full_run.Runner.coverage res_run.Runner.coverage)
+        then failwith "resume diverged from full execution";
+        let per_round =
+          List.init rounds (fun _ ->
+              let full_ns =
+                time_ns_per_run
+                  (fun () -> ignore (Subject.exec_journaled subject machine child))
+                  iters
+              in
+              let resumed_ns =
+                time_ns_per_run (fun () -> ignore (Runner.resume snap child)) iters
+              in
+              (full_ns, resumed_ns, full_ns /. resumed_ns))
+        in
+        let fulls = List.map (fun (f, _, _) -> f) per_round in
+        let resumeds = List.map (fun (_, r, _) -> r) per_round in
+        let speedups = List.map (fun (_, _, s) -> s) per_round in
+        ( Printf.sprintf "%s/depth-%d" name depth,
+          String.length child,
+          median fulls,
+          median resumeds,
+          median speedups,
+          List.fold_left max neg_infinity speedups ))
+      cases
+  in
+  Render.table ppf
+    ~title:
+      (Printf.sprintf
+         "one-character extension of a nested input (%d interleaved rounds, %d execs each)"
+         rounds iters)
+    ~header:
+      [ "case"; "len"; "full ns"; "resumed ns"; "speedup (median)"; "best" ]
+    (List.map
+       (fun (case, len, full, resumed, sp_med, sp_best) ->
+         [
+           case;
+           string_of_int len;
+           Printf.sprintf "%.0f" full;
+           Printf.sprintf "%.0f" resumed;
+           Printf.sprintf "%.2fx" sp_med;
+           Printf.sprintf "%.2fx" sp_best;
+         ])
+       measured);
+  (* Cache accounting of a real fuzzing run: the hit rate tells how often
+     the measured fast path is actually taken. *)
+  let fuzz_execs = if options.quick then 2_000 else 20_000 in
+  let fuzz_stats =
+    List.map
+      (fun name ->
+        let subject = Catalog.find name in
+        let r =
+          Pfuzzer.fuzz
+            { Pfuzzer.default_config with max_executions = fuzz_execs }
+            subject
+        in
+        (name, r.Pfuzzer.cache))
+      [ "json"; "expr" ]
+  in
+  Render.table ppf
+    ~title:
+      (Printf.sprintf "prefix-cache accounting over a %d-execution fuzzing run"
+         fuzz_execs)
+    ~header:[ "subject"; "hits"; "misses"; "hit rate"; "evictions"; "chars saved" ]
+    (List.map
+       (fun (name, (c : Pfuzzer.cache_stats)) ->
+         [
+           name;
+           string_of_int c.hits;
+           string_of_int c.misses;
+           Printf.sprintf "%.1f%%"
+             (100. *. float_of_int c.hits /. float_of_int (max 1 (c.hits + c.misses)));
+           string_of_int c.evictions;
+           string_of_int c.chars_saved;
+         ])
+       fuzz_stats);
+  add_json "incremental"
+    (Printf.sprintf
+       "{\n    \"rounds\": %d,\n    \"iters_per_round\": %d,\n    \"rows\": [\n%s\n    ],\n    \"fuzz_cache\": {\n%s\n    }\n  }"
+       rounds iters
+       (String.concat ",\n"
+          (List.map
+             (fun (case, len, full, resumed, sp_med, sp_best) ->
+               Printf.sprintf
+                 "      { \"name\": %S, \"input_len\": %d, \"full_ns_median\": %.0f, \
+                  \"resumed_ns_median\": %.0f, \"speedup_pairwise_median\": %.2f, \
+                  \"speedup_pairwise_best\": %.2f }"
+                 case len full resumed sp_med sp_best)
+             measured))
+       (String.concat ",\n"
+          (List.map
+             (fun (name, (c : Pfuzzer.cache_stats)) ->
+               Printf.sprintf
+                 "      %S: { \"executions\": %d, \"hits\": %d, \"misses\": %d, \
+                  \"evictions\": %d, \"chars_saved\": %d }"
+                 name fuzz_execs c.hits c.misses c.evictions c.chars_saved)
+             fuzz_stats)))
 
 let () =
   let options = parse_args () in
@@ -466,5 +689,7 @@ let () =
   if wants options "ablation-token-taints" then ablation_token_taints options;
   if wants options "ablation-semantics" then ablation_semantics options;
   if wants options "pipeline" then pipeline options;
-  if wants options "micro" then micro ();
+  if wants options "micro" then micro options;
+  if wants options "incremental" then incremental options;
+  write_json options;
   Format.pp_print_flush ppf ()

@@ -41,7 +41,7 @@ let tool_arg =
   Arg.(value & opt string "pfuzzer" & info [ "t"; "tool" ] ~docv:"TOOL" ~doc)
 
 let fuzz_cmd =
-  let run subject_name tool_name seed executions quiet =
+  let run subject_name tool_name seed executions quiet no_incremental =
     match find_subject subject_name with
     | Error e -> Error e
     | Ok subject ->
@@ -49,7 +49,10 @@ let fuzz_cmd =
        | None -> Error (`Msg (Printf.sprintf "unknown tool %S" tool_name))
        | Some tool ->
          let budget_units = executions * Pdf_eval.Tool.cost_per_execution tool in
-         let outcome = Pdf_eval.Tool.run tool ~budget_units ~seed subject in
+         let outcome =
+           Pdf_eval.Tool.run ~incremental:(not no_incremental) tool
+             ~budget_units ~seed subject
+         in
          if not quiet then
            List.iter (fun input -> Printf.printf "%S\n" input) outcome.valid_inputs;
          let tags = Pdf_eval.Token_report.found_tags subject outcome.valid_inputs in
@@ -60,16 +63,32 @@ let fuzz_cmd =
            (List.length outcome.valid_inputs)
            (Pdf_instr.Coverage.percent outcome.valid_coverage subject.registry)
            (List.length tags) (String.concat " " tags);
+         let c = outcome.cache in
+         if c.Pdf_core.Pfuzzer.hits + c.misses > 0 then
+           Printf.printf
+             "# prefix cache: %d hits, %d misses (%.1f%% hit rate), %d evictions, %d chars saved\n"
+             c.hits c.misses
+             (100. *. float_of_int c.hits /. float_of_int (c.hits + c.misses))
+             c.evictions c.chars_saved;
          Ok ())
   in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary line.")
   in
+  let no_incremental =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:
+            "Disable pFuzzer's prefix-snapshot cache and re-execute every \
+             input from scratch. Results are bit-identical either way; this \
+             exists for benchmarking and debugging.")
+  in
   let term =
     Term.(
       term_result
         (const run $ subject_arg $ tool_arg $ seed_arg $ executions_arg 20_000
-         $ quiet))
+         $ quiet $ no_incremental))
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz one subject with one tool.") term
 

@@ -73,6 +73,7 @@ let subject =
     description = "semantic version strings (custom example subject)";
     registry;
     parse;
+    machine = None;
     fuel = 10_000;
     tokens = [];
     tokenize = (fun _ -> []);

@@ -103,6 +103,49 @@ let trace_agreement subject input =
   then Some (Printf.sprintf "%S: coverage_up_to_last_index not a subset" input)
   else None
 
+(* {1 Incremental-execution equivalence}
+
+   The prefix-snapshot cache must be a pure optimisation: a run resumed
+   from a parent's suspension must be bit-identical to a full
+   re-execution, and a whole fuzzing session with the cache on must
+   produce exactly the executions and results of one with the cache
+   off. *)
+
+let runs_equal (a : Runner.run) (b : Runner.run) =
+  a.input = b.input && a.verdict = b.verdict
+  && a.comparisons = b.comparisons
+  && Coverage.equal a.coverage b.coverage
+  && a.trace = b.trace && a.touched = b.touched
+  && a.eof_access = b.eof_access && a.max_depth = b.max_depth
+  && a.frames = b.frames
+
+(* Resume from every read boundary of [input]'s journal — both against
+   the identical input and against one with a mutated suffix — and
+   demand bit-identity with the corresponding full execution. *)
+let snapshot_resume_identity subject machine input =
+  let full, journal = Subject.exec_journaled subject machine input in
+  let resume_diverged p =
+    match Runner.snapshot_at journal p with
+    | None -> None
+    | Some snap ->
+      let resumed, _ = Runner.resume snap input in
+      if not (runs_equal full resumed) then
+        Some (Printf.sprintf "%S: resume at %d diverged from full execution" input p)
+      else
+        let mutated = String.sub input 0 p ^ "}X" in
+        let full_m, _ = Subject.exec_journaled subject machine mutated in
+        let resumed_m, _ = Runner.resume snap mutated in
+        if not (runs_equal full_m resumed_m) then
+          Some
+            (Printf.sprintf "%S: resume at %d on a mutated suffix diverged" input p)
+        else None
+  in
+  let rec check p =
+    if p > String.length input then None
+    else match resume_diverged p with Some _ as v -> v | None -> check (p + 1)
+  in
+  check 1
+
 (* {1 The checks} *)
 
 let results_equal (a : Pfuzzer.result) (b : Pfuzzer.result) =
@@ -112,6 +155,8 @@ let results_equal (a : Pfuzzer.result) (b : Pfuzzer.result) =
   && a.candidates_created = b.candidates_created
   && a.queue_peak = b.queue_peak
   && a.first_valid_at = b.first_valid_at
+  && a.dedupe_resets = b.dedupe_resets
+  && a.path_resets = b.path_resets
 
 let run ?(execs = 400) ?(seed = 1) subject =
   let checks = ref [] in
@@ -124,6 +169,57 @@ let run ?(execs = 400) ?(seed = 1) subject =
        Printf.sprintf "%d executions, %d valid inputs, bit-identical twice"
          r1.executions (List.length r1.valid_inputs)
      else "two runs from the same seed diverged");
+  (* Incremental ≡ full: the same seeded session with the prefix cache on
+     and off must execute exactly the same inputs with bit-identical
+     observations and results. *)
+  let exec_stream incremental =
+    let runs = ref [] in
+    let result =
+      Pfuzzer.fuzz
+        ~on_execution:(fun r -> runs := r :: !runs)
+        { config with incremental } subject
+    in
+    (result, List.rev !runs)
+  in
+  let r_inc, runs_inc = exec_stream true in
+  let r_full, runs_full = exec_stream false in
+  let streams_equal =
+    List.length runs_inc = List.length runs_full
+    && List.for_all2 runs_equal runs_inc runs_full
+  in
+  let incremental_ok = results_equal r_inc r_full && streams_equal in
+  add "incremental-equivalence" incremental_ok
+    (if incremental_ok then
+       Printf.sprintf
+         "%d executions bit-identical with cache on/off (%d hits, %d chars saved)%s"
+         r_inc.executions r_inc.cache.hits r_inc.cache.chars_saved
+         (if subject.Subject.machine = None then
+            " — no machine-form parser, cache inert" else "")
+     else if not streams_equal then
+       "per-execution run streams diverge between incremental and full"
+     else "aggregate results diverge between incremental and full");
+  (* Snapshot/resume identity at every read boundary of sample inputs. *)
+  (match subject.Subject.machine with
+   | None ->
+     add "snapshot-resume-identity" true "no machine-form parser; skipped"
+   | Some machine ->
+     let rng = Rng.make (seed + 23) in
+     let sample =
+       (let rec take n = function
+          | x :: rest when n > 0 -> x :: take (n - 1) rest
+          | _ -> []
+        in
+        take 8 r1.valid_inputs)
+       @ List.init 8 (fun _ -> Producer.random_input rng)
+     in
+     (match
+        List.find_map (snapshot_resume_identity subject machine) sample
+      with
+      | None ->
+        add "snapshot-resume-identity" true
+          (Printf.sprintf "%d inputs resumed at every read boundary"
+             (List.length sample))
+      | Some violation -> add "snapshot-resume-identity" false violation));
   (match replay_queue_events config subject with
    | None ->
      add "queue-priority-monotonicity" true

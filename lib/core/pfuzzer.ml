@@ -12,6 +12,7 @@ type config = {
   heuristic : Heuristic.variant;
   queue_bound : int;
   dedupe : bool;
+  incremental : bool;
 }
 
 let default_config =
@@ -22,7 +23,17 @@ let default_config =
     heuristic = Heuristic.Prose;
     queue_bound = 50_000;
     dedupe = true;
+    incremental = true;
   }
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  chars_saved : int;
+}
+
+let no_cache_stats = { hits = 0; misses = 0; evictions = 0; chars_saved = 0 }
 
 type result = {
   valid_inputs : string list;
@@ -32,6 +43,8 @@ type result = {
   queue_peak : int;
   first_valid_at : int option;
   dedupe_resets : int;
+  path_resets : int;
+  cache : cache_stats;
 }
 
 type queue_event =
@@ -43,6 +56,11 @@ type queue_event =
 type state = {
   config : config;
   subject : Subject.t;
+  (* The incremental engine: present only when the config enables it and
+     the subject ships a machine-form parser. [cache] maps an input
+     prefix to the snapshot suspended at its end. *)
+  machine : Pdf_instr.Machine.recognizer option;
+  cache : Runner.Cache.t option;
   rng : Rng.t;
   queue : Candidate.t Pqueue.t;
   on_queue_event : (queue_event -> unit) option;
@@ -53,9 +71,11 @@ type state = {
   mutable queue_peak : int;
   mutable first_valid_at : int option;
   mutable dedupe_resets : int;
+  mutable path_resets : int;
   path_counts : (int, int) Hashtbl.t;
   seen_inputs : (string, unit) Hashtbl.t;
   on_valid : string -> unit;
+  on_execution : (Runner.run -> unit) option;
 }
 
 (* The dedupe table would otherwise grow without bound over a long run:
@@ -64,6 +84,13 @@ type state = {
    after a reset some early duplicates may be re-executed once, which is
    cheap compared to retaining millions of dead strings. *)
 let seen_inputs_cap config = 4 * config.queue_bound
+
+(* Same bound and policy for the path-novelty table: its keys are path
+   hashes of runs, which also accumulate forever. After a reset the
+   counts rebuild from the paths still being exercised; a transient
+   novelty boost for re-seen paths is cheap compared to unbounded
+   growth. *)
+let path_counts_cap = seen_inputs_cap
 
 let emit st event =
   match st.on_queue_event with None -> () | Some f -> f (event ())
@@ -75,18 +102,63 @@ let observed_snapshot st =
 
 exception Budget_exhausted
 
-let execute st input =
+(* After an incremental run, remember the suspensions future executions
+   will want: the one at the substitution index (children are
+   [prefix ^ repl] sharing exactly that prefix) and the one at the end of
+   the input (the extension probe [input ^ c] resumes there). Both are
+   O(log boundaries) lookups sharing the run's arrays — no copying. *)
+let remember_snapshots cache journal (run : Runner.run) =
+  let store pos =
+    if pos > 0 && pos <= String.length run.input then
+      match Runner.snapshot_at journal pos with
+      | Some snap -> Runner.Cache.store cache (String.sub run.input 0 pos) snap
+      | None -> ()
+  in
+  (match Runner.substitution_index run with Some i -> store i | None -> ());
+  store (String.length run.input)
+
+(* One execution of the subject. [prefix_len] is the caller's hint that
+   the first [prefix_len] characters of [input] were inherited verbatim
+   from an already-executed parent; when the incremental engine is on and
+   that prefix's suspension is cached, only the suffix is executed. The
+   observable run is bit-identical either way. *)
+let execute st ~prefix_len input =
   if st.executions >= st.config.max_executions then raise Budget_exhausted;
   st.executions <- st.executions + 1;
-  Subject.run st.subject input
+  let run =
+    match st.cache, st.machine with
+    | Some cache, Some machine ->
+      let run, journal =
+        match
+          if prefix_len > 0 && prefix_len <= String.length input then
+            Runner.Cache.find cache (String.sub input 0 prefix_len)
+          else None
+        with
+        | Some snap -> Runner.resume snap input
+        | None -> Subject.exec_journaled st.subject machine input
+      in
+      remember_snapshots cache journal run;
+      run
+    | _ -> Subject.run st.subject input
+  in
+  (match st.on_execution with None -> () | Some f -> f run);
+  run
 
 (* Observe a completed run's path and return how often it had been seen
    before (the novelty signal of §3.2). *)
 let note_path st run =
   let h = Runner.path_hash run in
-  let count = Option.value ~default:0 (Hashtbl.find_opt st.path_counts h) in
-  Hashtbl.replace st.path_counts h (count + 1);
-  count
+  match Hashtbl.find_opt st.path_counts h with
+  | Some count ->
+    Hashtbl.replace st.path_counts h (count + 1);
+    count
+  | None ->
+    if Hashtbl.length st.path_counts >= path_counts_cap st.config then begin
+      Hashtbl.reset st.path_counts;
+      st.path_resets <- st.path_resets + 1
+    end;
+    Hashtbl.replace st.path_counts h 1;
+    0
 
 let push_candidate st (candidate : Candidate.t) =
   let fresh =
@@ -155,8 +227,8 @@ let valid_input st ~(parent : Candidate.t) (run : Runner.run) =
 
 (* Algorithm 1, [runCheck]: an input counts as valid only if it is
    accepted and covers branches no previous valid input covered. *)
-let run_check st ~parent input =
-  let run = execute st input in
+let run_check st ~parent ~prefix_len input =
+  let run = execute st ~prefix_len input in
   if Runner.accepted run && Coverage.new_against run.coverage ~baseline:st.vbr > 0
   then begin
     valid_input st ~parent run;
@@ -164,14 +236,33 @@ let run_check st ~parent input =
   end
   else (false, run)
 
-let random_char st = String.make 1 (Rng.printable st.rng)
+(* Restarts and extension probes happen on every iteration of the main
+   loop; keep them allocation-free by passing raw characters around and
+   interning the 1-character seed strings. *)
+let singleton_strings = Array.init 256 (fun i -> String.make 1 (Char.chr i))
+let random_char st = Rng.printable st.rng
+let seed_of_char c = Candidate.seed singleton_strings.(Char.code c)
 
-let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?(initial_inputs = []) config
-    subject =
+(* [data ^ String.make 1 c] in one allocation. *)
+let extend data c =
+  let n = String.length data in
+  let b = Bytes.create (n + 1) in
+  Bytes.blit_string data 0 b 0 n;
+  Bytes.unsafe_set b n c;
+  Bytes.unsafe_to_string b
+
+let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution
+    ?(initial_inputs = []) config subject =
+  let machine = if config.incremental then subject.Subject.machine else None in
   let st =
     {
       config;
       subject;
+      machine;
+      cache =
+        (match machine with
+         | Some _ -> Some (Runner.Cache.create ())
+         | None -> None);
       rng = Rng.make config.seed;
       queue = Pqueue.create ();
       on_queue_event;
@@ -182,9 +273,11 @@ let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?(initial_inputs = []) config
       queue_peak = 0;
       first_valid_at = None;
       dedupe_resets = 0;
+      path_resets = 0;
       path_counts = Hashtbl.create 1024;
       seen_inputs = Hashtbl.create 4096;
       on_valid;
+      on_execution;
     }
   in
   let next_candidate () =
@@ -195,20 +288,27 @@ let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?(initial_inputs = []) config
     | None ->
       (* Queue exhausted: restart from a fresh random character, as at
          the beginning of the search. *)
-      Candidate.seed (random_char st)
+      seed_of_char (random_char st)
   in
   List.iter (fun input -> push_candidate st (Candidate.seed input)) initial_inputs;
   (try
-     let candidate = ref (Candidate.seed (random_char st)) in
+     let candidate = ref (seed_of_char (random_char st)) in
      while true do
        let c = !candidate in
-       let valid, _run = run_check st ~parent:c c.data in
+       (* A queued candidate is [prefix ^ repl] for an already-executed
+          parent input sharing [prefix] — exactly the part a cached
+          suspension lets us skip. *)
+       let prefix_len = String.length c.data - String.length c.repl in
+       let valid, _run = run_check st ~parent:c ~prefix_len c.data in
        if not valid then begin
          (* Second execution: the same input extended by one random
-            character, probing whether the parser wants more input. *)
-         let extended = c.data ^ random_char st in
+            character, probing whether the parser wants more input. The
+            just-executed candidate is the extension's parent prefix. *)
+         let extended = extend c.data (random_char st) in
          if String.length extended <= config.max_input_len then begin
-           let valid2, run2 = run_check st ~parent:c extended in
+           let valid2, run2 =
+             run_check st ~parent:c ~prefix_len:(String.length c.data) extended
+           in
            if not valid2 then add_inputs st ~parent:c run2
          end
        end;
@@ -223,4 +323,16 @@ let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?(initial_inputs = []) config
     queue_peak = st.queue_peak;
     first_valid_at = st.first_valid_at;
     dedupe_resets = st.dedupe_resets;
+    path_resets = st.path_resets;
+    cache =
+      (match st.cache with
+       | None -> no_cache_stats
+       | Some cache ->
+         let s = Runner.Cache.stats cache in
+         {
+           hits = s.Runner.Cache.hits;
+           misses = s.misses;
+           evictions = s.evictions;
+           chars_saved = s.chars_saved;
+         });
   }

@@ -16,11 +16,26 @@ type config = {
   heuristic : Heuristic.variant;
   queue_bound : int;  (** queue is truncated to this many entries *)
   dedupe : bool;  (** drop candidates whose input was already queued *)
+  incremental : bool;
+      (** resume children from their parent's cached parse state instead
+          of re-parsing the shared prefix (subjects with a machine-form
+          parser only; observable results are bit-identical either way) *)
 }
 
 val default_config : config
 (** seed 1, 2000 executions, inputs up to 64 characters, {!Heuristic.Prose},
-    queue bound 50_000, dedupe on. *)
+    queue bound 50_000, dedupe on, incremental on. *)
+
+type cache_stats = {
+  hits : int;  (** executions that resumed from a cached suspension *)
+  misses : int;  (** cache consultations that found no entry *)
+  evictions : int;
+  chars_saved : int;
+      (** total prefix characters whose re-parsing hits avoided *)
+}
+
+val no_cache_stats : cache_stats
+(** All-zero stats, reported when the cache was not in play. *)
 
 type result = {
   valid_inputs : string list;  (** in discovery order *)
@@ -35,6 +50,11 @@ type result = {
   dedupe_resets : int;
       (** times the input-dedupe table hit its cap (4 × [queue_bound])
           and was generationally reset to bound memory *)
+  path_resets : int;
+      (** same, for the path-novelty count table *)
+  cache : cache_stats;
+      (** prefix-snapshot cache accounting; all zero when incremental
+          execution was off or the subject has no machine-form parser *)
 }
 
 type queue_event =
@@ -49,6 +69,7 @@ type queue_event =
 val fuzz :
   ?on_valid:(string -> unit) ->
   ?on_queue_event:(queue_event -> unit) ->
+  ?on_execution:(Pdf_instr.Runner.run -> unit) ->
   ?initial_inputs:string list ->
   config ->
   Pdf_subjects.Subject.t ->
@@ -58,6 +79,8 @@ val fuzz :
     [on_queue_event] observes every candidate-queue operation (snapshots
     are only taken when the observer is present) — the correctness
     harness replays them against a reference queue model to check
-    priority monotonicity. [initial_inputs] seeds the candidate queue —
-    the §6.2 hand-over point when pFuzzer continues from a lexical
-    fuzzer's corpus. *)
+    priority monotonicity. [on_execution] observes every completed run in
+    execution order — the incremental≡full equivalence invariant compares
+    these streams. [initial_inputs] seeds the candidate queue — the §6.2
+    hand-over point when pFuzzer continues from a lexical fuzzer's
+    corpus. *)

@@ -19,5 +19,10 @@ val headline : Format.formatter -> Experiment.t -> unit
 (** The §5.3 aggregate shares for short (≤ 3) and long (> 3) tokens,
     measured vs paper. *)
 
+val cache_report : Format.formatter -> Experiment.t -> unit
+(** pFuzzer's prefix-snapshot cache accounting per subject: hits, misses,
+    hit rate, evictions and prefix characters saved. *)
+
 val full : Format.formatter -> Experiment.t -> unit
-(** All of the above in paper order. *)
+(** All of the above in paper order, followed by the incremental-execution
+    accounting. *)

@@ -19,9 +19,10 @@ type outcome = {
   valid_inputs : string list;
   valid_coverage : Pdf_instr.Coverage.t;
   executions : int;
+  cache : Pdf_core.Pfuzzer.cache_stats;
 }
 
-let run tool ~budget_units ~seed subject =
+let run ?(incremental = true) tool ~budget_units ~seed subject =
   let max_executions = max 1 (budget_units / cost_per_execution tool) in
   match tool with
   | Afl ->
@@ -34,6 +35,7 @@ let run tool ~budget_units ~seed subject =
       valid_inputs = result.valid_inputs;
       valid_coverage = result.valid_coverage;
       executions = result.executions;
+      cache = Pdf_core.Pfuzzer.no_cache_stats;
     }
   | Klee ->
     let result =
@@ -47,11 +49,12 @@ let run tool ~budget_units ~seed subject =
       valid_inputs = result.valid_inputs;
       valid_coverage = result.valid_coverage;
       executions = result.executions;
+      cache = Pdf_core.Pfuzzer.no_cache_stats;
     }
   | Pfuzzer ->
     let result =
       Pdf_core.Pfuzzer.fuzz
-        { Pdf_core.Pfuzzer.default_config with seed; max_executions }
+        { Pdf_core.Pfuzzer.default_config with seed; max_executions; incremental }
         subject
     in
     {
@@ -60,4 +63,5 @@ let run tool ~budget_units ~seed subject =
       valid_inputs = result.valid_inputs;
       valid_coverage = result.valid_coverage;
       executions = result.executions;
+      cache = result.cache;
     }

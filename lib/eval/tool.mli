@@ -20,8 +20,14 @@ type outcome = {
   valid_inputs : string list;
   valid_coverage : Pdf_instr.Coverage.t;
   executions : int;
+  cache : Pdf_core.Pfuzzer.cache_stats;
+      (** pFuzzer's prefix-snapshot cache accounting; all zero for AFL
+          and KLEE (they have no incremental engine) *)
 }
 
 val run :
+  ?incremental:bool ->
   name -> budget_units:int -> seed:int -> Pdf_subjects.Subject.t -> outcome
-(** Run one tool on one subject until the unit budget is exhausted. *)
+(** Run one tool on one subject until the unit budget is exhausted.
+    [incremental] (default true) toggles pFuzzer's prefix-snapshot cache;
+    the other tools ignore it. *)

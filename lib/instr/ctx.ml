@@ -67,6 +67,70 @@ let make ~registry ?(fuel = 100_000) ?(track_comparisons = true)
     peeked_at = -1;
   }
 
+(* {2 Snapshot marks}
+
+   A mark is the O(1) part of a suspension point: watermarks into the
+   append-only recording buffers plus the scalar run state. Taken
+   together with the (immutable) buffer prefixes below the watermarks it
+   determines the full observation state of the run at that instant —
+   the buffers only ever grow, so the prefixes survive unmodified until
+   the end of the run and can be shared, not copied, when a snapshot is
+   materialised. *)
+type mark = {
+  m_comparisons : int;
+  m_touched : int;
+  m_trace : int;
+  m_frames : int;
+  m_stack : int;
+  m_max_stack : int;
+  m_fuel : int;
+  m_eof_access : bool;
+}
+
+let mark t =
+  {
+    m_comparisons = Vec.length t.comparisons;
+    m_touched = Vec.length t.touched;
+    m_trace = Vec.length t.trace;
+    m_frames = Vec.length t.frames;
+    m_stack = t.stack;
+    m_max_stack = t.max_stack;
+    m_fuel = t.fuel;
+    m_eof_access = t.eof_access;
+  }
+
+(* Rebuild a context mid-parse from a snapshot: the recording buffers
+   are borrowed prefixes of the parent run's packaged arrays
+   (copy-on-write via {!Vec.of_prefix}), and the dense coverage
+   presence map is reconstructed from the touched prefix — O(distinct
+   outcomes covered in the prefix), bounded by the registry size. *)
+let restore ~registry ~(mark : mark) ~cursor ~comparisons ~touched ~trace
+    ~frames ?(track_comparisons = true) ?(track_trace = false)
+    ?(track_frames = false) text =
+  let covered = Bytes.make (2 * Site.site_count registry) '\000' in
+  for i = 0 to mark.m_touched - 1 do
+    Bytes.unsafe_set covered (Array.unsafe_get touched i) '\001'
+  done;
+  {
+    registry;
+    text;
+    cursor;
+    eof_access = mark.m_eof_access;
+    comparisons = Vec.of_prefix comparisons ~len:mark.m_comparisons dummy_comparison;
+    covered;
+    touched = Vec.of_prefix touched ~len:mark.m_touched 0;
+    trace = Vec.of_prefix trace ~len:mark.m_trace 0;
+    stack = mark.m_stack;
+    max_stack = mark.m_max_stack;
+    fuel = mark.m_fuel;
+    track_comparisons;
+    track_trace;
+    track_frames;
+    frames = Vec.of_prefix frames ~len:mark.m_frames dummy_frame;
+    peeked = None;
+    peeked_at = -1;
+  }
+
 let pos t = t.cursor
 let input t = t.text
 let at_eof t = t.cursor >= String.length t.text

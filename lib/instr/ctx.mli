@@ -36,6 +36,51 @@ val make :
     bitmap; the search heuristics work from the deduplicated
     first-occurrence order, which is always maintained. *)
 
+(** {1 Snapshot marks}
+
+    Support for suspending a run at a read boundary and resuming it —
+    against a different input sharing the prefix — from an equivalent
+    context. Used by {!Runner}'s incremental execution engine. *)
+
+type mark = {
+  m_comparisons : int;  (** comparison events recorded so far *)
+  m_touched : int;  (** distinct outcomes covered so far *)
+  m_trace : int;  (** trace entries recorded so far *)
+  m_frames : int;  (** frame events recorded so far *)
+  m_stack : int;
+  m_max_stack : int;
+  m_fuel : int;  (** fuel remaining *)
+  m_eof_access : bool;
+}
+(** O(1) summary of the observation state at a suspension point:
+    watermarks into the append-only recording buffers plus scalar run
+    state. Combined with the buffer prefixes below the watermarks it
+    fully determines the context at that instant. *)
+
+val mark : t -> mark
+
+val restore :
+  registry:Site.registry ->
+  mark:mark ->
+  cursor:int ->
+  comparisons:Comparison.t array ->
+  touched:int array ->
+  trace:int array ->
+  frames:Frame.event array ->
+  ?track_comparisons:bool ->
+  ?track_trace:bool ->
+  ?track_frames:bool ->
+  string ->
+  t
+(** [restore ~registry ~mark ~cursor ~comparisons … text] is a context
+    for input [text] whose observation state equals the state the parent
+    run had when [mark] was taken: the recording buffers are borrowed
+    (copy-on-write) prefixes of the given arrays, cut at the mark's
+    watermarks, and the coverage presence map is rebuilt from the
+    touched prefix. The arrays must come from a run over the same
+    registry and must not be mutated afterwards. Cost: O(outcomes
+    covered in the prefix); the buffers themselves are shared. *)
+
 (** {1 Input access} *)
 
 val peek : t -> Pdf_taint.Tchar.t option

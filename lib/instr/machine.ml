@@ -1,0 +1,24 @@
+module Tchar = Pdf_taint.Tchar
+
+(* A step-wise (continuation-style) recognizer. The parser never touches
+   the input stream directly: every read is reified as a [Peek] or
+   [Next] step whose continuation receives the character *and* the
+   context to keep parsing with. Because continuations are ordinary
+   immutable closures that capture no context (the context always
+   arrives as an argument), a pending step is multi-shot: the runner can
+   deliver it once against the parent's context and again, later,
+   against a fresh context restored from a snapshot — the basis of the
+   incremental prefix cache (see {!Runner}). *)
+type step =
+  | Done
+  | Peek of (Tchar.t option -> Ctx.t -> step)
+  | Next of (Tchar.t option -> Ctx.t -> step)
+
+type recognizer = Ctx.t -> step
+
+let rec drive ctx = function
+  | Done -> ()
+  | Peek k -> drive ctx (k (Ctx.peek ctx) ctx)
+  | Next k -> drive ctx (k (Ctx.next ctx) ctx)
+
+let run ctx (recognizer : recognizer) = drive ctx (recognizer ctx)

@@ -1,3 +1,5 @@
+module Vec = Pdf_util.Vec
+
 type verdict = Accepted | Rejected of string | Hang
 
 type run = {
@@ -12,17 +14,7 @@ type run = {
   frames : Frame.event array;
 }
 
-let exec ~registry ~parse ?fuel ?track_comparisons ?track_trace ?track_frames
-    input =
-  let ctx =
-    Ctx.make ~registry ?fuel ?track_comparisons ?track_trace ?track_frames input
-  in
-  let verdict =
-    match parse ctx with
-    | () -> Accepted
-    | exception Ctx.Reject reason -> Rejected reason
-    | exception Ctx.Out_of_fuel -> Hang
-  in
+let package ctx input verdict =
   {
     input;
     verdict;
@@ -34,6 +26,268 @@ let exec ~registry ~parse ?fuel ?track_comparisons ?track_trace ?track_frames
     max_depth = Ctx.max_depth ctx;
     frames = Ctx.frames ctx;
   }
+
+let exec ~registry ~parse ?fuel ?track_comparisons ?track_trace ?track_frames
+    input =
+  let ctx =
+    Ctx.make ~registry ?fuel ?track_comparisons ?track_trace ?track_frames input
+  in
+  let verdict =
+    match parse ctx with
+    | () -> Accepted
+    | exception Ctx.Reject reason -> Rejected reason
+    | exception Ctx.Out_of_fuel -> Hang
+  in
+  package ctx input verdict
+
+(* {1 Incremental (journaled) execution}
+
+   A machine-form subject reads the input only through explicit
+   {!Machine.step}s, so the driver can observe every read boundary — the
+   instant the parser is about to look at input position [p] for the
+   first time. At each boundary it journals the pending step together
+   with an O(1) {!Ctx.mark}. Because the context's recording buffers are
+   append-only, the buffer prefixes below a mark's watermarks are still
+   intact when the run finishes; materialising a snapshot is therefore
+   just pairing the journaled step/mark with the run's packaged arrays —
+   no copying. Resuming builds a context via {!Ctx.restore}
+   (copy-on-write buffer prefixes) and drives the saved step against it. *)
+
+type boundary = { b_pos : int; b_step : Machine.step; b_mark : Ctx.mark }
+
+type journal = {
+  j_registry : Site.registry;
+  j_track_comparisons : bool;
+  j_track_trace : bool;
+  j_track_frames : bool;
+  j_boundaries : boundary array;  (* sorted by strictly increasing b_pos *)
+  j_run : run;
+}
+
+type snapshot = {
+  s_pos : int;
+  s_step : Machine.step;
+  s_mark : Ctx.mark;
+  s_registry : Site.registry;
+  s_track_comparisons : bool;
+  s_track_trace : bool;
+  s_track_frames : bool;
+  s_comparisons : Comparison.t array;
+  s_touched : int array;
+  s_trace : int array;
+  s_frames : Frame.event array;
+}
+
+let snapshot_pos s = s.s_pos
+
+let dummy_mark =
+  {
+    Ctx.m_comparisons = 0;
+    m_touched = 0;
+    m_trace = 0;
+    m_frames = 0;
+    m_stack = 0;
+    m_max_stack = 0;
+    m_fuel = 0;
+    m_eof_access = false;
+  }
+
+let dummy_boundary = { b_pos = 0; b_step = Machine.Done; b_mark = dummy_mark }
+
+(* Drive [step0] to completion, journaling the pending step at every
+   position >= [first_boundary] just before it is first observed. The
+   cursor only ever advances one position per [Next], so positions are
+   read in dense increasing order and "first read at [p]" is exactly the
+   read step encountered when [p] passes the high-water mark. *)
+let drive_journaled ctx step0 ~journal ~first_boundary =
+  let next_boundary = ref first_boundary in
+  let note step =
+    let p = Ctx.pos ctx in
+    if p >= !next_boundary then begin
+      Vec.push journal { b_pos = p; b_step = step; b_mark = Ctx.mark ctx };
+      next_boundary := p + 1
+    end
+  in
+  let rec loop step =
+    match step with
+    | Machine.Done -> ()
+    | Machine.Peek k ->
+      note step;
+      loop (k (Ctx.peek ctx) ctx)
+    | Machine.Next k ->
+      note step;
+      loop (k (Ctx.next ctx) ctx)
+  in
+  loop step0
+
+let exec_machine ~registry ~(machine : Machine.recognizer) ?(fuel = 100_000)
+    ?(track_comparisons = true) ?(track_trace = false) ?(track_frames = false)
+    input =
+  let ctx =
+    Ctx.make ~registry ~fuel ~track_comparisons ~track_trace ~track_frames input
+  in
+  let journal = Vec.create dummy_boundary in
+  let verdict =
+    match drive_journaled ctx (machine ctx) ~journal ~first_boundary:0 with
+    | () -> Accepted
+    | exception Ctx.Reject reason -> Rejected reason
+    | exception Ctx.Out_of_fuel -> Hang
+  in
+  let run = package ctx input verdict in
+  ( run,
+    {
+      j_registry = registry;
+      j_track_comparisons = track_comparisons;
+      j_track_trace = track_trace;
+      j_track_frames = track_frames;
+      j_boundaries = Vec.to_array journal;
+      j_run = run;
+    } )
+
+let snapshot_at journal pos =
+  let bs = journal.j_boundaries in
+  (* Binary search: positions are strictly increasing. *)
+  let rec find lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let b = Array.unsafe_get bs mid in
+      if b.b_pos = pos then Some b
+      else if b.b_pos < pos then find (mid + 1) hi
+      else find lo mid
+  in
+  match find 0 (Array.length bs) with
+  | None -> None
+  | Some b ->
+    Some
+      {
+        s_pos = b.b_pos;
+        s_step = b.b_step;
+        s_mark = b.b_mark;
+        s_registry = journal.j_registry;
+        s_track_comparisons = journal.j_track_comparisons;
+        s_track_trace = journal.j_track_trace;
+        s_track_frames = journal.j_track_frames;
+        s_comparisons = journal.j_run.comparisons;
+        s_touched = journal.j_run.touched;
+        s_trace = journal.j_run.trace;
+        s_frames = journal.j_run.frames;
+      }
+
+let resume (snap : snapshot) input =
+  if String.length input < snap.s_pos then
+    invalid_arg "Runner.resume: input shorter than the snapshot's prefix";
+  let ctx =
+    Ctx.restore ~registry:snap.s_registry ~mark:snap.s_mark ~cursor:snap.s_pos
+      ~comparisons:snap.s_comparisons ~touched:snap.s_touched
+      ~trace:snap.s_trace ~frames:snap.s_frames
+      ~track_comparisons:snap.s_track_comparisons
+      ~track_trace:snap.s_track_trace ~track_frames:snap.s_track_frames input
+  in
+  let journal = Vec.create dummy_boundary in
+  let verdict =
+    (* The pending step reads position [s_pos], whose prefix is already
+       cached under the key that found this snapshot — journal only the
+       positions beyond it. *)
+    match
+      drive_journaled ctx snap.s_step ~journal ~first_boundary:(snap.s_pos + 1)
+    with
+    | () -> Accepted
+    | exception Ctx.Reject reason -> Rejected reason
+    | exception Ctx.Out_of_fuel -> Hang
+  in
+  let run = package ctx input verdict in
+  ( run,
+    {
+      j_registry = snap.s_registry;
+      j_track_comparisons = snap.s_track_comparisons;
+      j_track_trace = snap.s_track_trace;
+      j_track_frames = snap.s_track_frames;
+      j_boundaries = Vec.to_array journal;
+      j_run = run;
+    } )
+
+(* {1 Bounded LRU prefix cache} *)
+
+module Cache = struct
+  type stats = {
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+    mutable chars_saved : int;
+  }
+
+  type node = {
+    key : string;
+    snap : snapshot;
+    mutable prev : node option;  (* towards most-recent *)
+    mutable next : node option;  (* towards least-recent *)
+  }
+
+  type t = {
+    bound : int;
+    table : (string, node) Hashtbl.t;
+    mutable head : node option;  (* most recently used *)
+    mutable tail : node option;  (* least recently used *)
+    stats : stats;
+  }
+
+  let create ?(bound = 4096) () =
+    {
+      bound = max 1 bound;
+      table = Hashtbl.create 256;
+      head = None;
+      tail = None;
+      stats = { hits = 0; misses = 0; evictions = 0; chars_saved = 0 };
+    }
+
+  let stats t = t.stats
+  let length t = Hashtbl.length t.table
+
+  let unlink t node =
+    (match node.prev with
+     | Some p -> p.next <- node.next
+     | None -> t.head <- node.next);
+    (match node.next with
+     | Some n -> n.prev <- node.prev
+     | None -> t.tail <- node.prev);
+    node.prev <- None;
+    node.next <- None
+
+  let push_front t node =
+    node.next <- t.head;
+    (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+    t.head <- Some node
+
+  let find t key =
+    match Hashtbl.find_opt t.table key with
+    | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      None
+    | Some node ->
+      t.stats.hits <- t.stats.hits + 1;
+      t.stats.chars_saved <- t.stats.chars_saved + String.length key;
+      if t.head != Some node then begin
+        unlink t node;
+        push_front t node
+      end;
+      Some node.snap
+
+  let store t key snap =
+    if not (Hashtbl.mem t.table key) then begin
+      if Hashtbl.length t.table >= t.bound then begin
+        match t.tail with
+        | None -> ()
+        | Some lru ->
+          unlink t lru;
+          Hashtbl.remove t.table lru.key;
+          t.stats.evictions <- t.stats.evictions + 1
+      end;
+      let node = { key; snap; prev = None; next = None } in
+      Hashtbl.replace t.table key node;
+      push_front t node
+    end
+end
 
 let accepted run = run.verdict = Accepted
 

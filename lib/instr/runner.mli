@@ -42,6 +42,96 @@ val exec :
 
 val accepted : run -> bool
 
+(** {1 Incremental execution}
+
+    A machine-form subject ({!Machine.recognizer}) can be executed with a
+    journal of its read boundaries. Each boundary can be materialised into
+    a {!snapshot} — the parser's pending step plus the observation state
+    accumulated over the prefix — and a snapshot can be {!resume}d
+    against any input that extends the same prefix, producing a run
+    bit-identical to full re-execution while only executing the suffix.
+
+    Snapshots are cheap: materialisation shares the run's packaged
+    arrays (no copy), and {!resume} borrows them copy-on-write; the only
+    O(prefix) work on resume is rebuilding the dense coverage presence
+    map from the touched prefix, bounded by the registry size. *)
+
+type journal
+(** Read-boundary journal of one journaled execution. *)
+
+type snapshot
+(** A suspended parse: everything needed to continue a run from the
+    first observation of input position {!snapshot_pos} under a new
+    suffix. Immutable and multi-shot — one snapshot can serve any number
+    of children sharing the prefix. *)
+
+val exec_machine :
+  registry:Site.registry ->
+  machine:Machine.recognizer ->
+  ?fuel:int ->
+  ?track_comparisons:bool ->
+  ?track_trace:bool ->
+  ?track_frames:bool ->
+  string ->
+  run * journal
+(** Run a machine-form subject, journaling every read boundary. The
+    [run] is identical to what {!exec} over [Machine.run] would
+    produce; defaults match {!Ctx.make}. *)
+
+val snapshot_at : journal -> int -> snapshot option
+(** [snapshot_at journal p] is the suspension at the first read of input
+    position [p] — the state after the parser observed exactly positions
+    [0..p-1] — or [None] if the run never read position [p] (it rejected
+    or accepted earlier, or [p] lies below a resumed run's own start).
+    O(log boundaries), no copying. *)
+
+val snapshot_pos : snapshot -> int
+(** Length of the input prefix the snapshot depends on. *)
+
+val resume : snapshot -> string -> run * journal
+(** [resume snap input] continues the suspended parse on [input], which
+    must extend the snapshot's prefix: [String.length input >=
+    snapshot_pos snap] (checked) and the first [snapshot_pos snap]
+    characters equal to the parent's (the caller's responsibility — the
+    prefix cache guarantees it by keying on the prefix). The resulting
+    run (verdict, comparisons, coverage, trace, touched, path identity)
+    is bit-identical to a full execution of [input]. The returned
+    journal covers the newly executed suffix, so children of the child
+    can be snapshotted in turn. *)
+
+(** {1 Bounded LRU prefix cache}
+
+    Maps a prefix string to the snapshot suspended at its end. One cache
+    per fuzzing run (snapshots are registry-specific); bounded, with
+    least-recently-used eviction and accounting counters. *)
+
+module Cache : sig
+  type t
+
+  type stats = {
+    mutable hits : int;
+    mutable misses : int;  (** lookups that found nothing *)
+    mutable evictions : int;
+    mutable chars_saved : int;
+        (** total prefix characters whose re-execution a hit avoided *)
+  }
+
+  val create : ?bound:int -> unit -> t
+  (** [bound] (default 4096, min 1) caps the number of cached prefixes. *)
+
+  val find : t -> string -> snapshot option
+  (** Lookup by exact prefix; updates recency and the hit/miss/saved
+      counters. *)
+
+  val store : t -> string -> snapshot -> unit
+  (** Insert, evicting the least-recently-used entry at the bound. An
+      existing entry for the same prefix is kept (first-in wins — the
+      snapshots are equivalent by construction). *)
+
+  val stats : t -> stats
+  val length : t -> int
+end
+
 (** {1 Derived observations used by the search} *)
 
 val last_compared_index : run -> int option

@@ -17,64 +17,85 @@ let b_final_eof = Site.branch registry "parse.final-eof"
 
 let bare_chars = Charset.complement (Charset.of_string ",\"\n")
 
-let quoted ctx =
-  Ctx.with_frame ctx s_quoted @@ fun () ->
-  ignore (Ctx.next ctx);
-  (* opening quote *)
-  let rec body () =
-    match Ctx.next ctx with
-    | None -> Ctx.reject ctx "unterminated quoted field"
-    | Some c ->
-      if Ctx.eq ctx b_quote_close c '"' then begin
-        (* A doubled quote continues the field. *)
-        match Ctx.peek ctx with
-        | Some c2 when Ctx.eq ctx b_quote_escape c2 '"' ->
-          ignore (Ctx.next ctx);
-          body ()
-        | Some _ | None -> ()
-      end
-      else body ()
-  in
-  body ()
+module Machine = Pdf_instr.Machine
+module K = Helpers.K
 
-let field ctx =
-  Ctx.with_frame ctx s_field @@ fun () ->
-  match Ctx.peek ctx with
-  | None -> ()
-  | Some c ->
-    if Ctx.eq ctx b_quote_open c '"' then quoted ctx
-    else ignore (Helpers.read_set ctx b_bare_char ~label:"bare-char" bare_chars)
+let quoted (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_quoted
+    (fun k ->
+      let rec body ctx =
+        K.next
+          (fun c ctx ->
+            match c with
+            | None -> Ctx.reject ctx "unterminated quoted field"
+            | Some c ->
+              if Ctx.eq ctx b_quote_close c '"' then
+                (* A doubled quote continues the field. *)
+                K.peek
+                  (fun c2 ctx ->
+                    match c2 with
+                    | Some c2 when Ctx.eq ctx b_quote_escape c2 '"' ->
+                      K.skip body ctx
+                    | Some _ | None -> k ctx)
+                  ctx
+              else body ctx)
+          ctx
+      in
+      K.skip (* opening quote *) body)
+    k ctx
 
-let record ctx =
-  Ctx.with_frame ctx s_record @@ fun () ->
-  field ctx;
-  let rec more () =
-    if Helpers.eat_if ctx b_comma ',' then begin
-      field ctx;
-      more ()
-    end
-  in
-  more ()
+let field (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_field
+    (fun k ->
+      K.peek (fun c ctx ->
+          match c with
+          | None -> k ctx
+          | Some c ->
+            if Ctx.eq ctx b_quote_open c '"' then quoted k ctx
+            else K.skip_set b_bare_char ~label:"bare-char" bare_chars k ctx))
+    k ctx
 
-let parse ctx =
-  Ctx.with_frame ctx s_parse @@ fun () ->
-  record ctx;
-  let rec rest () =
-    match Ctx.peek ctx with
-    | None -> ignore (Ctx.branch ctx b_final_eof true)
-    | Some c ->
-      if Ctx.eq ctx b_newline c '\n' then begin
-        ignore (Ctx.next ctx);
-        if not (Ctx.at_eof ctx) then begin
-          record ctx;
-          rest ()
-        end
-        else (* trailing newline; probe EOF for extensibility *)
-          ignore (Ctx.peek ctx)
-      end
-      else Ctx.reject ctx "unexpected character after field"
-  in
-  rest ()
+let record (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_record
+    (fun k ->
+      let rec more ctx =
+        K.eat_if b_comma ',' (fun ate -> if ate then field more else k) ctx
+      in
+      field more)
+    k ctx
+
+let machine : Machine.recognizer =
+ fun ctx ->
+  K.with_frame s_parse
+    (fun k ->
+      let rec rest ctx =
+        K.peek
+          (fun c ctx ->
+            match c with
+            | None ->
+              ignore (Ctx.branch ctx b_final_eof true);
+              k ctx
+            | Some c ->
+              if Ctx.eq ctx b_newline c '\n' then
+                (* After a newline, either another record follows or the
+                   input ends; the peek doubles as the trailing-newline
+                   EOF probe for extensibility. *)
+                K.skip
+                  (K.peek (fun c2 ctx ->
+                       match c2 with
+                       | None -> k ctx
+                       | Some _ -> record rest ctx))
+                  ctx
+              else Ctx.reject ctx "unexpected character after field")
+          ctx
+      in
+      record rest)
+    K.stop ctx
+
+let parse ctx = Machine.run ctx machine
 
 let tokens = [ Token.literal ","; Token.make "field" 1 ]
 
@@ -96,6 +117,7 @@ let subject =
     description = "comma-separated values (paper subject: csvparser)";
     registry;
     parse;
+    machine = Some machine;
     fuel = 100_000;
     tokens;
     tokenize;

@@ -16,61 +16,79 @@ let b_op_plus = Site.branch registry "expr.op-plus?"
 let b_op_minus = Site.branch registry "expr.op-minus?"
 let b_trailing = Site.branch registry "parse.trailing?"
 
-let number ctx =
-  Ctx.with_frame ctx s_number @@ fun () ->
-  let rec more () =
-    match Ctx.peek ctx with
-    | None -> ()
-    | Some c ->
-      if Ctx.in_range ctx b_digit_more c '0' '9' then begin
-        ignore (Ctx.next ctx);
-        more ()
-      end
-  in
-  more ()
+module Machine = Pdf_instr.Machine
+module K = Helpers.K
 
-let rec expr ctx =
-  Ctx.with_frame ctx s_expr @@ fun () ->
-  factor ctx;
-  let rec ops () =
-    if Helpers.eat_if ctx b_op_plus '+' then begin
-      factor ctx;
-      ops ()
-    end
-    else if Helpers.eat_if ctx b_op_minus '-' then begin
-      factor ctx;
-      ops ()
-    end
-  in
-  ops ()
+(* The first digit is consumed by [factor]; [number] eats the rest. *)
+let number (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_number
+    (fun k ->
+      let rec more ctx =
+        K.peek
+          (fun c ctx ->
+            match c with
+            | None -> k ctx
+            | Some c ->
+              if Ctx.in_range ctx b_digit_more c '0' '9' then K.skip more ctx
+              else k ctx)
+          ctx
+      in
+      more)
+    k ctx
 
-and factor ctx =
-  Ctx.with_frame ctx s_factor @@ fun () ->
-  (* Optional unary sign. *)
-  (if Helpers.peek_is ctx b_sign_plus '+' then ignore (Ctx.next ctx)
-   else if Helpers.peek_is ctx b_sign_minus '-' then ignore (Ctx.next ctx));
-  match Ctx.peek ctx with
-  | None -> Ctx.reject ctx "expected digit or '(', found end of input"
-  | Some c ->
-    if Ctx.in_range ctx b_digit_first c '0' '9' then begin
-      ignore (Ctx.next ctx);
-      number ctx
-    end
-    else if Ctx.eq ctx b_lparen c '(' then begin
-      ignore (Ctx.next ctx);
-      expr ctx;
-      Helpers.expect ctx b_rparen ')'
-    end
-    else Ctx.reject ctx "expected digit or '('"
+let rec expr (k : K.k) : K.k =
+ fun ctx -> K.with_frame s_expr (fun k -> factor (ops k)) k ctx
 
-let parse ctx =
-  Ctx.with_frame ctx s_parse @@ fun () ->
-  expr ctx;
-  match Ctx.peek ctx with
-  | Some _ ->
-    ignore (Ctx.branch ctx b_trailing true);
-    Ctx.reject ctx "trailing input after expression"
-  | None -> ignore (Ctx.branch ctx b_trailing false)
+and ops (k : K.k) : K.k =
+ fun ctx ->
+  K.eat_if b_op_plus '+'
+    (fun ate ->
+      if ate then factor (ops k)
+      else
+        K.eat_if b_op_minus '-' (fun ate ->
+            if ate then factor (ops k) else k))
+    ctx
+
+and factor (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_factor
+    (fun k ->
+      let body : K.k =
+        K.peek (fun c ctx ->
+            match c with
+            | None -> Ctx.reject ctx "expected digit or '(', found end of input"
+            | Some c ->
+              if Ctx.in_range ctx b_digit_first c '0' '9' then
+                K.skip (number k) ctx
+              else if Ctx.eq ctx b_lparen c '(' then
+                K.skip (expr (K.expect b_rparen ')' k)) ctx
+              else Ctx.reject ctx "expected digit or '('")
+      in
+      (* Optional unary sign. *)
+      K.peek_is b_sign_plus '+' (fun plus ->
+          if plus then K.skip body
+          else
+            K.peek_is b_sign_minus '-' (fun minus ->
+                if minus then K.skip body else body)))
+    k ctx
+
+let machine : Machine.recognizer =
+ fun ctx ->
+  K.with_frame s_parse
+    (fun k ->
+      expr
+        (K.peek (fun c ctx ->
+             match c with
+             | Some _ ->
+               ignore (Ctx.branch ctx b_trailing true);
+               Ctx.reject ctx "trailing input after expression"
+             | None ->
+               ignore (Ctx.branch ctx b_trailing false);
+               k ctx)))
+    K.stop ctx
+
+let parse ctx = Machine.run ctx machine
 
 let tokens =
   [
@@ -102,6 +120,7 @@ let subject =
     description = "arithmetic expressions (the paper's Section 2 example)";
     registry;
     parse;
+    machine = Some machine;
     fuel = 100_000;
     tokens;
     tokenize;

@@ -48,3 +48,86 @@ let eat_if ctx site expected =
     true
   end
   else false
+
+(* {1 Continuation-style combinators for machine-form (resumable)
+   parsers}
+
+   A parser fragment is a [k = Ctx.t -> Machine.step]; sequencing is by
+   continuation. Two rules keep fragments suspension-safe (see
+   {!Pdf_instr.Machine}): every input observation goes through a
+   [Peek]/[Next] step (never [Ctx.peek]/[Ctx.next]/[Ctx.at_eof]
+   directly), and no closure captures a [Ctx.t] across a step — the
+   context always re-arrives as the continuation's argument, so the
+   combinators below systematically shadow [ctx]. *)
+module K = struct
+  module Machine = Pdf_instr.Machine
+
+  type k = Ctx.t -> Machine.step
+
+  let stop : k = fun _ctx -> Machine.Done
+
+  let peek (f : Pdf_taint.Tchar.t option -> k) : k =
+   fun _ctx -> Machine.Peek (fun c ctx -> f c ctx)
+
+  let next (f : Pdf_taint.Tchar.t option -> k) : k =
+   fun _ctx -> Machine.Next (fun c ctx -> f c ctx)
+
+  (* Consume the (already peeked) character at the cursor, ignoring it. *)
+  let skip (k : k) : k = fun _ctx -> Machine.Next (fun _ ctx -> k ctx)
+
+  let with_frame site (body : k -> k) (k : k) : k =
+   fun ctx ->
+    Ctx.enter_frame ctx site;
+    body
+      (fun ctx ->
+        Ctx.exit_frame ctx;
+        k ctx)
+      ctx
+
+  let skip_set site ~label set (k : k) : k =
+   fun ctx ->
+    let rec go ctx =
+      peek
+        (fun c ctx ->
+          match c with
+          | None -> k ctx
+          | Some c ->
+            if Ctx.in_set ctx site ~label c set then skip go ctx else k ctx)
+        ctx
+    in
+    go ctx
+
+  let read_set site ~label set (f : Tstring.t -> k) : k =
+   fun ctx ->
+    let rec go acc ctx =
+      peek
+        (fun c ctx ->
+          match c with
+          | None -> f (Tstring.of_chars (List.rev acc)) ctx
+          | Some c ->
+            if Ctx.in_set ctx site ~label c set then skip (go (c :: acc)) ctx
+            else f (Tstring.of_chars (List.rev acc)) ctx)
+        ctx
+    in
+    go [] ctx
+
+  let expect site expected (k : k) : k =
+    next (fun c ctx ->
+        match c with
+        | None ->
+          Ctx.reject ctx
+            (Printf.sprintf "expected %C, found end of input" expected)
+        | Some c ->
+          if Ctx.eq ctx site c expected then k ctx
+          else Ctx.reject ctx (Printf.sprintf "expected %C" expected))
+
+  let peek_is site expected (f : bool -> k) : k =
+    peek (fun c ctx ->
+        match c with
+        | None -> f false ctx
+        | Some c -> f (Ctx.eq ctx site c expected) ctx)
+
+  let eat_if site expected (f : bool -> k) : k =
+    peek_is site expected (fun matched ctx ->
+        if matched then skip (f true) ctx else f false ctx)
+end

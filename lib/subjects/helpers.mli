@@ -26,3 +26,37 @@ val eat_if : Ctx.t -> Site.t -> char -> bool
 
 val whitespace : Pdf_util.Charset.t
 (** Space, tab, CR, LF. *)
+
+(** Continuation-style counterparts of the helpers above, for machine-form
+    (resumable) parsers. A parser fragment is a [k]; sequencing is by
+    continuation, and every input observation goes through a
+    {!Pdf_instr.Machine} step so the driver can journal read boundaries.
+    Fragments built only from these combinators automatically satisfy the
+    machine discipline: no direct [Ctx.peek]/[next]/[at_eof], and no
+    [Ctx.t] captured across a step. *)
+module K : sig
+  type k = Ctx.t -> Pdf_instr.Machine.step
+
+  val stop : k
+  (** Accept: finish the parse. *)
+
+  val peek : (Pdf_taint.Tchar.t option -> k) -> k
+  (** Observe the next character without consuming it. *)
+
+  val next : (Pdf_taint.Tchar.t option -> k) -> k
+  (** Consume and observe the next character. *)
+
+  val skip : k -> k
+  (** Consume the next character, ignoring it (use after a peek decided). *)
+
+  val with_frame : Site.t -> (k -> k) -> k -> k
+  (** [with_frame site body k]: run [body] one stack level deeper; the
+      frame is exited before [k] runs. *)
+
+  val skip_set : Site.t -> label:string -> Pdf_util.Charset.t -> k -> k
+  val read_set :
+    Site.t -> label:string -> Pdf_util.Charset.t -> (Pdf_taint.Tstring.t -> k) -> k
+  val expect : Site.t -> char -> k -> k
+  val peek_is : Site.t -> char -> (bool -> k) -> k
+  val eat_if : Site.t -> char -> (bool -> k) -> k
+end

@@ -27,76 +27,98 @@ let inline_ws = Charset.of_string " \t\r"
 let key_chars = Charset.union Charset.letters (Charset.union Charset.digits (Charset.of_string "_.-"))
 let value_chars = Charset.complement (Charset.singleton '\n')
 
-let skip_inline_ws ctx = Helpers.skip_set ctx b_inline_ws ~label:"inline-ws" inline_ws
+module Machine = Pdf_instr.Machine
+module K = Helpers.K
 
-let skip_to_eol ctx =
-  ignore (Helpers.read_set ctx b_value_char ~label:"line-char" value_chars)
+let skip_inline_ws k = K.skip_set b_inline_ws ~label:"inline-ws" inline_ws k
+let skip_to_eol k = K.skip_set b_value_char ~label:"line-char" value_chars k
 
 (* [section] parses the body after '[': a (possibly empty, as in inih)
    name terminated by ']'. Any character except ']' and newline may
    appear in a name. *)
-let section ctx =
-  Ctx.with_frame ctx s_section @@ fun () ->
-  let rec name len =
-    match Ctx.next ctx with
-    | None -> Ctx.reject ctx "unterminated section header"
-    | Some c ->
-      if Ctx.eq ctx b_rbracket c ']' then begin
-        ignore (Ctx.branch ctx b_section_empty (len = 0));
-        skip_to_eol ctx
-      end
-      else if Ctx.eq ctx b_section_nl c '\n' then
-        Ctx.reject ctx "newline in section header"
-      else name (len + 1)
-  in
-  name 0
+let section (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_section
+    (fun k ->
+      let rec name len ctx =
+        K.next
+          (fun c ctx ->
+            match c with
+            | None -> Ctx.reject ctx "unterminated section header"
+            | Some c ->
+              if Ctx.eq ctx b_rbracket c ']' then begin
+                ignore (Ctx.branch ctx b_section_empty (len = 0));
+                skip_to_eol k ctx
+              end
+              else if Ctx.eq ctx b_section_nl c '\n' then
+                Ctx.reject ctx "newline in section header"
+              else name (len + 1) ctx)
+          ctx
+      in
+      name 0)
+    k ctx
 
-(* [kvpair first] parses a key (whose first character has already been
-   consumed) up to '=', then the value to end of line. *)
-let kvpair ctx =
-  Ctx.with_frame ctx s_kvpair @@ fun () ->
-  ignore (Helpers.read_set ctx b_key_more ~label:"key-char" key_chars);
-  skip_inline_ws ctx;
-  Helpers.expect ctx b_equals '=';
-  skip_inline_ws ctx;
-  skip_to_eol ctx
+(* [kvpair] parses a key (whose first character has already been
+   examined but not consumed) up to '=', then the value to end of line. *)
+let kvpair (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_kvpair
+    (fun k ->
+      K.skip_set b_key_more ~label:"key-char" key_chars
+        (skip_inline_ws (K.expect b_equals '=' (skip_inline_ws (skip_to_eol k)))))
+    k ctx
 
-let line ctx =
-  Ctx.with_frame ctx s_line @@ fun () ->
-  skip_inline_ws ctx;
-  match Ctx.peek ctx with
-  | None -> ignore (Ctx.branch ctx b_blank true)
-  | Some c ->
-    ignore (Ctx.branch ctx b_blank false);
-    if Ctx.eq ctx b_newline c '\n' then ignore (Ctx.next ctx)
-    else if Ctx.eq ctx b_comment_semi c ';' || Ctx.eq ctx b_comment_hash c '#' then begin
-      Ctx.with_frame ctx s_comment @@ fun () ->
-      ignore (Ctx.next ctx);
-      skip_to_eol ctx
-    end
-    else if Ctx.eq ctx b_lbracket c '[' then begin
-      ignore (Ctx.next ctx);
-      section ctx
-    end
-    else if Ctx.in_set ctx b_keychar ~label:"key-char" c key_chars then kvpair ctx
-    else Ctx.reject ctx "invalid start of line"
+let line (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_line
+    (fun k ->
+      skip_inline_ws
+        (K.peek (fun c ctx ->
+             match c with
+             | None ->
+               ignore (Ctx.branch ctx b_blank true);
+               k ctx
+             | Some c ->
+               ignore (Ctx.branch ctx b_blank false);
+               if Ctx.eq ctx b_newline c '\n' then K.skip k ctx
+               else if
+                 Ctx.eq ctx b_comment_semi c ';'
+                 || Ctx.eq ctx b_comment_hash c '#'
+               then K.with_frame s_comment (fun k -> K.skip (skip_to_eol k)) k ctx
+               else if Ctx.eq ctx b_lbracket c '[' then K.skip (section k) ctx
+               else if Ctx.in_set ctx b_keychar ~label:"key-char" c key_chars
+               then kvpair k ctx
+               else Ctx.reject ctx "invalid start of line")))
+    k ctx
 
-let parse ctx =
-  Ctx.with_frame ctx s_parse @@ fun () ->
-  let rec lines () =
-    if not (Ctx.at_eof ctx) then begin
-      line ctx;
-      (* [line] stops either at a newline it consumed or at end of line;
-         consume the terminating newline if present. *)
-      (match Ctx.peek ctx with
-       | Some c when Ctx.eq ctx b_newline c '\n' -> ignore (Ctx.next ctx)
-       | Some _ | None -> ());
-      lines ()
-    end
-  in
-  lines ();
-  (* Final EOF probe so an accepted input still signals extensibility. *)
-  ignore (Ctx.peek ctx)
+let machine : Machine.recognizer =
+ fun ctx ->
+  K.with_frame s_parse
+    (fun k ->
+      let rec lines ctx =
+        (* The loop-head peek decides whether another line follows; at end
+           of input it doubles as the final EOF probe, so an accepted
+           input still signals extensibility. *)
+        K.peek
+          (fun c ctx ->
+            match c with
+            | None -> k ctx
+            | Some _ ->
+              line
+                (* [line] stops either at a newline it consumed or at end
+                   of line; consume the terminating newline if present. *)
+                (K.peek (fun c2 ctx ->
+                     match c2 with
+                     | Some c2 when Ctx.eq ctx b_newline c2 '\n' ->
+                       K.skip lines ctx
+                     | Some _ | None -> lines ctx))
+                ctx)
+          ctx
+      in
+      lines)
+    K.stop ctx
+
+let parse ctx = Machine.run ctx machine
 
 let tokens =
   [
@@ -128,6 +150,7 @@ let subject =
     description = "INI configuration files (paper subject: inih)";
     registry;
     parse;
+    machine = Some machine;
     fuel = 100_000;
     tokens;
     tokenize;

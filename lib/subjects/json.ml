@@ -49,25 +49,31 @@ let b_num_exp_sign = Site.branch registry "number.exp-sign?"
 let b_num_exp_digit = Site.branch registry "number.exp-digit?"
 let b_trailing = Site.branch registry "parse.trailing?"
 
-let ws = Charset.of_string " \t\r\n"
-let skip_ws ctx = Helpers.skip_set ctx b_ws ~label:"whitespace" ws
+module Machine = Pdf_instr.Machine
+module K = Helpers.K
 
-let digits ctx site_first site_more =
-  (match Ctx.next ctx with
-   | None -> Ctx.reject ctx "expected digit, found end of input"
-   | Some c ->
-     if not (Ctx.in_range ctx site_first c '0' '9') then
-       Ctx.reject ctx "expected digit");
-  let rec more () =
-    match Ctx.peek ctx with
-    | None -> ()
-    | Some c ->
-      if Ctx.in_range ctx site_more c '0' '9' then begin
-        ignore (Ctx.next ctx);
-        more ()
-      end
-  in
-  more ()
+let ws = Charset.of_string " \t\r\n"
+let skip_ws k = K.skip_set b_ws ~label:"whitespace" ws k
+
+let digits site_first site_more (k : K.k) : K.k =
+  K.next (fun c ctx ->
+      match c with
+      | None -> Ctx.reject ctx "expected digit, found end of input"
+      | Some c ->
+        if not (Ctx.in_range ctx site_first c '0' '9') then
+          Ctx.reject ctx "expected digit"
+        else
+          let rec more ctx =
+            K.peek
+              (fun c ctx ->
+                match c with
+                | None -> k ctx
+                | Some c ->
+                  if Ctx.in_range ctx site_more c '0' '9' then K.skip more ctx
+                  else k ctx)
+              ctx
+          in
+          more ctx)
 
 (* cJSON's UTF-16 decoding relies on implicit flow: the hex digits are
    turned into a code point by table lookups and arithmetic, never by a
@@ -82,164 +88,236 @@ let untracked_hex_value (c : Tchar.t) =
   | 'A' .. 'F' -> Some (Char.code c.Tchar.ch - Char.code 'A' + 10)
   | _ -> None
 
-let utf16_quad ctx =
-  let rec quad acc k =
-    if k = 0 then acc
+let utf16_quad (f : int -> K.k) : K.k =
+ fun ctx ->
+  let rec quad acc n ctx =
+    if n = 0 then f acc ctx
     else
-      match Ctx.next ctx with
-      | None -> Ctx.reject ctx "unterminated \\u escape"
-      | Some c ->
-        (match untracked_hex_value c with
-         | Some v ->
-           ignore (Ctx.branch ctx b_hex_valid true);
-           quad ((acc * 16) + v) (k - 1)
-         | None ->
-           ignore (Ctx.branch ctx b_hex_valid false);
-           Ctx.reject ctx "invalid hex digit in \\u escape")
+      K.next
+        (fun c ctx ->
+          match c with
+          | None -> Ctx.reject ctx "unterminated \\u escape"
+          | Some c -> (
+            match untracked_hex_value c with
+            | Some v ->
+              ignore (Ctx.branch ctx b_hex_valid true);
+              quad ((acc * 16) + v) (n - 1) ctx
+            | None ->
+              ignore (Ctx.branch ctx b_hex_valid false);
+              Ctx.reject ctx "invalid hex digit in \\u escape"))
+        ctx
   in
-  quad 0 4
+  quad 0 4 ctx
 
-let utf16_escape ctx =
-  Ctx.with_frame ctx s_utf16 @@ fun () ->
-  let first = utf16_quad ctx in
-  if Ctx.branch ctx b_surrogate_high (first >= 0xD800 && first <= 0xDBFF) then begin
-    Ctx.with_frame ctx s_utf16_surrogate @@ fun () ->
-    (* A high surrogate must be followed by "\uDC00".."\uDFFF". *)
-    let expect_untracked expected =
-      match Ctx.next ctx with
-      | Some c when c.Tchar.ch = expected -> ()
-      | Some _ | None -> Ctx.reject ctx "missing low surrogate"
-    in
-    expect_untracked '\\';
-    expect_untracked 'u';
-    let second = utf16_quad ctx in
-    if not (Ctx.branch ctx b_surrogate_low (second >= 0xDC00 && second <= 0xDFFF)) then
-      Ctx.reject ctx "invalid low surrogate"
-  end
-  else if first >= 0xDC00 && first <= 0xDFFF then
-    Ctx.reject ctx "unpaired low surrogate"
+(* The surrogate-pair glue characters are matched without tracking, like
+   [untracked_hex_value]: cJSON recognises them via implicit flow. *)
+let expect_untracked expected (k : K.k) : K.k =
+  K.next (fun c ctx ->
+      match c with
+      | Some c when c.Tchar.ch = expected -> k ctx
+      | Some _ | None -> Ctx.reject ctx "missing low surrogate")
 
-let escape ctx =
-  Ctx.with_frame ctx s_escape @@ fun () ->
-  match Ctx.next ctx with
-  | None -> Ctx.reject ctx "unterminated escape"
-  | Some c ->
-    if Ctx.one_of ctx b_esc_simple c "\"\\/bfnrt" then ()
-    else if Ctx.branch ctx b_esc_u (c.Tchar.ch = 'u') then utf16_escape ctx
-    else Ctx.reject ctx "invalid escape character"
+let utf16_escape (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_utf16
+    (fun k ->
+      utf16_quad (fun first ctx ->
+          if
+            Ctx.branch ctx b_surrogate_high (first >= 0xD800 && first <= 0xDBFF)
+          then
+            (* A high surrogate must be followed by "\uDC00".."\uDFFF". *)
+            K.with_frame s_utf16_surrogate
+              (fun k ->
+                expect_untracked '\\'
+                  (expect_untracked 'u'
+                     (utf16_quad (fun second ctx ->
+                          if
+                            not
+                              (Ctx.branch ctx b_surrogate_low
+                                 (second >= 0xDC00 && second <= 0xDFFF))
+                          then Ctx.reject ctx "invalid low surrogate"
+                          else k ctx))))
+              k ctx
+          else if first >= 0xDC00 && first <= 0xDFFF then
+            Ctx.reject ctx "unpaired low surrogate"
+          else k ctx))
+    k ctx
 
-let string_body ctx =
-  Ctx.with_frame ctx s_string @@ fun () ->
-  ignore (Ctx.next ctx);
-  (* opening quote *)
-  let rec body () =
-    match Ctx.next ctx with
-    | None -> Ctx.reject ctx "unterminated string"
-    | Some c ->
-      if Ctx.eq ctx b_str_close c '"' then ()
-      else if Ctx.eq ctx b_str_backslash c '\\' then begin
-        escape ctx;
-        body ()
-      end
-      else if Ctx.branch ctx b_str_control (Char.code c.Tchar.ch < 0x20) then
-        Ctx.reject ctx "control character in string"
-      else body ()
-  in
-  body ()
+let escape (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_escape
+    (fun k ->
+      K.next (fun c ctx ->
+          match c with
+          | None -> Ctx.reject ctx "unterminated escape"
+          | Some c ->
+            if Ctx.one_of ctx b_esc_simple c "\"\\/bfnrt" then k ctx
+            else if Ctx.branch ctx b_esc_u (c.Tchar.ch = 'u') then
+              utf16_escape k ctx
+            else Ctx.reject ctx "invalid escape character"))
+    k ctx
 
-let number ctx =
-  Ctx.with_frame ctx s_number @@ fun () ->
-  (match Ctx.peek ctx with
-   | Some c when Ctx.eq ctx b_minus c '-' -> ignore (Ctx.next ctx)
-   | Some _ | None -> ());
-  digits ctx b_num_int b_num_int;
-  (match Ctx.peek ctx with
-   | Some c when Ctx.eq ctx b_num_dot c '.' ->
-     ignore (Ctx.next ctx);
-     digits ctx b_num_frac b_num_frac
-   | Some _ | None -> ());
-  match Ctx.peek ctx with
-  | Some c when Ctx.one_of ctx b_num_exp c "eE" ->
-    ignore (Ctx.next ctx);
-    (match Ctx.peek ctx with
-     | Some c2 when Ctx.one_of ctx b_num_exp_sign c2 "+-" -> ignore (Ctx.next ctx)
-     | Some _ | None -> ());
-    digits ctx b_num_exp_digit b_num_exp_digit
-  | Some _ | None -> ()
+let string_body (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_string
+    (fun k ->
+      let rec body ctx =
+        K.next
+          (fun c ctx ->
+            match c with
+            | None -> Ctx.reject ctx "unterminated string"
+            | Some c ->
+              if Ctx.eq ctx b_str_close c '"' then k ctx
+              else if Ctx.eq ctx b_str_backslash c '\\' then escape body ctx
+              else if Ctx.branch ctx b_str_control (Char.code c.Tchar.ch < 0x20)
+              then Ctx.reject ctx "control character in string"
+              else body ctx)
+          ctx
+      in
+      K.skip (* opening quote *) body)
+    k ctx
 
-let keyword ctx =
-  Ctx.with_frame ctx s_keyword @@ fun () ->
-  let word = Helpers.read_set ctx b_letter ~label:"letter" Charset.letters in
-  if Ctx.str_eq ctx b_kw_true word "true" then ()
-  else if Ctx.str_eq ctx b_kw_false word "false" then ()
-  else if Ctx.str_eq ctx b_kw_null word "null" then ()
-  else Ctx.reject ctx "invalid literal"
+let number (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_number
+    (fun k ->
+      let exp_digits = digits b_num_exp_digit b_num_exp_digit k in
+      let exp_part ctx =
+        K.peek
+          (fun c ctx ->
+            match c with
+            | Some c when Ctx.one_of ctx b_num_exp c "eE" ->
+              K.skip
+                (K.peek (fun c2 ctx ->
+                     match c2 with
+                     | Some c2 when Ctx.one_of ctx b_num_exp_sign c2 "+-" ->
+                       K.skip exp_digits ctx
+                     | Some _ | None -> exp_digits ctx))
+                ctx
+            | Some _ | None -> k ctx)
+          ctx
+      in
+      let frac_part ctx =
+        K.peek
+          (fun c ctx ->
+            match c with
+            | Some c when Ctx.eq ctx b_num_dot c '.' ->
+              K.skip (digits b_num_frac b_num_frac exp_part) ctx
+            | Some _ | None -> exp_part ctx)
+          ctx
+      in
+      let int_part = digits b_num_int b_num_int frac_part in
+      K.peek (fun c ctx ->
+          match c with
+          | Some c when Ctx.eq ctx b_minus c '-' -> K.skip int_part ctx
+          | Some _ | None -> int_part ctx))
+    k ctx
 
-let rec value ctx =
-  Ctx.with_frame ctx s_value @@ fun () ->
-  Ctx.tick ctx;
-  match Ctx.peek ctx with
-  | None -> Ctx.reject ctx "expected value, found end of input"
-  | Some c ->
-    if Ctx.eq ctx b_lbrace c '{' then object_ ctx
-    else if Ctx.eq ctx b_lbracket c '[' then array ctx
-    else if Ctx.eq ctx b_quote c '"' then string_body ctx
-    else if Ctx.eq ctx b_minus c '-' then number ctx
-    else if Ctx.in_range ctx b_digit c '0' '9' then number ctx
-    else if Ctx.in_set ctx b_letter ~label:"letter" c Charset.letters then keyword ctx
-    else Ctx.reject ctx "unexpected character at start of value"
+let keyword (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_keyword
+    (fun k ->
+      K.read_set b_letter ~label:"letter" Charset.letters (fun word ctx ->
+          if Ctx.str_eq ctx b_kw_true word "true" then k ctx
+          else if Ctx.str_eq ctx b_kw_false word "false" then k ctx
+          else if Ctx.str_eq ctx b_kw_null word "null" then k ctx
+          else Ctx.reject ctx "invalid literal"))
+    k ctx
 
-and object_ ctx =
-  Ctx.with_frame ctx s_object @@ fun () ->
-  ignore (Ctx.next ctx);
-  (* '{' *)
-  skip_ws ctx;
-  if Helpers.peek_is ctx b_obj_empty '}' then ignore (Ctx.next ctx)
-  else begin
-    let rec members () =
-      skip_ws ctx;
-      (match Ctx.peek ctx with
-       | Some c when Ctx.eq ctx b_obj_key_quote c '"' -> string_body ctx
-       | Some _ -> Ctx.reject ctx "expected string key"
-       | None -> Ctx.reject ctx "expected string key, found end of input");
-      skip_ws ctx;
-      Helpers.expect ctx b_colon ':';
-      skip_ws ctx;
-      value ctx;
-      skip_ws ctx;
-      if Helpers.eat_if ctx b_obj_comma ',' then members ()
-      else Helpers.expect ctx b_rbrace '}'
-    in
-    members ()
-  end
+let rec value (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_value
+    (fun k ctx ->
+      Ctx.tick ctx;
+      K.peek
+        (fun c ctx ->
+          match c with
+          | None -> Ctx.reject ctx "expected value, found end of input"
+          | Some c ->
+            if Ctx.eq ctx b_lbrace c '{' then object_ k ctx
+            else if Ctx.eq ctx b_lbracket c '[' then array k ctx
+            else if Ctx.eq ctx b_quote c '"' then string_body k ctx
+            else if Ctx.eq ctx b_minus c '-' then number k ctx
+            else if Ctx.in_range ctx b_digit c '0' '9' then number k ctx
+            else if Ctx.in_set ctx b_letter ~label:"letter" c Charset.letters
+            then keyword k ctx
+            else Ctx.reject ctx "unexpected character at start of value")
+        ctx)
+    k ctx
 
-and array ctx =
-  Ctx.with_frame ctx s_array @@ fun () ->
-  ignore (Ctx.next ctx);
-  (* '[' *)
-  skip_ws ctx;
-  if Helpers.peek_is ctx b_arr_empty ']' then ignore (Ctx.next ctx)
-  else begin
-    let rec elements () =
-      skip_ws ctx;
-      value ctx;
-      skip_ws ctx;
-      if Helpers.eat_if ctx b_arr_comma ',' then elements ()
-      else Helpers.expect ctx b_rbracket ']'
-    in
-    elements ()
-  end
+and object_ (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_object
+    (fun k ->
+      K.skip (* '{' *)
+        (skip_ws
+           (K.peek_is b_obj_empty '}' (fun empty ->
+                if empty then K.skip k
+                else
+                  let rec members ctx =
+                    skip_ws
+                      (K.peek (fun c ctx ->
+                           match c with
+                           | Some c when Ctx.eq ctx b_obj_key_quote c '"' ->
+                             string_body
+                               (skip_ws
+                                  (K.expect b_colon ':'
+                                     (skip_ws
+                                        (value
+                                           (skip_ws
+                                              (K.eat_if b_obj_comma ','
+                                                 (fun ate ->
+                                                   if ate then members
+                                                   else K.expect b_rbrace '}' k)))))))
+                               ctx
+                           | Some _ -> Ctx.reject ctx "expected string key"
+                           | None ->
+                             Ctx.reject ctx
+                               "expected string key, found end of input"))
+                      ctx
+                  in
+                  members))))
+    k ctx
 
-let parse ctx =
-  Ctx.with_frame ctx s_parse @@ fun () ->
-  skip_ws ctx;
-  value ctx;
-  skip_ws ctx;
-  match Ctx.peek ctx with
-  | Some _ ->
-    ignore (Ctx.branch ctx b_trailing true);
-    Ctx.reject ctx "trailing input after value"
-  | None -> ignore (Ctx.branch ctx b_trailing false)
+and array (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_array
+    (fun k ->
+      K.skip (* '[' *)
+        (skip_ws
+           (K.peek_is b_arr_empty ']' (fun empty ->
+                if empty then K.skip k
+                else
+                  let rec elements ctx =
+                    skip_ws
+                      (value
+                         (skip_ws
+                            (K.eat_if b_arr_comma ',' (fun ate ->
+                                 if ate then elements
+                                 else K.expect b_rbracket ']' k))))
+                      ctx
+                  in
+                  elements))))
+    k ctx
+
+let machine : Machine.recognizer =
+ fun ctx ->
+  K.with_frame s_parse
+    (fun k ->
+      skip_ws
+        (value
+           (skip_ws
+              (K.peek (fun c ctx ->
+                   match c with
+                   | Some _ ->
+                     ignore (Ctx.branch ctx b_trailing true);
+                     Ctx.reject ctx "trailing input after value"
+                   | None ->
+                     ignore (Ctx.branch ctx b_trailing false);
+                     k ctx)))))
+    K.stop ctx
+
+let parse ctx = Machine.run ctx machine
 
 let tokens =
   [
@@ -305,6 +383,7 @@ let subject =
     description = "JSON documents (paper subject: cJSON)";
     registry;
     parse;
+    machine = Some machine;
     fuel = 100_000;
     tokens;
     tokenize;

@@ -797,6 +797,7 @@ let subject =
     description = "JavaScript subset (paper subject: mjs, semantic checks off)";
     registry;
     parse;
+    machine = None;
     fuel = 8_000;
     tokens;
     tokenize;

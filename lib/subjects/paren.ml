@@ -16,40 +16,54 @@ let b_close =
 let b_empty = Site.branch registry "parse.empty?"
 let b_trailing = Site.branch registry "parse.trailing?"
 
+module Machine = Pdf_instr.Machine
+module K = Helpers.K
+
 (* seq consumes a (possibly empty) balanced sequence and stops at the
    first character that cannot open a bracket. *)
-let rec seq ctx =
-  Ctx.with_frame ctx s_seq @@ fun () ->
-  match Ctx.peek ctx with
-  | None -> ()
-  | Some c ->
-    let rec try_opens = function
-      | [] -> ()
-      | (o, close) :: rest ->
-        if Ctx.eq ctx (List.assoc o b_open) c o then begin
-          ignore (Ctx.next ctx);
-          seq ctx;
-          Helpers.expect ctx (List.assoc close b_close) close;
-          seq ctx
-        end
-        else try_opens rest
-    in
-    try_opens pairs
+let rec seq (k : K.k) : K.k =
+ fun ctx ->
+  K.with_frame s_seq
+    (fun k ->
+      K.peek (fun c ->
+          match c with
+          | None -> k
+          | Some c -> try_opens pairs c k))
+    k ctx
 
-let parse ctx =
-  Ctx.with_frame ctx s_parse @@ fun () ->
-  (* Probe with [peek], not [at_eof]: rejecting the empty input must
-     register an EOF access so the fuzzer (and the EOF-hunger oracle
-     check) can tell this rejection wants *more* input rather than
-     different input. *)
-  if Ctx.branch ctx b_empty (Ctx.peek ctx = None) then
-    Ctx.reject ctx "empty input";
-  seq ctx;
-  match Ctx.peek ctx with
-  | Some _ ->
-    ignore (Ctx.branch ctx b_trailing true);
-    Ctx.reject ctx "unbalanced input"
-  | None -> ignore (Ctx.branch ctx b_trailing false)
+and try_opens ps c (k : K.k) : K.k =
+ fun ctx ->
+  match ps with
+  | [] -> k ctx
+  | (o, close) :: rest ->
+    if Ctx.eq ctx (List.assoc o b_open) c o then
+      K.skip (seq (K.expect (List.assoc close b_close) close (seq k))) ctx
+    else try_opens rest c k ctx
+
+let machine : Machine.recognizer =
+ fun ctx ->
+  K.with_frame s_parse
+    (fun k ->
+      (* Probe with a peek, not [at_eof]: rejecting the empty input must
+         register an EOF access so the fuzzer (and the EOF-hunger oracle
+         check) can tell this rejection wants *more* input rather than
+         different input. *)
+      K.peek (fun c ctx ->
+          if Ctx.branch ctx b_empty (c = None) then Ctx.reject ctx "empty input"
+          else
+            seq
+              (K.peek (fun c ctx ->
+                   match c with
+                   | Some _ ->
+                     ignore (Ctx.branch ctx b_trailing true);
+                     Ctx.reject ctx "unbalanced input"
+                   | None ->
+                     ignore (Ctx.branch ctx b_trailing false);
+                     k ctx))
+              ctx))
+    K.stop ctx
+
+let parse ctx = Machine.run ctx machine
 
 let tokens =
   List.concat_map
@@ -73,6 +87,7 @@ let subject =
     description = "well-balanced brackets (Dyck language, Section 3 ablation)";
     registry;
     parse;
+    machine = Some machine;
     fuel = 100_000;
     tokens;
     tokenize;

@@ -3,6 +3,7 @@ type t = {
   description : string;
   registry : Pdf_instr.Site.registry;
   parse : Pdf_instr.Ctx.t -> unit;
+  machine : Pdf_instr.Machine.recognizer option;
   fuel : int;
   tokens : Token.t list;
   tokenize : string -> string list;
@@ -11,6 +12,11 @@ type t = {
 
 let run ?track_comparisons ?track_trace ?track_frames t input =
   Pdf_instr.Runner.exec ~registry:t.registry ~parse:t.parse ~fuel:t.fuel
+    ?track_comparisons ?track_trace ?track_frames input
+
+let exec_journaled ?track_comparisons ?track_trace ?track_frames t machine input
+    =
+  Pdf_instr.Runner.exec_machine ~registry:t.registry ~machine ~fuel:t.fuel
     ?track_comparisons ?track_trace ?track_frames input
 
 let accepts t input = Pdf_instr.Runner.accepted (run t input)

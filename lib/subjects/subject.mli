@@ -10,6 +10,10 @@ type t = {
   description : string;
   registry : Pdf_instr.Site.registry;
   parse : Pdf_instr.Ctx.t -> unit;
+  machine : Pdf_instr.Machine.recognizer option;
+      (** step-wise form of [parse], when the subject provides one; it
+          must recognize exactly the same language with the same
+          observations. Enables incremental (snapshot/resume) execution. *)
   fuel : int;  (** per-run fuel budget (interpreting subjects hang) *)
   tokens : Token.t list;
   tokenize : string -> string list;
@@ -27,5 +31,13 @@ val run :
     fuzzers need only coverage) and [~track_trace:true] to record the
     full outcome trace with multiplicities (the AFL shim's bitmap needs
     it; the pFuzzer search does not). *)
+
+val exec_journaled :
+  ?track_comparisons:bool -> ?track_trace:bool -> ?track_frames:bool ->
+  t -> Pdf_instr.Machine.recognizer -> string ->
+  Pdf_instr.Runner.run * Pdf_instr.Runner.journal
+(** Execute a machine-form subject with read-boundary journaling, for
+    incremental (snapshot/resume) execution; see {!Pdf_instr.Runner}.
+    Pass the subject's own [machine]. *)
 
 val accepts : t -> string -> bool

@@ -422,6 +422,7 @@ let subject =
     description = "Tiny-C: a C subset with execution (paper subject: tinyC)";
     registry = Plain.registry;
     parse = Plain.parse;
+    machine = None;
     fuel = 1_500;
     tokens;
     tokenize;
@@ -434,6 +435,7 @@ let subject_semantic =
     description = "Tiny-C with Â§7.3 semantic checks (use before assignment)";
     registry = Semantic.registry;
     parse = Semantic.parse;
+    machine = None;
     fuel = 1_500;
     tokens;
     tokenize;
@@ -446,6 +448,7 @@ let subject_token_taints =
     description = "Tiny-C with Â§7.2 token-taint recovery";
     registry = Token_taints.registry;
     parse = Token_taints.parse;
+    machine = None;
     fuel = 1_500;
     tokens;
     tokenize;

@@ -117,6 +117,7 @@ let subject ~name ~description ?(coverage = Table_elements)
     description;
     registry;
     parse;
+    machine = None;
     fuel = 50_000;
     tokens;
     tokenize;

@@ -1,26 +1,38 @@
-type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+(* [cap] is the writable capacity. For vectors that own their backing
+   array it equals [Array.length data]; for borrowed vectors (see
+   [of_prefix]) it equals [len], so the very first push routes through
+   [grow] and copies the shared prefix into owned storage — copy-on-write
+   with no extra test on the push hot path. *)
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  mutable cap : int;
+  dummy : 'a;
+}
 
 let create ?(capacity = 0) dummy =
-  {
-    data = (if capacity <= 0 then [||] else Array.make capacity dummy);
-    len = 0;
-    dummy;
-  }
+  let data = if capacity <= 0 then [||] else Array.make capacity dummy in
+  { data; len = 0; cap = Array.length data; dummy }
+
+let of_prefix arr ~len dummy =
+  if len < 0 || len > Array.length arr then invalid_arg "Vec.of_prefix";
+  (* cap = len marks the backing array as shared: it is never written. *)
+  { data = arr; len; cap = len; dummy }
 
 let length t = t.len
 let is_empty t = t.len = 0
 
 let grow t =
-  let cap = Array.length t.data in
-  let ncap = if cap = 0 then 16 else 2 * cap in
+  let ncap = if t.len = 0 then 16 else 2 * t.len in
   let ndata = Array.make ncap t.dummy in
   Array.blit t.data 0 ndata 0 t.len;
-  t.data <- ndata
+  t.data <- ndata;
+  t.cap <- ncap
 
 let push t x =
-  if t.len = Array.length t.data then grow t;
-  (* len < capacity after the grow check, so the store needs no bound
-     check of its own. *)
+  if t.len >= t.cap then grow t;
+  (* len < cap <= Array.length data after the grow check, so the store
+     needs no bound check of its own. *)
   Array.unsafe_set t.data t.len x;
   t.len <- t.len + 1
 
@@ -31,7 +43,14 @@ let get t i =
 let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
 
 let clear t =
-  Array.fill t.data 0 t.len t.dummy;
+  (* A borrowed backing array (cap < length data only happens for
+     borrowed prefixes) must not be scrubbed: it is shared with the
+     lender. Dropping the reference is enough. *)
+  if t.cap = Array.length t.data then Array.fill t.data 0 t.len t.dummy
+  else begin
+    t.data <- [||];
+    t.cap <- 0
+  end;
   t.len <- 0
 
 let iter f t =

@@ -13,6 +13,14 @@ val create : ?capacity:int -> 'a -> 'a t
 (** [create dummy] is an empty vector. [dummy] fills unused slots; it is
     never returned by accessors. *)
 
+val of_prefix : 'a array -> len:int -> 'a -> 'a t
+(** [of_prefix arr ~len dummy] is a vector whose first [len] elements are
+    shared with [arr] — no copy is made. The borrowed array is never
+    written: the first {!push} copies the prefix into owned storage
+    (copy-on-write). The caller must not mutate [arr.(0..len-1)] while
+    the vector is live. Raises [Invalid_argument] if [len] is out of
+    bounds. *)
+
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 

@@ -201,6 +201,80 @@ let test_initial_inputs_seed_queue () =
      this is a smoke check of the seeding path, not a strong claim. *)
   ignore unseeded
 
+(* {1 Incremental execution} *)
+
+let test_incremental_equivalence () =
+  (* The prefix-snapshot cache is a pure optimisation: with it on and
+     off, the same seed must produce bit-identical per-execution streams
+     and results. *)
+  let subject = Catalog.find "json" in
+  let stream incremental =
+    let runs = ref [] in
+    let result =
+      Pfuzzer.fuzz
+        ~on_execution:(fun run -> runs := run :: !runs)
+        { Pfuzzer.default_config with max_executions = 2000; incremental }
+        subject
+    in
+    (result, List.rev !runs)
+  in
+  let on, runs_on = stream true in
+  let off, runs_off = stream false in
+  Alcotest.(check (list string)) "same valid inputs" off.valid_inputs on.valid_inputs;
+  Alcotest.(check int) "same executions" off.executions on.executions;
+  Alcotest.(check bool) "same valid coverage" true
+    (Coverage.equal off.valid_coverage on.valid_coverage);
+  Alcotest.(check int) "same stream length" (List.length runs_off)
+    (List.length runs_on);
+  List.iter2
+    (fun (a : Pdf_instr.Runner.run) (b : Pdf_instr.Runner.run) ->
+      if
+        a.input <> b.input || a.verdict <> b.verdict
+        || a.comparisons <> b.comparisons
+        || not (Coverage.equal a.coverage b.coverage)
+        || a.touched <> b.touched || a.eof_access <> b.eof_access
+      then Alcotest.failf "streams diverge at input %S" a.input)
+    runs_on runs_off
+
+let test_cache_stats_sanity () =
+  let subject = Catalog.find "expr" in
+  let run incremental =
+    Pfuzzer.fuzz
+      { Pfuzzer.default_config with max_executions = 2000; incremental }
+      subject
+  in
+  let on = run true in
+  let c = on.Pfuzzer.cache in
+  Alcotest.(check bool) "cache consulted" true (c.hits + c.misses > 0);
+  Alcotest.(check bool) "mostly hits on the extension workload" true
+    (c.hits > c.misses);
+  Alcotest.(check bool) "hits save prefix characters" true (c.chars_saved > 0);
+  Alcotest.(check bool) "consultations bounded by executions" true
+    (c.hits + c.misses <= on.executions);
+  let off = run false in
+  Alcotest.(check bool) "cache inert when disabled" true
+    (off.Pfuzzer.cache = Pfuzzer.no_cache_stats)
+
+let test_path_counts_capped () =
+  (* The path-novelty table is generationally reset at its cap, like the
+     dedupe table; at default sizes a short run never trips it. *)
+  let subject = Catalog.find "expr" in
+  let normal =
+    Pfuzzer.fuzz { Pfuzzer.default_config with max_executions = 1000 } subject
+  in
+  Alcotest.(check int) "no resets at default cap" 0 normal.path_resets;
+  let tiny =
+    Pfuzzer.fuzz
+      { Pfuzzer.default_config with max_executions = 1000; queue_bound = 1 }
+      subject
+  in
+  (* cap = 4 x queue_bound = 4: any workload with > 4 distinct paths
+     forces at least one reset. *)
+  Alcotest.(check bool) "tiny cap forces generational resets" true
+    (tiny.path_resets > 0);
+  Alcotest.(check bool) "fuzzer still works across resets" true
+    (List.length tiny.valid_inputs > 0)
+
 let prop_heuristic_monotone_in_coverage =
   QCheck.Test.make ~name:"heuristic is monotone in new coverage" ~count:100
     QCheck.(pair (int_range 0 20) (int_range 0 20))
@@ -253,5 +327,12 @@ let () =
             test_fuzzer_on_table_subject;
           Alcotest.test_case "initial corpus seeds the queue" `Quick
             test_initial_inputs_seed_queue;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "on/off streams identical" `Quick
+            test_incremental_equivalence;
+          Alcotest.test_case "cache stats sanity" `Quick test_cache_stats_sanity;
+          Alcotest.test_case "path counts capped" `Quick test_path_counts_capped;
         ] );
     ]

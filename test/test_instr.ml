@@ -258,6 +258,159 @@ let test_coverage_up_to () =
     (Coverage.cardinal (Coverage.diff upto run.coverage) = 0);
   Alcotest.(check bool) "prefix coverage nonempty" true (Coverage.cardinal upto > 0)
 
+(* {1 Substitution-index edge cases}
+
+   The search derives every new candidate from [substitution_index] and
+   [comparisons_at_last_index]; these pin down the boundary behaviours
+   the algorithm depends on. *)
+
+let test_subst_empty_input () =
+  (* EOF-only run: the empty input dies on the first peek without a
+     single comparison, so there is no substitution point — only the
+     EOF-hunger flag. *)
+  let run = toy_run "" in
+  check Alcotest.(option int) "no comparisons, no index" None
+    (Runner.substitution_index run);
+  check Alcotest.int "no comparisons at last index" 0
+    (List.length (Runner.comparisons_at_last_index run));
+  Alcotest.(check bool) "run is eof-hungry" true run.eof_access
+
+let test_subst_index_zero () =
+  (* "x" fails both the digit probe and the keyword comparison at input
+     index 0: Some 0 must not be conflated with None. *)
+  let run = toy_run "x" in
+  check Alcotest.(option int) "substitution at the first character" (Some 0)
+    (Runner.substitution_index run);
+  let comps = Runner.comparisons_at_last_index run in
+  Alcotest.(check bool) "events reported at index 0" true (comps <> []);
+  Alcotest.(check bool) "all events sit at index 0" true
+    (List.for_all (fun (c : Comparison.t) -> c.index = 0) comps)
+
+let test_subst_all_successful () =
+  (* An accepted run has no failed comparison; the index falls back to
+     the rightmost compared position. *)
+  let run = toy_run "7" in
+  Alcotest.(check bool) "accepted" true (Runner.accepted run);
+  check Alcotest.(option int) "rightmost successful comparison" (Some 0)
+    (Runner.substitution_index run)
+
+let test_subst_untainted_last () =
+  (* The chronologically last comparison involves only an untainted
+     constant, which emits no event — the substitution point must stay
+     at the last tainted comparison. *)
+  let registry = Site.create_registry "untainted-last" in
+  let tainted = Site.branch registry "tainted" in
+  let const = Site.branch registry "const" in
+  let parse ctx =
+    (match Ctx.next ctx with
+     | Some c -> ignore (Ctx.eq ctx tainted c 'a')
+     | None -> ());
+    ignore (Ctx.eq ctx const (Tchar.untainted 'z') 'z')
+  in
+  let run = Runner.exec ~registry ~parse "q" in
+  check Alcotest.(option int) "index of the tainted comparison" (Some 0)
+    (Runner.substitution_index run);
+  check Alcotest.int "one event at it" 1
+    (List.length (Runner.comparisons_at_last_index run))
+
+(* {1 Snapshot / resume} *)
+
+module Subject = Pdf_subjects.Subject
+
+let run_equal (a : Runner.run) (b : Runner.run) =
+  a.input = b.input && a.verdict = b.verdict
+  && a.comparisons = b.comparisons
+  && Coverage.equal a.coverage b.coverage
+  && a.trace = b.trace && a.touched = b.touched
+  && a.eof_access = b.eof_access && a.max_depth = b.max_depth
+  && a.frames = b.frames
+
+let json_subject = Pdf_subjects.Catalog.find "json"
+
+let json_machine =
+  match json_subject.Subject.machine with
+  | Some m -> m
+  | None -> failwith "json subject has no machine-form parser"
+
+let exec_json input =
+  Subject.exec_journaled ~track_trace:true ~track_frames:true json_subject
+    json_machine input
+
+let test_snapshot_resume_identity () =
+  (* Resuming from the snapshot at any position — on the same input or
+     on one that diverges right after the prefix — is bit-identical to a
+     full execution. *)
+  let input = {|{"a": [1, true]}|} in
+  let full, journal = exec_json input in
+  for p = 1 to String.length input do
+    match Runner.snapshot_at journal p with
+    | None -> Alcotest.failf "no snapshot at position %d" p
+    | Some snap ->
+      check Alcotest.int "snapshot position" p (Runner.snapshot_pos snap);
+      let resumed, _ = Runner.resume snap input in
+      Alcotest.(check bool)
+        (Printf.sprintf "identical resume at %d" p)
+        true (run_equal full resumed);
+      let mutated = String.sub input 0 p ^ "#" in
+      let mutated_full, _ = exec_json mutated in
+      let mutated_resumed, _ = Runner.resume snap mutated in
+      Alcotest.(check bool)
+        (Printf.sprintf "identical diverging resume at %d" p)
+        true
+        (run_equal mutated_full mutated_resumed)
+  done
+
+let test_snapshot_unread_positions () =
+  (* "[1]#" rejects at the trailing '#', so position 4 is never read and
+     has no snapshot; every read position has one. *)
+  let _run, journal = exec_json "[1]#" in
+  Alcotest.(check bool) "read position has a snapshot" true
+    (Runner.snapshot_at journal 3 <> None);
+  Alcotest.(check bool) "unread position has none" true
+    (Runner.snapshot_at journal 4 = None)
+
+let test_resume_chains () =
+  (* A resumed run's journal covers the new suffix, so grandchildren can
+     resume from a child's snapshot. *)
+  let parent = "[1," in
+  let child = "[1,2" in
+  let grandchild = "[1,2]" in
+  let _, j0 = exec_json parent in
+  let snap0 = Option.get (Runner.snapshot_at j0 (String.length parent)) in
+  let _, j1 = Runner.resume snap0 child in
+  let snap1 = Option.get (Runner.snapshot_at j1 (String.length child)) in
+  let resumed, _ = Runner.resume snap1 grandchild in
+  let full, _ = exec_json grandchild in
+  Alcotest.(check bool) "grandchild identical via two hops" true
+    (run_equal full resumed)
+
+let test_prefix_cache_lru () =
+  let snap input pos =
+    let _, j = exec_json input in
+    Option.get (Runner.snapshot_at j pos)
+  in
+  let cache = Runner.Cache.create ~bound:2 () in
+  Runner.Cache.store cache "[" (snap "[1]" 1);
+  Runner.Cache.store cache "[1" (snap "[1]" 2);
+  check Alcotest.int "both resident" 2 (Runner.Cache.length cache);
+  (* Touch "[" so that "[1" becomes the LRU victim. *)
+  Alcotest.(check bool) "hit" true (Runner.Cache.find cache "[" <> None);
+  Runner.Cache.store cache "[1," (snap "[1,2]" 3);
+  check Alcotest.int "bound respected" 2 (Runner.Cache.length cache);
+  Alcotest.(check bool) "least-recently-used entry evicted" true
+    (Runner.Cache.find cache "[1" = None);
+  Alcotest.(check bool) "recently-used entry survives" true
+    (Runner.Cache.find cache "[" <> None);
+  (* Duplicate store keeps the first entry and the length. *)
+  Runner.Cache.store cache "[" (snap "[2]" 1);
+  check Alcotest.int "duplicate store does not grow" 2
+    (Runner.Cache.length cache);
+  let s = Runner.Cache.stats cache in
+  check Alcotest.int "hits" 2 s.Runner.Cache.hits;
+  check Alcotest.int "misses" 1 s.Runner.Cache.misses;
+  check Alcotest.int "evictions" 1 s.Runner.Cache.evictions;
+  Alcotest.(check bool) "chars saved counted" true (s.Runner.Cache.chars_saved > 0)
+
 (* {1 Cross-subject invariants} *)
 
 let printable_gen =
@@ -335,6 +488,19 @@ let () =
           Alcotest.test_case "trace and path hash" `Quick test_trace_and_path;
           Alcotest.test_case "avg stack" `Quick test_avg_stack;
           Alcotest.test_case "coverage up to last index" `Quick test_coverage_up_to;
+          Alcotest.test_case "substitution: empty input" `Quick test_subst_empty_input;
+          Alcotest.test_case "substitution: index 0" `Quick test_subst_index_zero;
+          Alcotest.test_case "substitution: all successful" `Quick test_subst_all_successful;
+          Alcotest.test_case "substitution: untainted last" `Quick test_subst_untainted_last;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "resume identity at every position" `Quick
+            test_snapshot_resume_identity;
+          Alcotest.test_case "unread positions have no snapshot" `Quick
+            test_snapshot_unread_positions;
+          Alcotest.test_case "resume chains" `Quick test_resume_chains;
+          Alcotest.test_case "prefix cache LRU" `Quick test_prefix_cache_lru;
         ] );
       ("invariants", invariant_tests);
     ]

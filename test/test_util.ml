@@ -308,6 +308,38 @@ let test_render_grouped () =
           Render.grouped_bar_chart ppf ~title:"t" ~series:[ "A" ] [ ("g", [ 1.0; 2.0 ]) ])
       |> ignore)
 
+(* {1 Vec: copy-on-write prefix borrowing}
+
+   Snapshots share a run's recording buffers through [Vec.of_prefix];
+   resuming must never scribble on the parent's arrays. *)
+
+module Vec = Pdf_util.Vec
+
+let test_vec_of_prefix_cow () =
+  let arr = [| 1; 2; 3; 4 |] in
+  let v = Vec.of_prefix arr ~len:2 0 in
+  check Alcotest.int "borrowed length" 2 (Vec.length v);
+  check Alcotest.int "reads through" 2 (Vec.get v 1);
+  Vec.push v 99;
+  Vec.push v 100;
+  check Alcotest.(array int) "borrowed array untouched" [| 1; 2; 3; 4 |] arr;
+  check Alcotest.(list int) "prefix + pushes" [ 1; 2; 99; 100 ] (Vec.to_list v);
+  (* Two vectors can borrow the same prefix independently (multi-shot
+     snapshots). *)
+  let w = Vec.of_prefix arr ~len:3 0 in
+  Vec.push w 7;
+  check Alcotest.(list int) "independent borrow" [ 1; 2; 3; 7 ] (Vec.to_list w);
+  check Alcotest.(list int) "first borrow unaffected" [ 1; 2; 99; 100 ]
+    (Vec.to_list v);
+  (* Boundary lengths. *)
+  let empty = Vec.of_prefix arr ~len:0 0 in
+  check Alcotest.int "empty borrow" 0 (Vec.length empty);
+  let full = Vec.of_prefix arr ~len:4 0 in
+  check Alcotest.int "full borrow" 4 (Vec.length full);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Vec.of_prefix") (fun () ->
+      ignore (Vec.of_prefix arr ~len:5 0))
+
 let () =
   Alcotest.run "pdf_util"
     [
@@ -346,6 +378,7 @@ let () =
           qtest prop_pqueue_pop_sorted;
         ] );
       ("stats", [ Alcotest.test_case "descriptive stats" `Quick test_stats ]);
+      ("vec", [ Alcotest.test_case "of_prefix copy-on-write" `Quick test_vec_of_prefix_cow ]);
       ( "render",
         [
           Alcotest.test_case "table" `Quick test_render_table;
