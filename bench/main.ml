@@ -9,12 +9,15 @@
      dune exec bench/main.exe -- micro --quick --out micro.json
 
    Sections: table-1 table-2 table-3 table-4 figure-2 figure-3 headline
-             ablation-dyck ablation-heuristic ablation-grammar micro
-             incremental
+             ablation-dyck ablation-heuristic ablation-grammar
+             ablation-tables ablation-token-taints ablation-semantics
+             pipeline micro incremental obs
 
    --out FILE dumps the machine-readable results of the sections that
-   produce them (micro, incremental) as JSON — the CI bench smoke step
-   uploads this as an artifact. *)
+   produce them (micro, incremental, obs) as JSON — the CI bench smoke
+   step uploads this as an artifact. --trace FILE writes a merged JSONL
+   telemetry trace of the evaluation grid (the figure-2/3/headline
+   sections), readable with `pfuzzer_cli trace-report'. *)
 
 module Render = Pdf_util.Render
 module Rng = Pdf_util.Rng
@@ -36,7 +39,34 @@ type options = {
   sections : string list;
   quick : bool;
   out : string option;
+  trace : string option;
 }
+
+let valid_sections =
+  [
+    "table-1"; "table-2"; "table-3"; "table-4"; "figure-2"; "figure-3";
+    "headline"; "ablation-dyck"; "ablation-heuristic"; "ablation-grammar";
+    "ablation-tables"; "ablation-token-taints"; "ablation-semantics";
+    "pipeline"; "micro"; "incremental"; "obs";
+  ]
+
+let usage_line =
+  "usage: main.exe [--quick] [--budget N] [--seeds S1,S2,...] [--jobs N|auto] \
+   [--out FILE] [--trace FILE] [SECTION...]\n\
+   sections: " ^ String.concat " " valid_sections
+
+let die fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("bench: " ^ m);
+      prerr_endline usage_line;
+      exit 2)
+    fmt
+
+let int_arg name v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> die "invalid %s %S, expected an integer" name v
 
 let parse_args () =
   let budget = ref 4_000_000 in
@@ -45,6 +75,7 @@ let parse_args () =
   let sections = ref [] in
   let quick = ref false in
   let out = ref None in
+  let trace = ref None in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -52,18 +83,33 @@ let parse_args () =
       quick := true;
       go rest
     | "--budget" :: v :: rest ->
-      budget := int_of_string v;
+      budget := int_arg "budget" v;
+      if !budget <= 0 then die "budget must be positive, got %d" !budget;
       go rest
     | "--seeds" :: v :: rest ->
-      seeds := List.map int_of_string (String.split_on_char ',' v);
+      seeds := List.map (int_arg "seed") (String.split_on_char ',' v);
+      if !seeds = [] then die "empty seed list";
       go rest
     | "--jobs" :: v :: rest ->
-      jobs := (if v = "auto" then Pdf_eval.Parallel.default_jobs () else int_of_string v);
+      jobs :=
+        (if v = "auto" then Pdf_eval.Parallel.default_jobs ()
+         else int_arg "jobs" v);
+      if !jobs < 0 then die "jobs must be non-negative, got %d" !jobs;
+      if !jobs = 0 then jobs := Pdf_eval.Parallel.default_jobs ();
       go rest
     | "--out" :: v :: rest ->
       out := Some v;
       go rest
+    | "--trace" :: v :: rest ->
+      trace := Some v;
+      go rest
+    | [ ("--budget" | "--seeds" | "--jobs" | "--out" | "--trace") ] ->
+      die "missing value for the last option"
+    | opt :: _ when String.length opt > 0 && opt.[0] = '-' ->
+      die "unknown option %s" opt
     | section :: rest ->
+      if not (List.mem section valid_sections) then
+        die "unknown section %S" section;
       sections := section :: !sections;
       go rest
   in
@@ -75,6 +121,7 @@ let parse_args () =
     sections = List.rev !sections;
     quick = !quick;
     out = !out;
+    trace = !trace;
   }
 
 (* Machine-readable output: sections that measure something append a JSON
@@ -125,7 +172,22 @@ let get_experiment options =
       options.budget
       (String.concat "," (List.map string_of_int options.seeds))
       options.jobs;
-    let e = Experiment.run ~jobs:options.jobs config Catalog.evaluation in
+    let run_grid trace_oc =
+      Experiment.run ~jobs:options.jobs ?trace:trace_oc config Catalog.evaluation
+    in
+    let e =
+      match options.trace with
+      | None -> run_grid None
+      | Some path ->
+        let oc = open_out path in
+        let e =
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> run_grid (Some oc))
+        in
+        Format.fprintf ppf "@.Wrote evaluation-grid trace to %s@." path;
+        e
+    in
     experiment_result := Some e;
     e
 
@@ -673,6 +735,89 @@ let incremental options =
                  name fuzz_execs c.hits c.misses c.evictions c.chars_saved)
              fuzz_stats)))
 
+(* {1 Telemetry overhead: the fuzzer with the observer off, on, and fully
+   traced}
+
+   The observability contract is "near-zero cost when disabled": the
+   fuzzer holds an [Observer.t option] and every telemetry site is one
+   branch on [None]. This section measures whole fuzzing runs in
+   interleaved rounds — disabled, metrics-only (spans + histograms, no
+   sink), and traced into an in-memory buffer — and reports median
+   ns/execution for each, plus the overhead relative to disabled. *)
+
+let obs_bench options =
+  Render.section ppf "obs: telemetry overhead on the fuzzing hot path";
+  let rounds = 5 in
+  let execs = if options.quick then 1_000 else 5_000 in
+  let measured =
+    List.map
+      (fun subject_name ->
+        let subject = Catalog.find subject_name in
+        let config = { Pfuzzer.default_config with max_executions = execs } in
+        let time_run f =
+          let t0 = Unix.gettimeofday () in
+          let (_ : Pfuzzer.result) = f () in
+          (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int execs
+        in
+        let per_round =
+          List.init rounds (fun _ ->
+              let off = time_run (fun () -> Pfuzzer.fuzz config subject) in
+              let metrics_only =
+                time_run (fun () ->
+                    let obs =
+                      Pdf_obs.Observer.create ~metrics:(Pdf_obs.Metrics.create ()) ()
+                    in
+                    Pfuzzer.fuzz ~obs config subject)
+              in
+              let traced =
+                time_run (fun () ->
+                    let sink, _ = Pdf_obs.Trace.buffer () in
+                    let obs =
+                      Pdf_obs.Observer.create ~sink
+                        ~metrics:(Pdf_obs.Metrics.create ()) ()
+                    in
+                    Pfuzzer.fuzz ~obs config subject)
+              in
+              (off, metrics_only, traced))
+        in
+        let off = median (List.map (fun (a, _, _) -> a) per_round) in
+        let metrics_only = median (List.map (fun (_, b, _) -> b) per_round) in
+        let traced = median (List.map (fun (_, _, c) -> c) per_round) in
+        (subject_name, off, metrics_only, traced))
+      [ "json"; "tinyc" ]
+  in
+  let pct base v = 100. *. ((v /. base) -. 1.) in
+  Render.table ppf
+    ~title:
+      (Printf.sprintf
+         "whole fuzzing runs, ns/execution (%d interleaved rounds, %d execs each)"
+         rounds execs)
+    ~header:
+      [ "subject"; "disabled"; "metrics only"; "traced"; "metrics ovh"; "trace ovh" ]
+    (List.map
+       (fun (name, off, m, t) ->
+         [
+           name;
+           Printf.sprintf "%.0f" off;
+           Printf.sprintf "%.0f" m;
+           Printf.sprintf "%.0f" t;
+           Printf.sprintf "%+.1f%%" (pct off m);
+           Printf.sprintf "%+.1f%%" (pct off t);
+         ])
+       measured);
+  add_json "obs"
+    (Printf.sprintf "{\n    \"rounds\": %d,\n    \"execs_per_run\": %d,\n    \"rows\": [\n%s\n    ]\n  }"
+       rounds execs
+       (String.concat ",\n"
+          (List.map
+             (fun (name, off, m, t) ->
+               Printf.sprintf
+                 "      { \"name\": %S, \"disabled_ns_per_exec\": %.0f, \
+                  \"metrics_ns_per_exec\": %.0f, \"traced_ns_per_exec\": %.0f, \
+                  \"metrics_overhead_pct\": %.1f, \"traced_overhead_pct\": %.1f }"
+                 name off m t (pct off m) (pct off t))
+             measured)))
+
 let () =
   let options = parse_args () in
   if wants options "table-1" then table_1 ();
@@ -691,5 +836,6 @@ let () =
   if wants options "pipeline" then pipeline options;
   if wants options "micro" then micro options;
   if wants options "incremental" then incremental options;
+  if wants options "obs" then obs_bench options;
   write_json options;
   Format.pp_print_flush ppf ()

@@ -1,6 +1,8 @@
 (* Command-line interface to the parser-directed fuzzing toolkit:
 
      pfuzzer fuzz --subject json --tool pfuzzer --executions 20000
+     pfuzzer fuzz --subject json --trace t.jsonl --stats-interval 1
+     pfuzzer trace-report t.jsonl
      pfuzzer run --subject tinyc "if(a<2)b=1;"
      pfuzzer evaluate --budget 2000000 --seeds 1,2,3
      pfuzzer mine --subject expr --executions 3000 --samples 20
@@ -9,6 +11,37 @@
 *)
 
 open Cmdliner
+
+(* Validated argument converters: bad values become one-line errors with
+   usage, never raw exceptions. *)
+
+let bounded_int what ~min_v =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= min_v -> Ok n
+    | Some n ->
+      Error
+        (`Msg
+           (Printf.sprintf "%s must be %s, got %d" what
+              (if min_v > 0 then "positive" else "non-negative")
+              n))
+    | None ->
+      Error (`Msg (Printf.sprintf "invalid %s %S, expected an integer" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let pos_int what = bounded_int what ~min_v:1
+let nonneg_int what = bounded_int what ~min_v:0
+
+let nonneg_float what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f >= 0.0 -> Ok f
+    | Some _ -> Error (`Msg (Printf.sprintf "%s must be non-negative" what))
+    | None ->
+      Error (`Msg (Printf.sprintf "invalid %s %S, expected a number" what s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
 
 let subject_arg =
   let doc = "Subject parser to fuzz (see the `subjects' command)." in
@@ -32,7 +65,10 @@ let seed_arg =
 
 let executions_arg default =
   let doc = "Execution budget." in
-  Arg.(value & opt int default & info [ "n"; "executions" ] ~docv:"N" ~doc)
+  Arg.(
+    value
+    & opt (pos_int "execution budget") default
+    & info [ "n"; "executions" ] ~docv:"N" ~doc)
 
 (* fuzz *)
 
@@ -40,26 +76,76 @@ let tool_arg =
   let doc = "Tool to run: pfuzzer, afl or klee." in
   Arg.(value & opt string "pfuzzer" & info [ "t"; "tool" ] ~docv:"TOOL" ~doc)
 
+(* Build the observer requested on the command line (None when no
+   telemetry flag is set), run [f] with it, then close every sink and
+   channel — even if [f] raises. *)
+let with_observer ~trace ~trace_chrome ~stats_interval f =
+  let chans = ref [] in
+  let open_sink path mk =
+    let oc = open_out path in
+    chans := oc :: !chans;
+    mk oc
+  in
+  let sinks =
+    List.filter_map Fun.id
+      [
+        Option.map (fun p -> open_sink p Pdf_obs.Trace.jsonl) trace;
+        Option.map (fun p -> open_sink p Pdf_obs.Trace.chrome) trace_chrome;
+      ]
+  in
+  let sink =
+    match sinks with
+    | [] -> None
+    | [ s ] -> Some s
+    | s :: rest -> Some (List.fold_left Pdf_obs.Trace.tee s rest)
+  in
+  let progress =
+    if stats_interval > 0.0 then
+      Some (Pdf_obs.Progress.create ~interval_s:stats_interval ())
+    else None
+  in
+  let obs =
+    match (sink, progress) with
+    | None, None -> None
+    | _ ->
+      Some
+        (Pdf_obs.Observer.create ?sink ?progress ~metrics:(Pdf_obs.Metrics.create ())
+           ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match sink with Some s -> Pdf_obs.Trace.close s | None -> ());
+      List.iter close_out !chans)
+    (fun () -> f obs)
+
 let fuzz_cmd =
-  let run subject_name tool_name seed executions quiet no_incremental =
+  let run subject_name tool_name seed executions quiet no_incremental trace
+      trace_chrome stats_interval =
     match find_subject subject_name with
     | Error e -> Error e
     | Ok subject ->
       (match Pdf_eval.Tool.of_string tool_name with
-       | None -> Error (`Msg (Printf.sprintf "unknown tool %S" tool_name))
+       | None ->
+         Error
+           (`Msg
+              (Printf.sprintf "unknown tool %S; available: afl, klee, pfuzzer"
+                 tool_name))
        | Some tool ->
          let budget_units = executions * Pdf_eval.Tool.cost_per_execution tool in
          let outcome =
-           Pdf_eval.Tool.run ~incremental:(not no_incremental) tool
-             ~budget_units ~seed subject
+           with_observer ~trace ~trace_chrome ~stats_interval (fun obs ->
+               Pdf_eval.Tool.run ?obs ~incremental:(not no_incremental) tool
+                 ~budget_units ~seed subject)
          in
          if not quiet then
            List.iter (fun input -> Printf.printf "%S\n" input) outcome.valid_inputs;
          let tags = Pdf_eval.Token_report.found_tags subject outcome.valid_inputs in
          Printf.printf
-           "# %s on %s: %d executions, %d valid inputs, %.1f%% branch coverage, %d tokens: %s\n"
+           "# %s on %s: %d executions in %.2fs (%.0f execs/sec), %d valid inputs, \
+            %.1f%% branch coverage, %d tokens: %s\n"
            (Pdf_eval.Tool.display_name tool)
-           subject.name outcome.executions
+           subject.name outcome.executions outcome.wall_clock_s
+           outcome.execs_per_sec
            (List.length outcome.valid_inputs)
            (Pdf_instr.Coverage.percent outcome.valid_coverage subject.registry)
            (List.length tags) (String.concat " " tags);
@@ -84,11 +170,39 @@ let fuzz_cmd =
              input from scratch. Results are bit-identical either way; this \
              exists for benchmarking and debugging.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a structured JSONL event trace of the run, one event per \
+             line (see `trace-report').")
+  in
+  let trace_chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's trace in Chrome trace_event format, loadable in \
+             chrome://tracing or Perfetto.")
+  in
+  let stats_interval =
+    Arg.(
+      value
+      & opt (nonneg_float "stats interval") 0.0
+      & info [ "stats-interval" ] ~docv:"SECS"
+          ~doc:
+            "Paint a live status line (execs/sec, queue depth, valid inputs, \
+             coverage, cache hit rate, plateau age) on stderr every SECS \
+             seconds. 0 (default) disables it.")
+  in
   let term =
     Term.(
       term_result
         (const run $ subject_arg $ tool_arg $ seed_arg $ executions_arg 20_000
-         $ quiet $ no_incremental))
+         $ quiet $ no_incremental $ trace $ trace_chrome $ stats_interval))
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz one subject with one tool.") term
 
@@ -121,19 +235,30 @@ let run_cmd =
 (* evaluate *)
 
 let evaluate_cmd =
-  let run budget seeds jobs =
+  let run budget seeds jobs trace =
     let seeds = if seeds = [] then [ 1 ] else seeds in
     let jobs = if jobs = 0 then Pdf_eval.Parallel.default_jobs () else jobs in
     let config = { Pdf_eval.Experiment.budget_units = budget; seeds; verbose = true } in
-    let experiment =
-      Pdf_eval.Experiment.run ~jobs config Pdf_subjects.Catalog.evaluation
+    let run_grid trace_oc =
+      Pdf_eval.Experiment.run ~jobs ?trace:trace_oc config
+        Pdf_subjects.Catalog.evaluation
     in
-    Pdf_eval.Report.full Format.std_formatter experiment
+    let experiment =
+      match trace with
+      | None -> run_grid None
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> run_grid (Some oc))
+    in
+    Pdf_eval.Report.full Format.std_formatter experiment;
+    Ok ()
   in
   let budget =
     Arg.(
       value
-      & opt int Pdf_eval.Experiment.default_config.budget_units
+      & opt (pos_int "budget") Pdf_eval.Experiment.default_config.budget_units
       & info [ "budget" ] ~docv:"UNITS"
           ~doc:"Virtual budget per (tool, subject): 1 unit per AFL execution, 100 per pFuzzer/KLEE execution.")
   in
@@ -142,16 +267,105 @@ let evaluate_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 1
+      value
+      & opt (nonneg_int "jobs") 1
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
             "Evaluation-grid cells to run concurrently (OCaml domains). 1 is \
              strictly sequential; 0 means one worker per recommended domain. \
              Results are identical for every N.")
   in
-  let term = Term.(const run $ budget $ seeds $ jobs) in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a merged JSONL trace of every grid cell, each segment \
+             headed by a `cell' event. The merge order is the grid order, \
+             independent of --jobs.")
+  in
+  let term = Term.(term_result (const run $ budget $ seeds $ jobs $ trace)) in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Run the paper's full evaluation and print every table and figure.")
+    term
+
+(* trace-report *)
+
+let trace_report_cmd =
+  let run file rows top csv_out chrome_out =
+    match Pdf_obs.Trace.read_file file with
+    | exception Sys_error m -> Error (`Msg m)
+    | exception Failure m -> Error (`Msg (Printf.sprintf "%s: %s" file m))
+    | events ->
+      let analyses =
+        Pdf_obs.Trace_report.report_events ~rows ~top Format.std_formatter events
+      in
+      (match csv_out with
+       | None -> ()
+       | Some path ->
+         let oc = open_out path in
+         List.iter
+           (fun (a : Pdf_obs.Trace_report.t) ->
+             (match a.cell with
+              | Some (tool, subject, seed) ->
+                Printf.fprintf oc "# %s on %s, seed %d\n" tool subject seed
+              | None -> ());
+             output_string oc (Pdf_obs.Trace_report.csv a))
+           analyses;
+         close_out oc;
+         Printf.printf "# coverage-over-time CSV written to %s\n" path);
+      (match chrome_out with
+       | None -> ()
+       | Some path ->
+         let oc = open_out path in
+         let sink = Pdf_obs.Trace.chrome oc in
+         List.iter (Pdf_obs.Trace.emit sink) events;
+         Pdf_obs.Trace.close sink;
+         close_out oc;
+         Printf.printf "# Chrome trace written to %s\n" path);
+      Ok ()
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace written by fuzz/evaluate --trace.")
+  in
+  let rows =
+    Arg.(
+      value
+      & opt (pos_int "row count") 20
+      & info [ "rows" ] ~docv:"N" ~doc:"Rows in the coverage-over-time table.")
+  in
+  let top =
+    Arg.(
+      value
+      & opt (pos_int "top count") 10
+      & info [ "top" ] ~docv:"N" ~doc:"Slowest executions to list.")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Also export the full-resolution coverage-over-time curve as CSV.")
+  in
+  let chrome_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Also convert the trace to Chrome trace_event format.")
+  in
+  let term =
+    Term.(term_result (const run $ file $ rows $ top $ csv_out $ chrome_out))
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:
+         "Replay a JSONL trace into coverage-over-time and valid-input tables, \
+          a per-phase time breakdown and the slowest executions.")
     term
 
 (* mine *)
@@ -178,7 +392,10 @@ let mine_cmd =
       Ok ()
   in
   let samples =
-    Arg.(value & opt int 10 & info [ "samples" ] ~docv:"N" ~doc:"Sentences to generate from the mined grammar.")
+    Arg.(
+      value
+      & opt (nonneg_int "sample count") 10
+      & info [ "samples" ] ~docv:"N" ~doc:"Sentences to generate from the mined grammar.")
   in
   let term =
     Term.(
@@ -207,7 +424,10 @@ let pipeline_cmd =
       Ok ()
   in
   let budget =
-    Arg.(value & opt int 1_000_000 & info [ "budget" ] ~docv:"UNITS" ~doc:"Total virtual budget.")
+    Arg.(
+      value
+      & opt (pos_int "budget") 1_000_000
+      & info [ "budget" ] ~docv:"UNITS" ~doc:"Total virtual budget.")
   in
   let term = Term.(term_result (const run $ subject_arg $ seed_arg $ budget)) in
   Cmd.v
@@ -276,6 +496,7 @@ let () =
             fuzz_cmd;
             run_cmd;
             evaluate_cmd;
+            trace_report_cmd;
             mine_cmd;
             pipeline_cmd;
             check_cmd;

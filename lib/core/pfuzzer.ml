@@ -4,6 +4,9 @@ module Coverage = Pdf_instr.Coverage
 module Runner = Pdf_instr.Runner
 module Comparison = Pdf_instr.Comparison
 module Subject = Pdf_subjects.Subject
+module Obs = Pdf_obs.Observer
+module Event = Pdf_obs.Event
+module Phase = Pdf_obs.Phase
 
 type config = {
   seed : int;
@@ -45,6 +48,8 @@ type result = {
   dedupe_resets : int;
   path_resets : int;
   cache : cache_stats;
+  wall_clock_s : float;
+  execs_per_sec : float;
 }
 
 type queue_event =
@@ -64,8 +69,16 @@ type state = {
   rng : Rng.t;
   queue : Candidate.t Pqueue.t;
   on_queue_event : (queue_event -> unit) option;
+  (* Telemetry. [obs = None] is the fast path: no events, no clock
+     reads, no allocation — the observability layer costs nothing when
+     off. Every emission site matches on [obs] *before* constructing
+     its event. *)
+  obs : Obs.t option;
+  mutable evictions_seen : int;
   mutable vbr : Coverage.t;  (* branches covered by valid inputs *)
   mutable valid_rev : string list;
+  mutable valid_count : int;
+  mutable last_progress_at : int;  (* execution count when vbr last grew *)
   mutable executions : int;
   mutable candidates_created : int;
   mutable queue_peak : int;
@@ -100,6 +113,42 @@ let emit st event =
 let observed_snapshot st =
   List.map (fun (prio, (c : Candidate.t)) -> (prio, c.data)) (Pqueue.snapshot st.queue)
 
+(* Telemetry helpers. [tsink] answers "is a trace sink attached" without
+   allocating, so hot-path call sites construct events only behind it;
+   [span_begin]/[span_end] bracket a phase and are near-free when [obs]
+   is [None] (one branch, no clock read). *)
+let[@inline] tsink st =
+  match st.obs with Some o when Obs.tracing o -> Some o | _ -> None
+
+let[@inline] span_begin st =
+  match st.obs with None -> 0 | Some o -> Obs.span_start o
+
+let[@inline] span_end st phase t0 =
+  match st.obs with None -> () | Some o -> Obs.span_end o phase t0
+
+let[@inline] span_next st phase t0 =
+  match st.obs with None -> 0 | Some o -> Obs.span_next o phase t0
+
+let cache_counters st =
+  match st.cache with
+  | None -> (0, 0)
+  | Some cache ->
+    let s = Runner.Cache.stats cache in
+    (s.Runner.Cache.hits, s.Runner.Cache.misses)
+
+let maybe_snapshot st =
+  match st.obs with
+  | None -> ()
+  | Some o ->
+    if Obs.snapshot_due o then begin
+      let hits, misses = cache_counters st in
+      Obs.snapshot o ~exec:st.executions ~depth:(Pqueue.length st.queue)
+        ~valid:st.valid_count
+        ~cov:(Coverage.cardinal st.vbr)
+        ~hits ~misses
+        ~plateau:(st.executions - st.last_progress_at)
+    end
+
 exception Budget_exhausted
 
 (* After an incremental run, remember the suspensions future executions
@@ -121,28 +170,61 @@ let remember_snapshots cache journal (run : Runner.run) =
    the first [prefix_len] characters of [input] were inherited verbatim
    from an already-executed parent; when the incremental engine is on and
    that prefix's suspension is cached, only the suffix is executed. The
-   observable run is bit-identical either way. *)
+   observable run is bit-identical either way. Returns the run and
+   whether it resumed from a cached snapshot. *)
 let execute st ~prefix_len input =
   if st.executions >= st.config.max_executions then raise Budget_exhausted;
   st.executions <- st.executions + 1;
-  let run =
+  (match tsink st with
+   | None -> ()
+   | Some o ->
+     Obs.emit o ~exec:st.executions
+       (Event.Exec_start { len = String.length input; prefix = prefix_len }));
+  let run, cached =
     match st.cache, st.machine with
     | Some cache, Some machine ->
+      let t_cache = span_begin st in
+      let consulted = prefix_len > 0 && prefix_len <= String.length input in
+      let snap =
+        if consulted then Runner.Cache.find cache (String.sub input 0 prefix_len)
+        else None
+      in
+      span_end st Phase.Cache t_cache;
+      (if consulted then
+         match tsink st with
+         | None -> ()
+         | Some o ->
+           Obs.emit o ~exec:st.executions
+             (match snap with
+              | Some s -> Event.Cache_hit { saved = Runner.snapshot_pos s }
+              | None -> Event.Cache_miss));
+      let t_exec = span_begin st in
       let run, journal =
-        match
-          if prefix_len > 0 && prefix_len <= String.length input then
-            Runner.Cache.find cache (String.sub input 0 prefix_len)
-          else None
-        with
+        match snap with
         | Some snap -> Runner.resume snap input
         | None -> Subject.exec_journaled st.subject machine input
       in
+      span_end st Phase.Exec t_exec;
+      let t_store = span_begin st in
       remember_snapshots cache journal run;
-      run
-    | _ -> Subject.run st.subject input
+      span_end st Phase.Cache t_store;
+      (match tsink st with
+       | None -> ()
+       | Some o ->
+         let ev = (Runner.Cache.stats cache).Runner.Cache.evictions in
+         if ev > st.evictions_seen then begin
+           st.evictions_seen <- ev;
+           Obs.emit o ~exec:st.executions (Event.Cache_evict { evictions = ev })
+         end);
+      (run, snap <> None)
+    | _ ->
+      let t_exec = span_begin st in
+      let run = Subject.run st.subject input in
+      span_end st Phase.Exec t_exec;
+      (run, false)
   in
   (match st.on_execution with None -> () | Some f -> f run);
-  run
+  (run, cached)
 
 (* Observe a completed run's path and return how often it had been seen
    before (the novelty signal of §3.2). *)
@@ -155,7 +237,10 @@ let note_path st run =
   | None ->
     if Hashtbl.length st.path_counts >= path_counts_cap st.config then begin
       Hashtbl.reset st.path_counts;
-      st.path_resets <- st.path_resets + 1
+      st.path_resets <- st.path_resets + 1;
+      match tsink st with
+      | None -> ()
+      | Some o -> Obs.emit o ~exec:st.executions (Event.Reset { table = "path" })
     end;
     Hashtbl.replace st.path_counts h 1;
     0
@@ -168,19 +253,40 @@ let push_candidate st (candidate : Candidate.t) =
     if st.config.dedupe then begin
       if Hashtbl.length st.seen_inputs >= seen_inputs_cap st.config then begin
         Hashtbl.reset st.seen_inputs;
-        st.dedupe_resets <- st.dedupe_resets + 1
+        st.dedupe_resets <- st.dedupe_resets + 1;
+        match tsink st with
+        | None -> ()
+        | Some o -> Obs.emit o ~exec:st.executions (Event.Reset { table = "dedupe" })
       end;
       Hashtbl.replace st.seen_inputs candidate.data ()
     end;
     st.candidates_created <- st.candidates_created + 1;
+    let t_score = span_begin st in
     let prio = Heuristic.score st.config.heuristic ~vbr:st.vbr candidate in
+    let t_queue = span_next st Phase.Score t_score in
     Pqueue.push st.queue prio candidate;
+    span_end st Phase.Queue t_queue;
     emit st (fun () -> Pushed (prio, candidate.data));
+    (match tsink st with
+     | None -> ()
+     | Some o ->
+       Obs.emit o ~exec:st.executions
+         (Event.Queue_push
+            { prio; len = String.length candidate.data; depth = Pqueue.length st.queue }));
     (* Truncate with hysteresis: a full drop sorts the heap, so only do
        it after the queue has doubled past its bound. *)
     if Pqueue.length st.queue > 2 * st.config.queue_bound then begin
+      let before = Pqueue.length st.queue in
+      let t_trunc = span_begin st in
       Pqueue.drop_worst st.queue st.config.queue_bound;
-      emit st (fun () -> Truncated (observed_snapshot st))
+      span_end st Phase.Queue t_trunc;
+      emit st (fun () -> Truncated (observed_snapshot st));
+      match tsink st with
+      | None -> ()
+      | Some o ->
+        let depth = Pqueue.length st.queue in
+        Obs.emit o ~exec:st.executions
+          (Event.Queue_trunc { dropped = before - depth; depth })
     end;
     st.queue_peak <- max st.queue_peak (Pqueue.length st.queue)
   end
@@ -217,24 +323,68 @@ let add_inputs st ~(parent : Candidate.t) (run : Runner.run) =
 (* Algorithm 1, [validInp]: report, extend vBr, re-rank the queue. *)
 let valid_input st ~(parent : Candidate.t) (run : Runner.run) =
   st.valid_rev <- run.input :: st.valid_rev;
+  st.valid_count <- st.valid_count + 1;
   if st.first_valid_at = None then st.first_valid_at <- Some st.executions;
   st.on_valid run.input;
   st.vbr <- Coverage.union st.vbr run.coverage;
+  st.last_progress_at <- st.executions;
+  (match tsink st with
+   | None -> ()
+   | Some o ->
+     Obs.emit o ~exec:st.executions
+       (Event.Valid
+          { input = run.input; cov = Coverage.cardinal st.vbr; count = st.valid_count }));
+  (* The rerank is dominated by re-scoring every pending candidate, so
+     it lands in the Score phase. *)
+  let t_rerank = span_begin st in
   Pqueue.rerank st.queue (fun candidate ->
       Heuristic.score st.config.heuristic ~vbr:st.vbr candidate);
+  span_end st Phase.Score t_rerank;
   emit st (fun () -> Reranked (observed_snapshot st));
+  (match tsink st with
+   | None -> ()
+   | Some o ->
+     Obs.emit o ~exec:st.executions
+       (Event.Queue_rerank { depth = Pqueue.length st.queue }));
   add_inputs st ~parent run
+
+let verdict_string (run : Runner.run) =
+  match run.verdict with
+  | Runner.Accepted -> "accepted"
+  | Runner.Rejected _ -> "rejected"
+  | Runner.Hang -> "hang"
 
 (* Algorithm 1, [runCheck]: an input counts as valid only if it is
    accepted and covers branches no previous valid input covered. *)
 let run_check st ~parent ~prefix_len input =
-  let run = execute st ~prefix_len input in
-  if Runner.accepted run && Coverage.new_against run.coverage ~baseline:st.vbr > 0
-  then begin
-    valid_input st ~parent run;
-    (true, run)
-  end
-  else (false, run)
+  let t0 = match st.obs with None -> 0 | Some o -> Obs.now_ns o in
+  let run, cached = execute st ~prefix_len input in
+  let cov_before =
+    match tsink st with None -> 0 | Some _ -> Coverage.cardinal st.vbr
+  in
+  let valid =
+    Runner.accepted run && Coverage.new_against run.coverage ~baseline:st.vbr > 0
+  in
+  if valid then valid_input st ~parent run;
+  (match tsink st with
+   | None -> ()
+   | Some o ->
+     let cov_now = Coverage.cardinal st.vbr in
+     Obs.emit o ~exec:st.executions
+       (Event.Exec_done
+          {
+            dur_ns = Obs.now_ns o - t0;
+            verdict = verdict_string run;
+            cached;
+            sub_index =
+              (match Runner.substitution_index run with Some i -> i | None -> -1);
+            cov = cov_now;
+            cov_delta = cov_now - cov_before;
+            valid;
+            len = String.length run.input;
+          }));
+  maybe_snapshot st;
+  (valid, run)
 
 (* Restarts and extension probes happen on every iteration of the main
    loop; keep them allocation-free by passing raw characters around and
@@ -251,8 +401,9 @@ let extend data c =
   Bytes.unsafe_set b n c;
   Bytes.unsafe_to_string b
 
-let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution
+let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution ?obs
     ?(initial_inputs = []) config subject =
+  let t_start = Pdf_obs.Clock.now_ns () in
   let machine = if config.incremental then subject.Subject.machine else None in
   let st =
     {
@@ -266,8 +417,12 @@ let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution
       rng = Rng.make config.seed;
       queue = Pqueue.create ();
       on_queue_event;
+      obs;
+      evictions_seen = 0;
       vbr = Coverage.empty;
       valid_rev = [];
+      valid_count = 0;
+      last_progress_at = 0;
       executions = 0;
       candidates_created = 0;
       queue_peak = 0;
@@ -280,10 +435,30 @@ let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution
       on_execution;
     }
   in
+  (match obs with
+   | None -> ()
+   | Some o ->
+     Obs.run_meta o ~subject:subject.Subject.name
+       ~outcomes:(Pdf_instr.Site.total_outcomes subject.Subject.registry)
+       ~seed:config.seed ~max_executions:config.max_executions
+       ~incremental:(machine <> None));
   let next_candidate () =
-    match Pqueue.pop_with_priority st.queue with
+    let t_pop = span_begin st in
+    let popped = Pqueue.pop_with_priority st.queue in
+    span_end st Phase.Queue t_pop;
+    match popped with
     | Some (prio, c) ->
       emit st (fun () -> Popped (prio, c.Candidate.data));
+      (match tsink st with
+       | None -> ()
+       | Some o ->
+         Obs.emit o ~exec:st.executions
+           (Event.Queue_pop
+              {
+                prio;
+                len = String.length c.Candidate.data;
+                depth = Pqueue.length st.queue;
+              }));
       c
     | None ->
       (* Queue exhausted: restart from a fresh random character, as at
@@ -315,6 +490,13 @@ let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution
        candidate := next_candidate ()
      done
    with Budget_exhausted -> ());
+  (match obs with
+   | None -> ()
+   | Some o ->
+     Obs.finish o ~exec:st.executions ~valid:st.valid_count
+       ~cov:(Coverage.cardinal st.vbr));
+  let wall_ns = Pdf_obs.Clock.now_ns () - t_start in
+  let wall_clock_s = float_of_int wall_ns /. 1e9 in
   {
     valid_inputs = List.rev st.valid_rev;
     valid_coverage = st.vbr;
@@ -335,4 +517,8 @@ let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution
            evictions = s.evictions;
            chars_saved = s.chars_saved;
          });
+    wall_clock_s;
+    execs_per_sec =
+      (if wall_ns <= 0 then 0.0
+       else float_of_int st.executions /. wall_clock_s);
   }

@@ -55,6 +55,10 @@ type result = {
   cache : cache_stats;
       (** prefix-snapshot cache accounting; all zero when incremental
           execution was off or the subject has no machine-form parser *)
+  wall_clock_s : float;  (** wall-clock duration of the whole run *)
+  execs_per_sec : float;
+      (** [executions /. wall_clock_s]; 0 when the run took no
+          measurable time *)
 }
 
 type queue_event =
@@ -70,6 +74,7 @@ val fuzz :
   ?on_valid:(string -> unit) ->
   ?on_queue_event:(queue_event -> unit) ->
   ?on_execution:(Pdf_instr.Runner.run -> unit) ->
+  ?obs:Pdf_obs.Observer.t ->
   ?initial_inputs:string list ->
   config ->
   Pdf_subjects.Subject.t ->
@@ -81,6 +86,9 @@ val fuzz :
     harness replays them against a reference queue model to check
     priority monotonicity. [on_execution] observes every completed run in
     execution order — the incremental≡full equivalence invariant compares
-    these streams. [initial_inputs] seeds the candidate queue — the §6.2
+    these streams. [obs] attaches a telemetry observer: structured trace
+    events, per-phase timing spans, periodic status snapshots — when
+    absent (the default) the telemetry paths cost one branch and allocate
+    nothing. [initial_inputs] seeds the candidate queue — the §6.2
     hand-over point when pFuzzer continues from a lexical fuzzer's
     corpus. *)

@@ -31,7 +31,7 @@ let better a b =
     a.coverage_percent > b.coverage_percent
   else List.length a.found_tags > List.length b.found_tags
 
-let run ?(tools = Tool.all) ?(jobs = 1) config subjects =
+let run ?(tools = Tool.all) ?(jobs = 1) ?trace config subjects =
   (* Flatten the (subject, tool, seed) grid: every cell is a pure
      function of its coordinates, so the list can be mapped over a
      domain pool. Parallel.map preserves input order, which makes the
@@ -46,14 +46,55 @@ let run ?(tools = Tool.all) ?(jobs = 1) config subjects =
           tools)
       subjects
   in
+  (* With [trace], each cell records into its own in-memory sink headed
+     by a [Cell] event; the buffers are concatenated in grid order after
+     the parallel map, so the merged trace is identical for any [jobs]
+     up to wall-clock timestamps. *)
+  let tracing = trace <> None in
   let run_cell ((subject : Subject.t), tool, seed) =
     if config.verbose then
       Printf.eprintf "[experiment] %s on %s, seed %d...\n%!"
         (Tool.display_name tool) subject.name seed;
-    let outcome = Tool.run tool ~budget_units:config.budget_units ~seed subject in
-    make_cell subject outcome
+    let obs, contents =
+      if tracing then begin
+        let sink, contents = Pdf_obs.Trace.buffer () in
+        Pdf_obs.Trace.emit sink
+          {
+            Pdf_obs.Event.t_ns = 0;
+            exec = 0;
+            ev =
+              Pdf_obs.Event.Cell
+                { tool = Tool.display_name tool; subject = subject.name; seed };
+          };
+        (Some (Pdf_obs.Observer.create ~sink ()), contents)
+      end
+      else (None, fun () -> "")
+    in
+    let outcome =
+      Tool.run ?obs tool ~budget_units:config.budget_units ~seed subject
+    in
+    (* AFL and KLEE take no observer, so their segments would otherwise
+       be empty; give them at least the run summary. *)
+    (match obs with
+     | Some o when tool <> Tool.Pfuzzer ->
+       Pdf_obs.Observer.emit o ~exec:outcome.Tool.executions
+         (Pdf_obs.Event.Run_done
+            {
+              valid = List.length outcome.Tool.valid_inputs;
+              cov = Coverage.cardinal outcome.Tool.valid_coverage;
+              wall_ns = int_of_float (outcome.Tool.wall_clock_s *. 1e9);
+              execs_per_sec = outcome.Tool.execs_per_sec;
+            })
+     | _ -> ());
+    (make_cell subject outcome, contents ())
   in
-  let results = Array.of_list (Parallel.map ~jobs run_cell grid) in
+  let traced = Parallel.map ~jobs run_cell grid in
+  (match trace with
+   | None -> ()
+   | Some oc ->
+     List.iter (fun (_, buf) -> output_string oc buf) traced;
+     flush oc);
+  let results = Array.of_list (List.map fst traced) in
   let idx = ref 0 in
   let cells =
     List.map

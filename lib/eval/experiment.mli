@@ -28,6 +28,7 @@ type t = {
 val run :
   ?tools:Tool.name list ->
   ?jobs:int ->
+  ?trace:out_channel ->
   config ->
   Pdf_subjects.Subject.t list ->
   t
@@ -36,7 +37,14 @@ val run :
     strictly sequential, bit-identical to the historical behaviour) fans
     the independent (tool, subject, seed) cells across a {!Parallel}
     domain pool; the merge order is deterministic, so the resulting
-    cells are identical to the sequential run for the same seeds. *)
+    cells are identical to the sequential run for the same seeds.
+
+    [trace] streams every cell's telemetry as JSONL to the channel: each
+    cell records into a private buffer headed by a [cell] event naming
+    its (tool, subject, seed) coordinates, and the buffers are written in
+    grid order after all cells finish — so the merged trace has the same
+    structure for any [jobs] (timestamps aside; see
+    {!Pdf_obs.Trace.normalize}). *)
 
 val cell : t -> string -> Tool.name -> cell
 (** Lookup; raises [Not_found] for an unknown subject/tool. *)

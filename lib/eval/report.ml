@@ -149,6 +149,30 @@ let cache_report ppf (e : Experiment.t) =
     ~header:[ "subject"; "hits"; "misses"; "hit rate"; "evictions"; "chars saved" ]
     rows
 
+(* Wall-clock throughput per cell. The virtual unit budget equalizes the
+   tools' simulated effort; this table shows the real cost of producing
+   each cell. *)
+let throughput ppf (e : Experiment.t) =
+  let rows =
+    List.concat_map
+      (fun (subject, per_tool) ->
+        List.map
+          (fun (tool, cell) ->
+            let o = cell.Experiment.outcome in
+            [
+              subject;
+              Tool.display_name tool;
+              string_of_int o.Tool.executions;
+              Printf.sprintf "%.2f" o.Tool.wall_clock_s;
+              Printf.sprintf "%.0f" o.Tool.execs_per_sec;
+            ])
+          per_tool)
+      e.cells
+  in
+  Render.table ppf ~title:"Throughput: executions and wall clock per cell"
+    ~header:[ "subject"; "tool"; "executions"; "wall (s)"; "execs/sec" ]
+    rows
+
 let full ppf (e : Experiment.t) =
   Render.section ppf "Table 1";
   table_1 ppf e.subjects;
@@ -164,4 +188,6 @@ let full ppf (e : Experiment.t) =
   Render.section ppf "Headline (Section 5.3)";
   headline ppf e;
   Render.section ppf "Incremental execution";
-  cache_report ppf e
+  cache_report ppf e;
+  Render.section ppf "Throughput";
+  throughput ppf e

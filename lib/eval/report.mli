@@ -23,6 +23,9 @@ val cache_report : Format.formatter -> Experiment.t -> unit
 (** pFuzzer's prefix-snapshot cache accounting per subject: hits, misses,
     hit rate, evictions and prefix characters saved. *)
 
+val throughput : Format.formatter -> Experiment.t -> unit
+(** Real (wall-clock) cost per cell: executions, seconds, execs/sec. *)
+
 val full : Format.formatter -> Experiment.t -> unit
 (** All of the above in paper order, followed by the incremental-execution
     accounting. *)

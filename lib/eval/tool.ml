@@ -20,15 +20,22 @@ type outcome = {
   valid_coverage : Pdf_instr.Coverage.t;
   executions : int;
   cache : Pdf_core.Pfuzzer.cache_stats;
+  wall_clock_s : float;
+  execs_per_sec : float;
 }
 
-let run ?(incremental = true) tool ~budget_units ~seed subject =
+let throughput ~executions wall_clock_s =
+  if wall_clock_s <= 0.0 then 0.0 else float_of_int executions /. wall_clock_s
+
+let run ?(incremental = true) ?obs tool ~budget_units ~seed subject =
   let max_executions = max 1 (budget_units / cost_per_execution tool) in
   match tool with
   | Afl ->
+    let t0 = Pdf_obs.Clock.now_ns () in
     let result =
       Pdf_afl.Afl.fuzz { Pdf_afl.Afl.default_config with seed; max_executions } subject
     in
+    let wall_clock_s = float_of_int (Pdf_obs.Clock.now_ns () - t0) /. 1e9 in
     {
       tool;
       subject = subject.Pdf_subjects.Subject.name;
@@ -36,13 +43,17 @@ let run ?(incremental = true) tool ~budget_units ~seed subject =
       valid_coverage = result.valid_coverage;
       executions = result.executions;
       cache = Pdf_core.Pfuzzer.no_cache_stats;
+      wall_clock_s;
+      execs_per_sec = throughput ~executions:result.executions wall_clock_s;
     }
   | Klee ->
+    let t0 = Pdf_obs.Clock.now_ns () in
     let result =
       Pdf_klee.Klee.fuzz
         { Pdf_klee.Klee.default_config with seed; max_executions }
         subject
     in
+    let wall_clock_s = float_of_int (Pdf_obs.Clock.now_ns () - t0) /. 1e9 in
     {
       tool;
       subject = subject.Pdf_subjects.Subject.name;
@@ -50,10 +61,12 @@ let run ?(incremental = true) tool ~budget_units ~seed subject =
       valid_coverage = result.valid_coverage;
       executions = result.executions;
       cache = Pdf_core.Pfuzzer.no_cache_stats;
+      wall_clock_s;
+      execs_per_sec = throughput ~executions:result.executions wall_clock_s;
     }
   | Pfuzzer ->
     let result =
-      Pdf_core.Pfuzzer.fuzz
+      Pdf_core.Pfuzzer.fuzz ?obs
         { Pdf_core.Pfuzzer.default_config with seed; max_executions; incremental }
         subject
     in
@@ -64,4 +77,6 @@ let run ?(incremental = true) tool ~budget_units ~seed subject =
       valid_coverage = result.valid_coverage;
       executions = result.executions;
       cache = result.cache;
+      wall_clock_s = result.wall_clock_s;
+      execs_per_sec = result.execs_per_sec;
     }

@@ -23,11 +23,15 @@ type outcome = {
   cache : Pdf_core.Pfuzzer.cache_stats;
       (** pFuzzer's prefix-snapshot cache accounting; all zero for AFL
           and KLEE (they have no incremental engine) *)
+  wall_clock_s : float;  (** wall-clock duration of the run *)
+  execs_per_sec : float;  (** [executions /. wall_clock_s], 0 if untimed *)
 }
 
 val run :
   ?incremental:bool ->
+  ?obs:Pdf_obs.Observer.t ->
   name -> budget_units:int -> seed:int -> Pdf_subjects.Subject.t -> outcome
 (** Run one tool on one subject until the unit budget is exhausted.
     [incremental] (default true) toggles pFuzzer's prefix-snapshot cache;
-    the other tools ignore it. *)
+    the other tools ignore it. [obs] attaches a telemetry observer to
+    pFuzzer's run (the other tools are merely wall-clock timed). *)

@@ -1,0 +1,4 @@
+(* CLOCK_MONOTONIC via bechamel's noalloc stub: one C call, nanosecond
+   resolution, immune to wall-clock adjustments. All telemetry
+   timestamps are taken here so traces are comparable across sinks. *)
+let now_ns () = Int64.to_int (Monotonic_clock.now ())

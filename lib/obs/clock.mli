@@ -1,0 +1,6 @@
+(** Monotonic nanosecond clock used for every telemetry timestamp. *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary monotonic origin. Differences are
+    wall-clock durations; absolute values are only meaningful relative
+    to each other within one process. *)

@@ -1,0 +1,250 @@
+type t =
+  | Run_meta of {
+      subject : string;
+      outcomes : int;
+      seed : int;
+      max_executions : int;
+      incremental : bool;
+    }
+  | Cell of { tool : string; subject : string; seed : int }
+  | Exec_start of { len : int; prefix : int }
+  | Exec_done of {
+      dur_ns : int;
+      verdict : string;
+      cached : bool;
+      sub_index : int;
+      cov : int;
+      cov_delta : int;
+      valid : bool;
+      len : int;
+    }
+  | Valid of { input : string; cov : int; count : int }
+  | Queue_push of { prio : float; len : int; depth : int }
+  | Queue_pop of { prio : float; len : int; depth : int }
+  | Queue_rerank of { depth : int }
+  | Queue_trunc of { dropped : int; depth : int }
+  | Cache_hit of { saved : int }
+  | Cache_miss
+  | Cache_evict of { evictions : int }
+  | Reset of { table : string }
+  | Snapshot of {
+      execs_per_sec : float;
+      depth : int;
+      valid : int;
+      cov : int;
+      hits : int;
+      misses : int;
+      plateau : int;
+    }
+  | Phases of { spans : (string * int) list; wall_ns : int }
+  | Run_done of { valid : int; cov : int; wall_ns : int; execs_per_sec : float }
+
+type stamped = { t_ns : int; exec : int; ev : t }
+
+let kind = function
+  | Run_meta _ -> "run_meta"
+  | Cell _ -> "cell"
+  | Exec_start _ -> "exec_start"
+  | Exec_done _ -> "exec_done"
+  | Valid _ -> "valid"
+  | Queue_push _ -> "queue_push"
+  | Queue_pop _ -> "queue_pop"
+  | Queue_rerank _ -> "queue_rerank"
+  | Queue_trunc _ -> "queue_trunc"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_miss -> "cache_miss"
+  | Cache_evict _ -> "cache_evict"
+  | Reset _ -> "reset"
+  | Snapshot _ -> "snapshot"
+  | Phases _ -> "phases"
+  | Run_done _ -> "run_done"
+
+(* Payload fields, in the order they are serialized. Span totals in
+   [Phases] serialize as one field per span named [<span>_ns], so the
+   schema stays flat. *)
+let fields ev =
+  let open Json in
+  match ev with
+  | Run_meta m ->
+    [
+      ("subject", S m.subject);
+      ("outcomes", I m.outcomes);
+      ("seed", I m.seed);
+      ("max_executions", I m.max_executions);
+      ("incremental", B m.incremental);
+    ]
+  | Cell c -> [ ("tool", S c.tool); ("subject", S c.subject); ("seed", I c.seed) ]
+  | Exec_start e -> [ ("len", I e.len); ("prefix", I e.prefix) ]
+  | Exec_done e ->
+    [
+      ("dur_ns", I e.dur_ns);
+      ("verdict", S e.verdict);
+      ("cached", B e.cached);
+      ("sub", I e.sub_index);
+      ("cov", I e.cov);
+      ("cov_delta", I e.cov_delta);
+      ("valid", B e.valid);
+      ("len", I e.len);
+    ]
+  | Valid v -> [ ("input", S v.input); ("cov", I v.cov); ("count", I v.count) ]
+  | Queue_push q -> [ ("prio", F q.prio); ("len", I q.len); ("depth", I q.depth) ]
+  | Queue_pop q -> [ ("prio", F q.prio); ("len", I q.len); ("depth", I q.depth) ]
+  | Queue_rerank q -> [ ("depth", I q.depth) ]
+  | Queue_trunc q -> [ ("dropped", I q.dropped); ("depth", I q.depth) ]
+  | Cache_hit c -> [ ("saved", I c.saved) ]
+  | Cache_miss -> []
+  | Cache_evict c -> [ ("evictions", I c.evictions) ]
+  | Reset r -> [ ("table", S r.table) ]
+  | Snapshot s ->
+    [
+      ("execs_per_sec", F s.execs_per_sec);
+      ("depth", I s.depth);
+      ("valid", I s.valid);
+      ("cov", I s.cov);
+      ("hits", I s.hits);
+      ("misses", I s.misses);
+      ("plateau", I s.plateau);
+    ]
+  | Phases p ->
+    List.map (fun (name, ns) -> (name ^ "_ns", Json.I ns)) p.spans
+    @ [ ("wall_ns", I p.wall_ns) ]
+  | Run_done r ->
+    [
+      ("valid", I r.valid);
+      ("cov", I r.cov);
+      ("wall_ns", I r.wall_ns);
+      ("execs_per_sec", F r.execs_per_sec);
+    ]
+
+let to_json_line { t_ns; exec; ev } =
+  Json.flat_to_string
+    ([ ("ev", Json.S (kind ev)); ("t", Json.I t_ns); ("n", Json.I exec) ]
+    @ fields ev)
+
+(* {1 Parsing} *)
+
+let get fields k = List.assoc_opt k fields
+
+let int_field fields k =
+  match get fields k with
+  | Some (Json.I i) -> i
+  | _ -> Json.fail "missing int field %S" k
+
+let str_field fields k =
+  match get fields k with
+  | Some (Json.S s) -> s
+  | _ -> Json.fail "missing string field %S" k
+
+let bool_field fields k =
+  match get fields k with
+  | Some (Json.B b) -> b
+  | _ -> Json.fail "missing bool field %S" k
+
+(* JSON has one number type: an integral float serializes without a
+   fractional part only sometimes, so accept either shape for floats. *)
+let float_field fields k =
+  match get fields k with
+  | Some (Json.F f) -> f
+  | Some (Json.I i) -> float_of_int i
+  | _ -> Json.fail "missing float field %S" k
+
+let of_fields fields =
+  let f = fields in
+  let ev =
+    match str_field f "ev" with
+    | "run_meta" ->
+      Run_meta
+        {
+          subject = str_field f "subject";
+          outcomes = int_field f "outcomes";
+          seed = int_field f "seed";
+          max_executions = int_field f "max_executions";
+          incremental = bool_field f "incremental";
+        }
+    | "cell" ->
+      Cell
+        {
+          tool = str_field f "tool";
+          subject = str_field f "subject";
+          seed = int_field f "seed";
+        }
+    | "exec_start" ->
+      Exec_start { len = int_field f "len"; prefix = int_field f "prefix" }
+    | "exec_done" ->
+      Exec_done
+        {
+          dur_ns = int_field f "dur_ns";
+          verdict = str_field f "verdict";
+          cached = bool_field f "cached";
+          sub_index = int_field f "sub";
+          cov = int_field f "cov";
+          cov_delta = int_field f "cov_delta";
+          valid = bool_field f "valid";
+          len = int_field f "len";
+        }
+    | "valid" ->
+      Valid
+        {
+          input = str_field f "input";
+          cov = int_field f "cov";
+          count = int_field f "count";
+        }
+    | "queue_push" ->
+      Queue_push
+        {
+          prio = float_field f "prio";
+          len = int_field f "len";
+          depth = int_field f "depth";
+        }
+    | "queue_pop" ->
+      Queue_pop
+        {
+          prio = float_field f "prio";
+          len = int_field f "len";
+          depth = int_field f "depth";
+        }
+    | "queue_rerank" -> Queue_rerank { depth = int_field f "depth" }
+    | "queue_trunc" ->
+      Queue_trunc { dropped = int_field f "dropped"; depth = int_field f "depth" }
+    | "cache_hit" -> Cache_hit { saved = int_field f "saved" }
+    | "cache_miss" -> Cache_miss
+    | "cache_evict" -> Cache_evict { evictions = int_field f "evictions" }
+    | "reset" -> Reset { table = str_field f "table" }
+    | "snapshot" ->
+      Snapshot
+        {
+          execs_per_sec = float_field f "execs_per_sec";
+          depth = int_field f "depth";
+          valid = int_field f "valid";
+          cov = int_field f "cov";
+          hits = int_field f "hits";
+          misses = int_field f "misses";
+          plateau = int_field f "plateau";
+        }
+    | "phases" ->
+      let spans =
+        List.filter_map
+          (fun (k, v) ->
+            match v with
+            | Json.I ns
+              when k <> "wall_ns" && k <> "t"
+                   && String.length k > 3
+                   && String.sub k (String.length k - 3) 3 = "_ns" ->
+              Some (String.sub k 0 (String.length k - 3), ns)
+            | _ -> None)
+          f
+      in
+      Phases { spans; wall_ns = int_field f "wall_ns" }
+    | "run_done" ->
+      Run_done
+        {
+          valid = int_field f "valid";
+          cov = int_field f "cov";
+          wall_ns = int_field f "wall_ns";
+          execs_per_sec = float_field f "execs_per_sec";
+        }
+    | k -> Json.fail "unknown event kind %S" k
+  in
+  { t_ns = int_field f "t"; exec = int_field f "n"; ev }
+
+let of_json_line line = of_fields (Json.parse_flat line)

@@ -1,0 +1,65 @@
+(** The trace event model.
+
+    Every event is stamped with two clocks: [t_ns], monotonic
+    nanoseconds since the observer was created, and [exec], the
+    execution-count clock (how many subject executions had completed
+    when the event fired — the paper's x-axis). Events serialize as
+    single-line flat JSON objects; the schema is documented in
+    DESIGN.md §9. *)
+
+type t =
+  | Run_meta of {
+      subject : string;
+      outcomes : int;  (** total branch outcomes in the subject registry *)
+      seed : int;
+      max_executions : int;
+      incremental : bool;
+    }  (** first event of a fuzzing run *)
+  | Cell of { tool : string; subject : string; seed : int }
+      (** marks the start of one evaluation-grid cell in a merged trace *)
+  | Exec_start of { len : int; prefix : int }
+      (** an execution begins; [prefix] is the inherited-prefix hint *)
+  | Exec_done of {
+      dur_ns : int;  (** full processing span, including child generation *)
+      verdict : string;  (** "accepted", "rejected" or "hang" *)
+      cached : bool;  (** resumed from a prefix snapshot *)
+      sub_index : int;  (** substitution index, -1 when none *)
+      cov : int;  (** valid-coverage cardinal after this execution *)
+      cov_delta : int;  (** branches this execution added to it *)
+      valid : bool;
+      len : int;
+    }
+  | Valid of { input : string; cov : int; count : int }
+  | Queue_push of { prio : float; len : int; depth : int }
+  | Queue_pop of { prio : float; len : int; depth : int }
+  | Queue_rerank of { depth : int }
+  | Queue_trunc of { dropped : int; depth : int }
+  | Cache_hit of { saved : int }  (** [saved] prefix chars not re-parsed *)
+  | Cache_miss
+  | Cache_evict of { evictions : int }  (** cumulative eviction count *)
+  | Reset of { table : string }  (** "dedupe" or "path" generational reset *)
+  | Snapshot of {
+      execs_per_sec : float;
+      depth : int;
+      valid : int;
+      cov : int;
+      hits : int;
+      misses : int;
+      plateau : int;  (** executions since valid coverage last grew *)
+    }  (** periodic status sample, driving the live progress line *)
+  | Phases of { spans : (string * int) list; wall_ns : int }
+      (** cumulative per-phase wall-clock spans at end of run; spans
+          serialize as one [<name>_ns] field each *)
+  | Run_done of { valid : int; cov : int; wall_ns : int; execs_per_sec : float }
+
+type stamped = { t_ns : int; exec : int; ev : t }
+
+val kind : t -> string
+val to_json_line : stamped -> string
+(** One flat JSON object, no trailing newline. *)
+
+val of_json_line : string -> stamped
+(** Inverse of {!to_json_line}. Raises {!Json.Malformed} on anything
+    that is not a well-formed event line. *)
+
+val of_fields : (string * Json.v) list -> stamped

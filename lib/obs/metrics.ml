@@ -1,0 +1,74 @@
+module Histogram = Pdf_util.Stats.Histogram
+
+type counter = int ref
+type gauge = float ref
+
+type entry =
+  | Counter of counter
+  | Gauge of gauge
+  | Hist of Histogram.t
+
+type t = { entries : (string, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 32 }
+
+let find_or_add t name make cast =
+  match Hashtbl.find_opt t.entries name with
+  | Some e ->
+    (match cast e with
+     | Some v -> v
+     | None -> invalid_arg (Printf.sprintf "Metrics: %S registered with another type" name))
+  | None ->
+    let e, v = make () in
+    Hashtbl.replace t.entries name e;
+    v
+
+let counter t name =
+  find_or_add t name
+    (fun () ->
+      let c = ref 0 in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+
+let add c by = c := !c + by
+let incr c = add c 1
+let value c = !c
+
+let gauge t name =
+  find_or_add t name
+    (fun () ->
+      let g = ref 0.0 in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+
+let set g v = g := v
+let gauge_value g = !g
+
+let histogram t name =
+  find_or_add t name
+    (fun () ->
+      let h = Histogram.create () in
+      (Hist h, h))
+    (function Hist h -> Some h | _ -> None)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * Histogram.t) list;
+}
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot t =
+  let cs = ref [] and gs = ref [] and hs = ref [] in
+  Hashtbl.iter
+    (fun name -> function
+      | Counter c -> cs := (name, !c) :: !cs
+      | Gauge g -> gs := (name, !g) :: !gs
+      | Hist h -> hs := (name, h) :: !hs)
+    t.entries;
+  {
+    counters = List.sort by_name !cs;
+    gauges = List.sort by_name !gs;
+    histograms = List.sort by_name !hs;
+  }

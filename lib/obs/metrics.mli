@@ -1,0 +1,37 @@
+(** A small counter/gauge/histogram registry.
+
+    Handles are cheap mutable cells resolved once by name; the hot path
+    touches the cell, never the table. Histograms are
+    {!Pdf_util.Stats.Histogram}s, so registry snapshots can be merged
+    across shards associatively. *)
+
+type t
+
+val create : unit -> t
+
+type counter
+
+val counter : t -> string -> counter
+(** Resolve (registering on first use). Raises [Invalid_argument] if the
+    name is already registered as a different instrument type. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : t -> string -> Pdf_util.Stats.Histogram.t
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * Pdf_util.Stats.Histogram.t) list;
+}
+
+val snapshot : t -> snapshot
+(** Name-sorted, deterministic ordering. *)

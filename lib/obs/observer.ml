@@ -1,0 +1,135 @@
+type t = {
+  clock : unit -> int;
+  t0 : int;
+  sink : Trace.sink option;
+  metrics : Metrics.t option;
+  progress : Progress.t option;
+  phase_ns : int array;  (* cumulative span per Phase.t, always kept *)
+  phase_hist : Pdf_util.Stats.Histogram.t array option;  (* iff metrics *)
+  snapshot_interval_ns : int;  (* 0 = snapshots disabled *)
+  mutable max_executions : int;
+  mutable outcomes : int;
+  mutable last_snap_t : int;
+  mutable last_snap_exec : int;
+}
+
+let create ?(clock = Clock.now_ns) ?sink ?metrics ?progress () =
+  let t0 = clock () in
+  {
+    clock;
+    t0;
+    sink;
+    metrics;
+    progress;
+    phase_ns = Array.make Phase.count 0;
+    phase_hist =
+      (match metrics with
+       | None -> None
+       | Some m ->
+         Some
+           (Array.of_list
+              (List.map
+                 (fun p -> Metrics.histogram m ("phase/" ^ Phase.name p ^ "_ns"))
+                 Phase.all)));
+    (* Snapshots fire on the progress cadence only: a trace without a
+       live status line stays structurally deterministic (no
+       time-driven events), which the jobs:1 ≡ jobs:N merged-trace
+       check relies on. *)
+    snapshot_interval_ns =
+      (match progress with None -> 0 | Some p -> max 1 (Progress.interval_ns p));
+    max_executions = 0;
+    outcomes = 0;
+    last_snap_t = 0;
+    last_snap_exec = 0;
+  }
+
+let tracing t = t.sink <> None
+let now_ns t = t.clock () - t.t0
+let wall_ns = now_ns
+let metrics t = t.metrics
+
+let emit t ~exec ev =
+  match t.sink with
+  | None -> ()
+  | Some sink -> sink.Trace.emit { Event.t_ns = now_ns t; exec; ev }
+
+(* {1 Phase spans} *)
+
+let span_start t = t.clock ()
+
+let record_span t phase d =
+  let i = Phase.index phase in
+  t.phase_ns.(i) <- t.phase_ns.(i) + d;
+  match t.phase_hist with
+  | None -> ()
+  | Some hists -> Pdf_util.Stats.Histogram.record hists.(i) d
+
+let span_end t phase start = record_span t phase (t.clock () - start)
+
+let span_next t phase start =
+  let now = t.clock () in
+  record_span t phase (now - start);
+  now
+
+let phase_totals t =
+  List.map (fun p -> (Phase.name p, t.phase_ns.(Phase.index p))) Phase.all
+
+(* {1 Run lifecycle} *)
+
+let run_meta t ~subject ~outcomes ~seed ~max_executions ~incremental =
+  t.max_executions <- max_executions;
+  t.outcomes <- outcomes;
+  emit t ~exec:0 (Event.Run_meta { subject; outcomes; seed; max_executions; incremental })
+
+let snapshot_due t =
+  t.snapshot_interval_ns > 0 && now_ns t - t.last_snap_t >= t.snapshot_interval_ns
+
+let rate t ~now ~exec =
+  let dt = now - t.last_snap_t in
+  if dt <= 0 then 0.0 else float_of_int (exec - t.last_snap_exec) *. 1e9 /. float_of_int dt
+
+let snapshot t ~exec ~depth ~valid ~cov ~hits ~misses ~plateau =
+  let now = now_ns t in
+  let execs_per_sec = rate t ~now ~exec in
+  t.last_snap_t <- now;
+  t.last_snap_exec <- exec;
+  emit t ~exec (Event.Snapshot { execs_per_sec; depth; valid; cov; hits; misses; plateau });
+  match t.progress with
+  | None -> ()
+  | Some p ->
+    Progress.print p
+      (Progress.render ~execs:exec ~max_executions:t.max_executions ~execs_per_sec
+         ~depth ~valid ~cov ~outcomes:t.outcomes ~hits ~misses ~plateau)
+
+let finish t ~exec ~valid ~cov =
+  let wall = now_ns t in
+  (if tracing t then begin
+     let spans = phase_totals t in
+     let spans =
+       match t.phase_hist with
+       | None -> spans
+       | Some hists ->
+         spans
+         @ List.concat_map
+             (fun p ->
+               let h = hists.(Phase.index p) in
+               if Pdf_util.Stats.Histogram.count h = 0 then []
+               else
+                 [
+                   (Phase.name p ^ "_p50", Pdf_util.Stats.Histogram.percentile h 50.0);
+                   (Phase.name p ^ "_p99", Pdf_util.Stats.Histogram.percentile h 99.0);
+                 ])
+             Phase.all
+     in
+     emit t ~exec (Event.Phases { spans; wall_ns = wall });
+     emit t ~exec
+       (Event.Run_done
+          {
+            valid;
+            cov;
+            wall_ns = wall;
+            execs_per_sec =
+              (if wall <= 0 then 0.0 else float_of_int exec *. 1e9 /. float_of_int wall);
+          })
+   end);
+  match t.progress with None -> () | Some p -> Progress.finish p

@@ -1,0 +1,85 @@
+(** The fuzzer-facing telemetry handle, bundling a trace sink, a metrics
+    registry and a live progress line behind one optional value.
+
+    The contract with the hot path: the fuzzer holds an [Observer.t
+    option]; with [None] nothing is computed — no event construction, no
+    clock reads, no allocation. With an observer installed, phase spans
+    cost two monotonic clock reads each and trace events one small
+    allocation; measured overhead numbers live in BENCH_obs.json. *)
+
+type t
+
+val create :
+  ?clock:(unit -> int) ->
+  ?sink:Trace.sink ->
+  ?metrics:Metrics.t ->
+  ?progress:Progress.t ->
+  unit ->
+  t
+(** All parts optional: sink-only gives tracing, progress-only gives the
+    live line, metrics adds per-phase histograms (registered as
+    [phase/<name>_ns]). [clock] overrides the monotonic clock for
+    deterministic tests. *)
+
+val tracing : t -> bool
+(** Is a sink attached? Event construction should be guarded on this. *)
+
+val now_ns : t -> int
+(** Nanoseconds since the observer was created. *)
+
+val emit : t -> exec:int -> Event.t -> unit
+(** Stamp with the current clock and the given execution count, and
+    forward to the sink (no-op without one). *)
+
+val metrics : t -> Metrics.t option
+
+(** {1 Phase spans} *)
+
+val span_start : t -> int
+val span_end : t -> Phase.t -> int -> unit
+(** [span_end t phase (span_start t)] adds the elapsed nanoseconds to
+    the phase's cumulative total and, when a metrics registry is
+    attached, its histogram. *)
+
+val span_next : t -> Phase.t -> int -> int
+(** Like {!span_end}, but returns the end timestamp so back-to-back
+    spans share one clock read: [span_end t p2 (span_next t p1 start)]. *)
+
+val phase_totals : t -> (string * int) list
+
+(** {1 Run lifecycle} *)
+
+val run_meta :
+  t ->
+  subject:string ->
+  outcomes:int ->
+  seed:int ->
+  max_executions:int ->
+  incremental:bool ->
+  unit
+(** Emit the run header and remember the totals the progress line needs. *)
+
+val snapshot_due : t -> bool
+(** True when the progress cadence has elapsed. Always false without a
+    progress line, so purely-traced runs contain no time-driven events
+    and merged traces stay deterministic. *)
+
+val snapshot :
+  t ->
+  exec:int ->
+  depth:int ->
+  valid:int ->
+  cov:int ->
+  hits:int ->
+  misses:int ->
+  plateau:int ->
+  unit
+(** Emit a {!Event.Snapshot} and repaint the live line. Throughput is
+    computed from the delta since the previous snapshot. *)
+
+val finish : t -> exec:int -> valid:int -> cov:int -> unit
+(** End of run: emit {!Event.Phases} (with p50/p99 per phase when
+    metrics are attached) and {!Event.Run_done}, and release the live
+    line. Does not close the sink — its opener owns it. *)
+
+val wall_ns : t -> int

@@ -1,0 +1,16 @@
+(* The fuzzer's per-execution work, partitioned for the wall-clock
+   breakdown. Anything not covered by a span shows up as "other" in the
+   trace report (loop bookkeeping, candidate construction, observer
+   overhead itself). *)
+
+type t = Exec | Cache | Score | Queue
+
+let all = [ Exec; Cache; Score; Queue ]
+let count = 4
+let index = function Exec -> 0 | Cache -> 1 | Score -> 2 | Queue -> 3
+
+let name = function
+  | Exec -> "exec"  (* subject execution: parse of the candidate input *)
+  | Cache -> "cache"  (* prefix-snapshot lookup, store and accounting *)
+  | Score -> "score"  (* heuristic scoring, including full reranks *)
+  | Queue -> "queue"  (* priority-queue push/pop/truncate maintenance *)

@@ -1,0 +1,12 @@
+(** The instrumented phases of the fuzzer's per-execution work. *)
+
+type t =
+  | Exec  (** subject execution: parsing the candidate input *)
+  | Cache  (** prefix-snapshot lookup, store and accounting *)
+  | Score  (** heuristic scoring, including full queue reranks *)
+  | Queue  (** priority-queue push/pop/truncate maintenance *)
+
+val all : t list
+val count : int
+val index : t -> int
+val name : t -> string

@@ -1,0 +1,180 @@
+type sink = { emit : Event.stamped -> unit; close : unit -> unit }
+
+let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+let emit sink ev = sink.emit ev
+let close sink = sink.close ()
+
+let jsonl oc =
+  {
+    emit =
+      (fun ev ->
+        output_string oc (Event.to_json_line ev);
+        output_char oc '\n');
+    close = (fun () -> flush oc);
+  }
+
+let buffer () =
+  let buf = Buffer.create 4096 in
+  ( {
+      emit =
+        (fun ev ->
+          Buffer.add_string buf (Event.to_json_line ev);
+          Buffer.add_char buf '\n');
+      close = (fun () -> ());
+    },
+    fun () -> Buffer.contents buf )
+
+let tee a b =
+  {
+    emit =
+      (fun ev ->
+        a.emit ev;
+        b.emit ev);
+    close =
+      (fun () ->
+        a.close ();
+        b.close ());
+  }
+
+(* {1 Chrome trace_event sink}
+
+   Writes the JSON-array flavour of the trace_event format, loadable in
+   chrome://tracing and Perfetto. Executions become complete ("X")
+   spans, valid inputs instant events, coverage and queue depth counter
+   tracks; high-frequency queue push/pop events are folded into the
+   depth counter rather than emitted individually. *)
+
+let chrome oc =
+  let first = ref true in
+  let entry fields =
+    if !first then first := false else output_string oc ",\n";
+    output_string oc (Json.flat_to_string fields)
+  in
+  let us ns = float_of_int ns /. 1e3 in
+  let open Json in
+  output_string oc "[\n";
+  let base = [ ("pid", I 1); ("tid", I 1) ] in
+  let emit (s : Event.stamped) =
+    match s.ev with
+    | Event.Run_meta m ->
+      entry
+        ([
+           ("name", S "process_name");
+           ("ph", S "M");
+           ("arg_name", S (Printf.sprintf "pfuzzer %s seed %d" m.subject m.seed));
+         ]
+        @ base)
+    | Event.Cell c ->
+      entry
+        ([
+           ("name", S "cell");
+           ("ph", S "i");
+           ("ts", F (us s.t_ns));
+           ("s", S "g");
+           ("tool", S c.tool);
+           ("subject", S c.subject);
+           ("seed", I c.seed);
+         ]
+        @ base)
+    | Event.Exec_done e ->
+      entry
+        ([
+           ("name", S "exec");
+           ("ph", S "X");
+           ("ts", F (us (s.t_ns - e.dur_ns)));
+           ("dur", F (us e.dur_ns));
+           ("n", I s.exec);
+           ("verdict", S e.verdict);
+           ("cached", B e.cached);
+           ("valid", B e.valid);
+         ]
+        @ base);
+      entry
+        ([
+           ("name", S "coverage");
+           ("ph", S "C");
+           ("ts", F (us s.t_ns));
+           ("branches", I e.cov);
+         ]
+        @ base)
+    | Event.Valid v ->
+      entry
+        ([
+           ("name", S "valid");
+           ("ph", S "i");
+           ("ts", F (us s.t_ns));
+           ("s", S "g");
+           ("input", S v.input);
+           ("count", I v.count);
+         ]
+        @ base)
+    | Event.Queue_push { depth; _ } | Event.Queue_pop { depth; _ } ->
+      entry
+        ([
+           ("name", S "queue_depth");
+           ("ph", S "C");
+           ("ts", F (us s.t_ns));
+           ("depth", I depth);
+         ]
+        @ base)
+    | Event.Phases p ->
+      let phase_names = List.map Phase.name Phase.all in
+      List.iter
+        (fun (name, ns) ->
+          if List.mem name phase_names then
+            entry
+              [
+                ("name", S ("phase:" ^ name));
+                ("ph", S "X");
+                ("ts", F 0.0);
+                ("dur", F (us ns));
+                ("pid", I 1);
+                ("tid", I 2);
+              ])
+        p.spans;
+      ignore p.wall_ns
+    | _ -> ()
+  in
+  { emit; close = (fun () -> output_string oc "\n]\n"; flush oc) }
+
+(* {1 Reading and normalizing} *)
+
+let read_channel ic =
+  let rec go acc lineno =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | "" -> go acc (lineno + 1)
+    | line ->
+      (match Event.of_json_line line with
+       | ev -> go (ev :: acc) (lineno + 1)
+       | exception Json.Malformed m ->
+         failwith (Printf.sprintf "trace line %d: %s" lineno m))
+  in
+  go [] 1
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+
+(* Zero every wall-clock-dependent field of one JSONL line, leaving the
+   structural content: the jobs:1 ≡ jobs:N merged-trace determinism
+   check compares normalized lines. Non-JSON lines pass through. *)
+let is_timing_key k =
+  k = "t" || k = "execs_per_sec"
+  || (String.length k > 3 && String.sub k (String.length k - 3) 3 = "_ns")
+
+let normalize_line line =
+  match Json.parse_flat line with
+  | exception Json.Malformed _ -> line
+  | fields ->
+    Json.flat_to_string
+      (List.map
+         (fun (k, v) ->
+           if is_timing_key k then
+             (k, match v with Json.F _ -> Json.F 0.0 | _ -> Json.I 0)
+           else (k, v))
+         fields)
+
+let normalize s =
+  String.split_on_char '\n' s |> List.map normalize_line |> String.concat "\n"

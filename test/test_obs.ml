@@ -1,0 +1,386 @@
+(* Tests for the telemetry subsystem: event serialization (golden lines
+   and round-trips), observer stamping, the live status line, trace
+   analysis, the allocation contract of the disabled path, and the
+   jobs:1 ≡ jobs:N determinism of merged evaluation traces. *)
+
+module Event = Pdf_obs.Event
+module Json = Pdf_obs.Json
+module Trace = Pdf_obs.Trace
+module Observer = Pdf_obs.Observer
+module Metrics = Pdf_obs.Metrics
+module Progress = Pdf_obs.Progress
+module Phase = Pdf_obs.Phase
+module Trace_report = Pdf_obs.Trace_report
+module Pfuzzer = Pdf_core.Pfuzzer
+module Coverage = Pdf_instr.Coverage
+module Catalog = Pdf_subjects.Catalog
+
+let check = Alcotest.check
+
+(* {1 Golden serialization: the JSONL schema is a stable format} *)
+
+let stamp t_ns exec ev = { Event.t_ns; exec; ev }
+
+let golden =
+  [
+    ( stamp 0 0
+        (Event.Run_meta
+           { subject = "json"; outcomes = 76; seed = 1; max_executions = 500; incremental = true }),
+      {|{"ev":"run_meta","t":0,"n":0,"subject":"json","outcomes":76,"seed":1,"max_executions":500,"incremental":true}|}
+    );
+    ( stamp 10 1 (Event.Exec_start { len = 3; prefix = 2 }),
+      {|{"ev":"exec_start","t":10,"n":1,"len":3,"prefix":2}|} );
+    ( stamp 20 1
+        (Event.Exec_done
+           {
+             dur_ns = 900;
+             verdict = "rejected";
+             cached = true;
+             sub_index = 2;
+             cov = 10;
+             cov_delta = 0;
+             valid = false;
+             len = 3;
+           }),
+      {|{"ev":"exec_done","t":20,"n":1,"dur_ns":900,"verdict":"rejected","cached":true,"sub":2,"cov":10,"cov_delta":0,"valid":false,"len":3}|}
+    );
+    ( stamp 30 2 (Event.Valid { input = "a\tb\xff"; cov = 12; count = 1 }),
+      {|{"ev":"valid","t":30,"n":2,"input":"a\tb\u00ff","cov":12,"count":1}|} );
+    ( stamp 40 2 (Event.Queue_push { prio = 1.5; len = 4; depth = 9 }),
+      {|{"ev":"queue_push","t":40,"n":2,"prio":1.5,"len":4,"depth":9}|} );
+    ( stamp 50 2 (Event.Cache_hit { saved = 7 }),
+      {|{"ev":"cache_hit","t":50,"n":2,"saved":7}|} );
+    ( stamp 55 2 Event.Cache_miss, {|{"ev":"cache_miss","t":55,"n":2}|} );
+    ( stamp 60 3 (Event.Reset { table = "dedupe" }),
+      {|{"ev":"reset","t":60,"n":3,"table":"dedupe"}|} );
+    ( stamp 70 4
+        (Event.Snapshot
+           {
+             execs_per_sec = 1234.0;
+             depth = 5;
+             valid = 1;
+             cov = 12;
+             hits = 3;
+             misses = 1;
+             plateau = 2;
+           }),
+      {|{"ev":"snapshot","t":70,"n":4,"execs_per_sec":1234.0,"depth":5,"valid":1,"cov":12,"hits":3,"misses":1,"plateau":2}|}
+    );
+    ( stamp 80 5
+        (Event.Phases { spans = [ ("exec", 100); ("cache", 50) ]; wall_ns = 400 }),
+      {|{"ev":"phases","t":80,"n":5,"exec_ns":100,"cache_ns":50,"wall_ns":400}|}
+    );
+    ( stamp 90 5
+        (Event.Run_done { valid = 1; cov = 12; wall_ns = 400; execs_per_sec = 50.5 }),
+      {|{"ev":"run_done","t":90,"n":5,"valid":1,"cov":12,"wall_ns":400,"execs_per_sec":50.5}|}
+    );
+  ]
+
+let test_golden_lines () =
+  List.iter
+    (fun (ev, expected) ->
+      check Alcotest.string (Event.kind ev.Event.ev) expected (Event.to_json_line ev))
+    golden
+
+let test_round_trip () =
+  List.iter
+    (fun (ev, _) ->
+      let back = Event.of_json_line (Event.to_json_line ev) in
+      check Alcotest.bool (Event.kind ev.Event.ev) true (back = ev))
+    golden;
+  (* Valid-input payloads are arbitrary byte strings; every byte must
+     survive the trip through the escaper. *)
+  let bytes = String.init 256 Char.chr in
+  let ev = stamp 1 1 (Event.Valid { input = bytes; cov = 1; count = 1 }) in
+  let back = Event.of_json_line (Event.to_json_line ev) in
+  (match back.Event.ev with
+   | Event.Valid v -> check Alcotest.string "all bytes round-trip" bytes v.input
+   | _ -> Alcotest.fail "wrong event kind");
+  Alcotest.check_raises "malformed line rejected" (Json.Malformed "expected '{' at 0")
+    (fun () -> ignore (Event.of_json_line "not json"))
+
+let test_normalize () =
+  let line =
+    {|{"ev":"exec_done","t":55,"n":1,"dur_ns":900,"verdict":"ok","cached":true,"sub":2,"cov":10,"cov_delta":0,"valid":false,"len":3}|}
+  in
+  let expected =
+    {|{"ev":"exec_done","t":0,"n":1,"dur_ns":0,"verdict":"ok","cached":true,"sub":2,"cov":10,"cov_delta":0,"valid":false,"len":3}|}
+  in
+  check Alcotest.string "timing keys zeroed" expected (Trace.normalize_line line);
+  check Alcotest.string "non-json passes through" "garbage" (Trace.normalize_line "garbage")
+
+(* {1 Observer stamping with a deterministic clock} *)
+
+let test_observer_stamps () =
+  let t = ref 0 in
+  let clock () = incr t; !t * 100 in
+  let sink, contents = Trace.buffer () in
+  let obs = Observer.create ~clock ~sink () in
+  Observer.emit obs ~exec:3 Event.Cache_miss;
+  Observer.emit obs ~exec:4 (Event.Reset { table = "path" });
+  let lines = String.split_on_char '\n' (String.trim (contents ())) in
+  let parsed = List.map Event.of_json_line lines in
+  (match parsed with
+   | [ a; b ] ->
+     (* t0 was the creation read; each emit reads the clock once, so
+        stamps advance by exactly one tick. *)
+     check Alcotest.int "first stamp" 100 a.Event.t_ns;
+     check Alcotest.int "second stamp" 200 b.Event.t_ns;
+     check Alcotest.int "exec clock carried" 3 a.Event.exec;
+     check Alcotest.bool "kinds" true
+       (a.Event.ev = Event.Cache_miss && b.Event.ev = Event.Reset { table = "path" })
+   | _ -> Alcotest.fail "expected exactly two lines");
+  check Alcotest.bool "tracing on" true (Observer.tracing obs);
+  check Alcotest.bool "tracing off" false
+    (Observer.tracing (Observer.create ()))
+
+let test_observer_spans () =
+  let t = ref 0 in
+  let clock () = incr t; !t * 10 in
+  let obs = Observer.create ~clock ~metrics:(Metrics.create ()) () in
+  let s = Observer.span_start obs in
+  Observer.span_end obs Phase.Exec s;
+  let s = Observer.span_start obs in
+  let s2 = Observer.span_next obs Phase.Cache s in
+  Observer.span_end obs Phase.Queue s2;
+  check
+    Alcotest.(list (pair string int))
+    "phase totals"
+    [ ("exec", 10); ("cache", 10); ("score", 0); ("queue", 10) ]
+    (Observer.phase_totals obs)
+
+(* {1 The live status line} *)
+
+let test_progress_render () =
+  check Alcotest.string "status line"
+    "[pfuzzer] 500/2000 execs | 1234/s | queue 42 | valid 7 | cov 50.0% | cache 99.0% | plateau 12"
+    (Progress.render ~execs:500 ~max_executions:2000 ~execs_per_sec:1234.0
+       ~depth:42 ~valid:7 ~cov:38 ~outcomes:76 ~hits:99 ~misses:1 ~plateau:12);
+  check Alcotest.string "no cache consultations"
+    "[pfuzzer] 1/10 execs | 0/s | queue 0 | valid 0 | cov 0.0% | cache - | plateau 1"
+    (Progress.render ~execs:1 ~max_executions:10 ~execs_per_sec:0.0 ~depth:0
+       ~valid:0 ~cov:0 ~outcomes:0 ~hits:0 ~misses:0 ~plateau:1)
+
+(* {1 A real traced run: schema, consistency with the result, report} *)
+
+let traced_run () =
+  let subject = Catalog.find "json" in
+  let config = { Pfuzzer.default_config with max_executions = 300 } in
+  let sink, contents = Trace.buffer () in
+  let obs = Observer.create ~sink ~metrics:(Metrics.create ()) () in
+  let result = Pfuzzer.fuzz ~obs config subject in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (contents ()))
+  in
+  (result, List.map Event.of_json_line lines)
+
+let test_traced_run_schema () =
+  let result, events = traced_run () in
+  check Alcotest.bool "nonempty" true (events <> []);
+  let last_t = ref 0 and last_exec = ref 0 in
+  List.iter
+    (fun (s : Event.stamped) ->
+      check Alcotest.bool "t monotone" true (s.t_ns >= !last_t);
+      check Alcotest.bool "n non-decreasing" true (s.exec >= !last_exec);
+      last_t := s.t_ns;
+      last_exec := s.exec)
+    events;
+  let count p = List.length (List.filter p events) in
+  check Alcotest.int "one exec_start per execution" result.executions
+    (count (fun s -> match s.Event.ev with Event.Exec_start _ -> true | _ -> false));
+  check Alcotest.int "one exec_done per execution" result.executions
+    (count (fun s -> match s.Event.ev with Event.Exec_done _ -> true | _ -> false));
+  check Alcotest.int "one valid event per valid input"
+    (List.length result.valid_inputs)
+    (count (fun s -> match s.Event.ev with Event.Valid _ -> true | _ -> false));
+  (* The final exec_done's coverage is the run's valid coverage. *)
+  let final_cov =
+    List.fold_left
+      (fun acc (s : Event.stamped) ->
+        match s.Event.ev with Event.Exec_done e -> e.cov | _ -> acc)
+      (-1) events
+  in
+  check Alcotest.int "final coverage matches result"
+    (Coverage.cardinal result.valid_coverage)
+    final_cov;
+  (* Run_done agrees with the result. *)
+  (match List.rev events with
+   | { Event.ev = Event.Run_done r; _ } :: _ ->
+     check Alcotest.int "run_done valid" (List.length result.valid_inputs) r.valid;
+     check Alcotest.int "run_done cov" (Coverage.cardinal result.valid_coverage) r.cov
+   | _ -> Alcotest.fail "last event must be run_done");
+  (* Phase spans can never exceed the wall clock. *)
+  (match
+     List.find_map
+       (fun (s : Event.stamped) ->
+         match s.Event.ev with
+         | Event.Phases p -> Some (p.spans, p.wall_ns)
+         | _ -> None)
+       events
+   with
+   | None -> Alcotest.fail "no phases event"
+   | Some (spans, wall_ns) ->
+     let known = List.map Phase.name Phase.all in
+     let spent =
+       List.fold_left
+         (fun acc (name, ns) -> if List.mem name known then acc + ns else acc)
+         0 spans
+     in
+     check Alcotest.bool "phases sum <= wall" true (spent <= wall_ns))
+
+let test_trace_report_matches_run () =
+  let result, events = traced_run () in
+  let a = Trace_report.analyse events in
+  check Alcotest.int "execs" result.executions a.Trace_report.execs;
+  check Alcotest.int "final valid" (List.length result.valid_inputs) a.final_valid;
+  check Alcotest.int "final cov"
+    (Coverage.cardinal result.valid_coverage)
+    a.final_cov;
+  check Alcotest.int "cache hits" result.cache.Pfuzzer.hits a.cache_hits;
+  check Alcotest.int "cache misses" result.cache.Pfuzzer.misses a.cache_misses;
+  (* The bucketed curve ends on the true final point. *)
+  let buckets = Trace_report.bucketed ~rows:10 a in
+  check Alcotest.bool "rows bounded" true (List.length buckets <= 11);
+  (match List.rev buckets with
+   | last :: _ ->
+     check Alcotest.int "last bucket exec" result.executions last.Trace_report.exec;
+     check Alcotest.int "last bucket cov"
+       (Coverage.cardinal result.valid_coverage)
+       last.Trace_report.cov
+   | [] -> Alcotest.fail "empty curve");
+  (* CSV: header plus one row per execution. *)
+  let csv = Trace_report.csv a in
+  check Alcotest.int "csv rows" (result.executions + 1)
+    (List.length
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)));
+  (* Rendering shouldn't raise and mentions the summary numbers. *)
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Trace_report.render ppf a;
+  Format.pp_print_flush ppf ();
+  check Alcotest.bool "render nonempty" true (Buffer.length buf > 100)
+
+let test_chrome_sink () =
+  let _, events = traced_run () in
+  let path = Filename.temp_file "pdf_obs" ".chrome.json" in
+  let oc = open_out path in
+  let sink = Trace.chrome oc in
+  List.iter (Trace.emit sink) events;
+  Trace.close sink;
+  close_out oc;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  let trimmed = String.trim content in
+  check Alcotest.bool "nonempty" true (String.length trimmed > 2);
+  check Alcotest.char "opens array" '[' trimmed.[0];
+  check Alcotest.char "closes array" ']' trimmed.[String.length trimmed - 1]
+
+(* {1 The disabled path allocates within the fuzzer's own budget}
+
+   With no observer installed every telemetry site is one branch; no
+   event record, no closure, no clock read. The fuzzer itself allocates
+   ~1100 minor words per execution on the json subject (measured on the
+   seed corpus of this test); the budget below has ~35% headroom. If
+   this trips, something started allocating on the disabled hot path —
+   tracing on costs ~1800 words/exec more, so even a single stray event
+   construction blows the budget immediately. *)
+
+let test_disabled_path_allocation () =
+  let subject = Catalog.find "json" in
+  let config = { Pfuzzer.default_config with max_executions = 2000 } in
+  ignore (Pfuzzer.fuzz config subject) (* warm up *);
+  let w0 = Gc.minor_words () in
+  let result = Pfuzzer.fuzz config subject in
+  let w1 = Gc.minor_words () in
+  let per_exec = (w1 -. w0) /. float_of_int result.executions in
+  if per_exec > 1500.0 then
+    Alcotest.failf "disabled-path allocation: %.0f minor words/exec (budget 1500)"
+      per_exec
+
+(* {1 Result timing fields} *)
+
+let test_result_timing () =
+  let subject = Catalog.find "json" in
+  let result =
+    Pfuzzer.fuzz { Pfuzzer.default_config with max_executions = 100 } subject
+  in
+  check Alcotest.bool "wall clock positive" true (result.wall_clock_s > 0.0);
+  check Alcotest.bool "execs/sec consistent" true
+    (abs_float
+       (result.execs_per_sec -. (float_of_int result.executions /. result.wall_clock_s))
+     < 1.0)
+
+(* {1 jobs:1 ≡ jobs:N merged-trace determinism} *)
+
+let grid_trace ~jobs =
+  let path = Filename.temp_file "pdf_obs" ".jsonl" in
+  let oc = open_out path in
+  let config =
+    { Pdf_eval.Experiment.budget_units = 10_000; seeds = [ 1; 2 ]; verbose = false }
+  in
+  let subjects = [ Catalog.find "json"; Catalog.find "ini" ] in
+  let (_ : Pdf_eval.Experiment.t) =
+    Pdf_eval.Experiment.run ~jobs ~trace:oc config subjects
+  in
+  close_out oc;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  content
+
+let test_merged_trace_determinism () =
+  let a = grid_trace ~jobs:1 and b = grid_trace ~jobs:3 in
+  check Alcotest.bool "same structure up to timestamps" true
+    (Trace.normalize a = Trace.normalize b);
+  (* Cell headers appear once per (subject, tool, seed), in grid order. *)
+  let cells =
+    List.filter_map
+      (fun l ->
+        if l = "" then None
+        else
+          match Event.of_json_line l with
+          | { Event.ev = Event.Cell c; _ } -> Some c.tool
+          | _ -> None)
+      (String.split_on_char '\n' a)
+  in
+  check Alcotest.int "cell count" (2 * 3 * 2) (List.length cells)
+
+let () =
+  Alcotest.run "pdf_obs"
+    [
+      ( "serialization",
+        [
+          Alcotest.test_case "golden JSONL lines" `Quick test_golden_lines;
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+        ] );
+      ( "observer",
+        [
+          Alcotest.test_case "stamping" `Quick test_observer_stamps;
+          Alcotest.test_case "phase spans" `Quick test_observer_spans;
+        ] );
+      ("progress", [ Alcotest.test_case "render" `Quick test_progress_render ]);
+      ( "traced run",
+        [
+          Alcotest.test_case "schema and consistency" `Quick test_traced_run_schema;
+          Alcotest.test_case "trace-report matches run" `Quick
+            test_trace_report_matches_run;
+          Alcotest.test_case "chrome sink" `Quick test_chrome_sink;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "disabled path allocation" `Quick
+            test_disabled_path_allocation;
+          Alcotest.test_case "result timing fields" `Quick test_result_timing;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "jobs:1 = jobs:N merged trace" `Quick
+            test_merged_trace_determinism;
+        ] );
+    ]

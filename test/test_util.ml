@@ -253,6 +253,113 @@ let test_stats () =
   check (Alcotest.float 1e-9) "ratio" 50.0 (Stats.ratio 1 2);
   check (Alcotest.float 1e-9) "ratio zero den" 0.0 (Stats.ratio 1 0)
 
+(* Nearest-rank reference shared by the percentile properties below. *)
+let nearest_rank p xs =
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let percentile_gen =
+  QCheck.(
+    pair (float_bound_inclusive 100.0)
+      (list_of_size Gen.(1 -- 40) (float_bound_inclusive 1e6)))
+
+let prop_percentile_nearest_rank =
+  QCheck.Test.make ~name:"percentile is nearest-rank" ~count:500 percentile_gen
+    (fun (p, xs) -> Stats.percentile p xs = nearest_rank p xs)
+
+let prop_percentile_boundaries =
+  QCheck.Test.make ~name:"percentile boundaries: p=0 is min, p=100 is max"
+    ~count:300
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_inclusive 1e6))
+    (fun xs ->
+      Stats.percentile 0.0 xs = Stats.minimum xs
+      && Stats.percentile 100.0 xs = Stats.maximum xs)
+
+let prop_percentile_single =
+  QCheck.Test.make ~name:"percentile of a single element is that element"
+    ~count:200
+    QCheck.(pair (float_bound_inclusive 100.0) (float_bound_inclusive 1e6))
+    (fun (p, x) -> Stats.percentile p [ x ] = x)
+
+let prop_percentile_ties =
+  QCheck.Test.make ~name:"percentile of an all-equal list is that value"
+    ~count:200
+    QCheck.(
+      triple (float_bound_inclusive 100.0) (int_range 1 30)
+        (float_bound_inclusive 1e6))
+    (fun (p, n, x) -> Stats.percentile p (List.init n (fun _ -> x)) = x)
+
+(* {1 Stats.Histogram} *)
+
+module Hist = Stats.Histogram
+
+let hist_of xs =
+  let h = Hist.create () in
+  List.iter (Hist.record h) xs;
+  h
+
+let sample_gen = QCheck.(list_of_size Gen.(0 -- 60) (int_range 0 10_000_000))
+
+let prop_hist_merge_associative =
+  QCheck.Test.make ~name:"Histogram.merge is associative and commutative"
+    ~count:200
+    QCheck.(triple sample_gen sample_gen sample_gen)
+    (fun (a, b, c) ->
+      let ha = hist_of a and hb = hist_of b and hc = hist_of c in
+      Hist.equal
+        (Hist.merge (Hist.merge ha hb) hc)
+        (Hist.merge ha (Hist.merge hb hc))
+      && Hist.equal (Hist.merge ha hb) (Hist.merge hb ha)
+      && Hist.equal (Hist.merge ha hb) (hist_of (a @ b)))
+
+let prop_hist_bucket_monotone =
+  QCheck.Test.make
+    ~name:"Histogram buckets: lower <= v < next lower, index monotone"
+    ~count:1000
+    QCheck.(pair (int_range 0 max_int) (int_range 0 max_int))
+    (fun (v, w) ->
+      let i = Hist.bucket_index v in
+      Hist.bucket_lower i <= v
+      && (i + 1 >= Hist.num_buckets || v < Hist.bucket_lower (i + 1))
+      && if v <= w then i <= Hist.bucket_index w else i >= Hist.bucket_index w)
+
+let prop_hist_percentile_exact_small =
+  QCheck.Test.make
+    ~name:"Histogram percentile is exact below the unit-bucket limit"
+    ~count:300
+    QCheck.(
+      pair (float_bound_inclusive 100.0)
+        (list_of_size Gen.(1 -- 60) (int_range 0 63)))
+    (fun (p, xs) ->
+      let exact =
+        int_of_float (nearest_rank p (List.map float_of_int xs))
+      in
+      Hist.percentile (hist_of xs) p = exact)
+
+let prop_hist_percentile_bounded_error =
+  QCheck.Test.make
+    ~name:"Histogram percentile within 1/32 of exact nearest-rank"
+    ~count:300
+    QCheck.(
+      pair (float_bound_inclusive 100.0)
+        (list_of_size Gen.(1 -- 60) (int_range 0 50_000_000)))
+    (fun (p, xs) ->
+      let exact = int_of_float (nearest_rank p (List.map float_of_int xs)) in
+      let approx = Hist.percentile (hist_of xs) p in
+      approx <= exact
+      && float_of_int (exact - approx) <= float_of_int exact /. 32.0 +. 1.0)
+
+let prop_hist_accumulators =
+  QCheck.Test.make ~name:"Histogram count/sum/min/max are exact" ~count:300
+    sample_gen (fun xs ->
+      let h = hist_of xs in
+      Hist.count h = List.length xs
+      && Hist.sum h = List.fold_left ( + ) 0 xs
+      && (xs = [] || Hist.min_value h = List.fold_left min max_int xs)
+      && (xs = [] || Hist.max_value h = List.fold_left max 0 xs))
+
 (* {1 Render} *)
 
 let render_to_string f =
@@ -377,7 +484,22 @@ let () =
           Alcotest.test_case "no retention after pop" `Quick test_pqueue_no_retention;
           qtest prop_pqueue_pop_sorted;
         ] );
-      ("stats", [ Alcotest.test_case "descriptive stats" `Quick test_stats ]);
+      ( "stats",
+        [
+          Alcotest.test_case "descriptive stats" `Quick test_stats;
+          qtest prop_percentile_nearest_rank;
+          qtest prop_percentile_boundaries;
+          qtest prop_percentile_single;
+          qtest prop_percentile_ties;
+        ] );
+      ( "histogram",
+        [
+          qtest prop_hist_merge_associative;
+          qtest prop_hist_bucket_monotone;
+          qtest prop_hist_percentile_exact_small;
+          qtest prop_hist_percentile_bounded_error;
+          qtest prop_hist_accumulators;
+        ] );
       ("vec", [ Alcotest.test_case "of_prefix copy-on-write" `Quick test_vec_of_prefix_cow ]);
       ( "render",
         [
