@@ -133,13 +133,12 @@ let write_json options =
   match options.out with
   | None -> ()
   | Some file ->
-    let oc = open_out file in
-    Printf.fprintf oc "{\n%s\n}\n"
-      (String.concat ",\n"
-         (List.map
-            (fun (k, v) -> Printf.sprintf "  %S: %s" k v)
-            (List.rev !json_sections)));
-    close_out oc;
+    Pdf_util.Atomic_file.with_out file (fun oc ->
+        Printf.fprintf oc "{\n%s\n}\n"
+          (String.concat ",\n"
+             (List.map
+                (fun (k, v) -> Printf.sprintf "  %S: %s" k v)
+                (List.rev !json_sections))));
     Format.fprintf ppf "@.Wrote JSON results to %s@." file
 
 let wants options section =
@@ -179,11 +178,8 @@ let get_experiment options =
       match options.trace with
       | None -> run_grid None
       | Some path ->
-        let oc = open_out path in
         let e =
-          Fun.protect
-            ~finally:(fun () -> close_out oc)
-            (fun () -> run_grid (Some oc))
+          Pdf_util.Atomic_file.with_out path (fun oc -> run_grid (Some oc))
         in
         Format.fprintf ppf "@.Wrote evaluation-grid trace to %s@." path;
         e

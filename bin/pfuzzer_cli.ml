@@ -77,14 +77,16 @@ let tool_arg =
   Arg.(value & opt string "pfuzzer" & info [ "t"; "tool" ] ~docv:"TOOL" ~doc)
 
 (* Build the observer requested on the command line (None when no
-   telemetry flag is set), run [f] with it, then close every sink and
-   channel — even if [f] raises. *)
+   telemetry flag is set) and run [f] with it. Every output file is
+   staged to a temporary and renamed into place only after [f] returns:
+   an interrupted or crashed run never leaves a truncated trace behind,
+   only the previous complete file (if any). *)
 let with_observer ~trace ~trace_chrome ~stats_interval f =
-  let chans = ref [] in
+  let staged = ref [] in
   let open_sink path mk =
-    let oc = open_out path in
-    chans := oc :: !chans;
-    mk oc
+    let st = Pdf_util.Atomic_file.stage path in
+    staged := st :: !staged;
+    mk (Pdf_util.Atomic_file.channel st)
   in
   let sinks =
     List.filter_map Fun.id
@@ -112,15 +114,52 @@ let with_observer ~trace ~trace_chrome ~stats_interval f =
         (Pdf_obs.Observer.create ?sink ?progress ~metrics:(Pdf_obs.Metrics.create ())
            ())
   in
-  Fun.protect
-    ~finally:(fun () ->
-      (match sink with Some s -> Pdf_obs.Trace.close s | None -> ());
-      List.iter close_out !chans)
-    (fun () -> f obs)
+  let close_sink () =
+    match sink with Some s -> Pdf_obs.Trace.close s | None -> ()
+  in
+  match f obs with
+  | v ->
+    close_sink ();
+    List.iter Pdf_util.Atomic_file.commit !staged;
+    v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    (try close_sink () with _ -> ());
+    List.iter Pdf_util.Atomic_file.abort !staged;
+    Printexc.raise_with_backtrace e bt
+
+(* Loading a checkpoint is the one place where a bad file must stop the
+   run with a distinctive status: exit 2 lets scripts tell "checkpoint
+   unusable" apart from both ordinary CLI errors and fuzzing failures. *)
+let load_checkpoint_or_die path =
+  match Pdf_core.Pfuzzer.Checkpoint.load path with
+  | Ok ck -> ck
+  | Error msg ->
+    Printf.eprintf "pfuzzer: cannot resume from %s: %s\n%!" path msg;
+    exit 2
+
+let write_crash_corpus path (crashes : Pdf_core.Pfuzzer.crash list) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (c : Pdf_core.Pfuzzer.crash) ->
+      let open Pdf_obs.Json in
+      write_flat buf
+        [
+          ("exn", S c.exn);
+          ("site", S (Printf.sprintf "%08x" c.site));
+          ("detail", S c.detail);
+          ("input", S c.input);
+          ("first_at", I c.first_at);
+          ("count", I c.count);
+        ];
+      Buffer.add_char buf '\n')
+    crashes;
+  Pdf_util.Atomic_file.write_string path (Buffer.contents buf)
 
 let fuzz_cmd =
   let run subject_name tool_name seed executions quiet no_incremental trace
-      trace_chrome stats_interval =
+      trace_chrome stats_interval checkpoint checkpoint_every resume
+      crashes_out die_after =
     match find_subject subject_name with
     | Error e -> Error e
     | Ok subject ->
@@ -130,11 +169,50 @@ let fuzz_cmd =
            (`Msg
               (Printf.sprintf "unknown tool %S; available: afl, klee, pfuzzer"
                  tool_name))
+       | Some tool
+         when tool <> Pdf_eval.Tool.Pfuzzer
+              && (checkpoint <> None || resume || die_after > 0) ->
+         Error
+           (`Msg
+              "--checkpoint, --resume and --die-after need pFuzzer's \
+               deterministic engine; use --tool pfuzzer")
+       | Some _ when resume && checkpoint = None ->
+         Error (`Msg "--resume needs --checkpoint FILE to resume from")
        | Some tool ->
          let budget_units = executions * Pdf_eval.Tool.cost_per_execution tool in
+         let resume_from =
+           if resume then Some (load_checkpoint_or_die (Option.get checkpoint))
+           else None
+         in
+         (match resume_from with
+          | Some ck ->
+            Printf.printf "# resuming %s from execution %d (seed and budget come from the checkpoint)\n"
+              (Pdf_core.Pfuzzer.Checkpoint.subject_name ck)
+              (Pdf_core.Pfuzzer.Checkpoint.executions ck)
+          | None -> ());
+         let on_checkpoint =
+           Option.map
+             (fun path ck -> Pdf_core.Pfuzzer.Checkpoint.save path ck)
+             checkpoint
+         in
+         let on_execution =
+           if die_after = 0 then None
+           else begin
+             let executed = ref 0 in
+             Some
+               (fun _ ->
+                 incr executed;
+                 if !executed >= die_after then begin
+                   Printf.eprintf "pfuzzer: dying after %d executions (--die-after)\n%!"
+                     die_after;
+                   Unix._exit 137
+                 end)
+           end
+         in
          let outcome =
            with_observer ~trace ~trace_chrome ~stats_interval (fun obs ->
-               Pdf_eval.Tool.run ?obs ~incremental:(not no_incremental) tool
+               Pdf_eval.Tool.run ?obs ?on_checkpoint ?resume_from ?on_execution
+                 ?checkpoint_every ~incremental:(not no_incremental) tool
                  ~budget_units ~seed subject)
          in
          if not quiet then
@@ -142,12 +220,14 @@ let fuzz_cmd =
          let tags = Pdf_eval.Token_report.found_tags subject outcome.valid_inputs in
          Printf.printf
            "# %s on %s: %d executions in %.2fs (%.0f execs/sec), %d valid inputs, \
-            %.1f%% branch coverage, %d tokens: %s\n"
+            %.1f%% branch coverage, %d hangs, %d crashes (%d unique), %d tokens: %s\n"
            (Pdf_eval.Tool.display_name tool)
            subject.name outcome.executions outcome.wall_clock_s
            outcome.execs_per_sec
            (List.length outcome.valid_inputs)
            (Pdf_instr.Coverage.percent outcome.valid_coverage subject.registry)
+           outcome.hangs outcome.crash_total
+           (List.length outcome.crashes)
            (List.length tags) (String.concat " " tags);
          let c = outcome.cache in
          if c.Pdf_core.Pfuzzer.hits + c.misses > 0 then
@@ -156,6 +236,12 @@ let fuzz_cmd =
              c.hits c.misses
              (100. *. float_of_int c.hits /. float_of_int (c.hits + c.misses))
              c.evictions c.chars_saved;
+         (match crashes_out with
+          | None -> ()
+          | Some path ->
+            write_crash_corpus path outcome.crashes;
+            Printf.printf "# crash corpus (%d identities) written to %s\n"
+              (List.length outcome.crashes) path);
          Ok ())
   in
   let quiet =
@@ -195,14 +281,65 @@ let fuzz_cmd =
       & info [ "stats-interval" ] ~docv:"SECS"
           ~doc:
             "Paint a live status line (execs/sec, queue depth, valid inputs, \
-             coverage, cache hit rate, plateau age) on stderr every SECS \
-             seconds. 0 (default) disables it.")
+             coverage, cache hit rate, plateau age, hangs, crashes) on stderr \
+             every SECS seconds. 0 (default) disables it.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a crash-safe campaign checkpoint to FILE every \
+             --checkpoint-every executions (atomic write-then-rename; a kill \
+             mid-save leaves the previous checkpoint intact). With --resume, \
+             also the file to resume from.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some (pos_int "checkpoint interval")) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Executions between checkpoints (default 1000).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume the campaign from the --checkpoint file instead of \
+             starting fresh. Seed and budget come from the checkpoint; the \
+             resumed run finds exactly the inputs the uninterrupted run would \
+             have. Exits 2 if the checkpoint is missing, corrupted or from \
+             another format version.")
+  in
+  let crashes_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "crashes" ] ~docv:"FILE"
+          ~doc:
+            "Write the deduplicated crash corpus as JSONL: one line per \
+             (exception, crash-site) identity with its first triggering \
+             input.")
+  in
+  let die_after =
+    Arg.(
+      value
+      & opt (nonneg_int "die-after") 0
+      & info [ "die-after" ] ~docv:"N"
+          ~doc:
+            "Kill the process (exit 137, as SIGKILL would) after N subject \
+             executions in this process. Exists to exercise --resume: run \
+             with --checkpoint and --die-after, then run again with --resume. \
+             0 (default) disables it.")
   in
   let term =
     Term.(
       term_result
         (const run $ subject_arg $ tool_arg $ seed_arg $ executions_arg 20_000
-         $ quiet $ no_incremental $ trace $ trace_chrome $ stats_interval))
+         $ quiet $ no_incremental $ trace $ trace_chrome $ stats_interval
+         $ checkpoint $ checkpoint_every $ resume $ crashes_out $ die_after))
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz one subject with one tool.") term
 
@@ -235,25 +372,30 @@ let run_cmd =
 (* evaluate *)
 
 let evaluate_cmd =
-  let run budget seeds jobs trace =
+  let run budget seeds jobs retries trace =
     let seeds = if seeds = [] then [ 1 ] else seeds in
     let jobs = if jobs = 0 then Pdf_eval.Parallel.default_jobs () else jobs in
     let config = { Pdf_eval.Experiment.budget_units = budget; seeds; verbose = true } in
     let run_grid trace_oc =
-      Pdf_eval.Experiment.run ~jobs ?trace:trace_oc config
+      Pdf_eval.Experiment.run ~jobs ~retries ?trace:trace_oc config
         Pdf_subjects.Catalog.evaluation
     in
     let experiment =
       match trace with
       | None -> run_grid None
       | Some path ->
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> run_grid (Some oc))
+        Pdf_util.Atomic_file.with_out path (fun oc -> run_grid (Some oc))
     in
     Pdf_eval.Report.full Format.std_formatter experiment;
-    Ok ()
+    match experiment.failures with
+    | [] -> Ok ()
+    | failures ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "%d evaluation cell(s) failed after %d retries (reported as \
+               all-zero above)"
+              (List.length failures) retries))
   in
   let budget =
     Arg.(
@@ -275,6 +417,16 @@ let evaluate_cmd =
              strictly sequential; 0 means one worker per recommended domain. \
              Results are identical for every N.")
   in
+  let retries =
+    Arg.(
+      value
+      & opt (nonneg_int "retries") 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Times to re-run a grid cell whose execution raised before \
+             marking it failed. A cell that exhausts its retries is reported \
+             as all-zero and the command exits non-zero.")
+  in
   let trace =
     Arg.(
       value
@@ -285,7 +437,9 @@ let evaluate_cmd =
              headed by a `cell' event. The merge order is the grid order, \
              independent of --jobs.")
   in
-  let term = Term.(term_result (const run $ budget $ seeds $ jobs $ trace)) in
+  let term =
+    Term.(term_result (const run $ budget $ seeds $ jobs $ retries $ trace))
+  in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Run the paper's full evaluation and print every table and figure.")
     term
@@ -304,25 +458,23 @@ let trace_report_cmd =
       (match csv_out with
        | None -> ()
        | Some path ->
-         let oc = open_out path in
-         List.iter
-           (fun (a : Pdf_obs.Trace_report.t) ->
-             (match a.cell with
-              | Some (tool, subject, seed) ->
-                Printf.fprintf oc "# %s on %s, seed %d\n" tool subject seed
-              | None -> ());
-             output_string oc (Pdf_obs.Trace_report.csv a))
-           analyses;
-         close_out oc;
+         Pdf_util.Atomic_file.with_out path (fun oc ->
+             List.iter
+               (fun (a : Pdf_obs.Trace_report.t) ->
+                 (match a.cell with
+                  | Some (tool, subject, seed) ->
+                    Printf.fprintf oc "# %s on %s, seed %d\n" tool subject seed
+                  | None -> ());
+                 output_string oc (Pdf_obs.Trace_report.csv a))
+               analyses);
          Printf.printf "# coverage-over-time CSV written to %s\n" path);
       (match chrome_out with
        | None -> ()
        | Some path ->
-         let oc = open_out path in
-         let sink = Pdf_obs.Trace.chrome oc in
-         List.iter (Pdf_obs.Trace.emit sink) events;
-         Pdf_obs.Trace.close sink;
-         close_out oc;
+         Pdf_util.Atomic_file.with_out path (fun oc ->
+             let sink = Pdf_obs.Trace.chrome oc in
+             List.iter (Pdf_obs.Trace.emit sink) events;
+             Pdf_obs.Trace.close sink);
          Printf.printf "# Chrome trace written to %s\n" path);
       Ok ()
   in
@@ -438,7 +590,7 @@ let pipeline_cmd =
 (* check *)
 
 let check_cmd =
-  let run subject_name seed executions =
+  let run subject_name seed executions chaos =
     let subjects =
       match subject_name with
       | None -> Ok (Pdf_check.Harness.checked_subjects ())
@@ -450,7 +602,7 @@ let check_cmd =
     match subjects with
     | Error e -> Error e
     | Ok subjects ->
-      let outcome = Pdf_check.Harness.run ~execs:executions ~seed subjects in
+      let outcome = Pdf_check.Harness.run ~execs:executions ~seed ~chaos subjects in
       Format.printf "%a" Pdf_check.Harness.pp outcome;
       if Pdf_check.Harness.ok outcome then Ok ()
       else Error (`Msg "correctness checks failed")
@@ -461,14 +613,26 @@ let check_cmd =
     in
     Arg.(value & opt (some string) None & info [ "s"; "subject" ] ~docv:"NAME" ~doc)
   in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Also run the chaos drills: seeded fault plans (injected \
+             exceptions, fuel starvation, slowdowns, snapshot corruption, \
+             worker death) must degrade the campaign gracefully, never \
+             corrupt it.")
+  in
   let term =
-    Term.(term_result (const run $ subject $ seed_arg $ executions_arg 2000))
+    Term.(
+      term_result (const run $ subject $ seed_arg $ executions_arg 2000 $ chaos))
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Run the correctness harness: differential fuzzing against reference \
-          oracles (with shrinking) plus fuzzer invariant checks.")
+          oracles (with shrinking), fuzzer invariant checks, and (with \
+          --chaos) fault-injection drills.")
     term
 
 (* subjects *)

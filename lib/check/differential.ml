@@ -42,7 +42,7 @@ let run_subject st input =
 let subject_accepts st input =
   match (run_subject st input).verdict with
   | Runner.Accepted -> Some true
-  | Runner.Rejected _ -> Some false
+  | Runner.Rejected _ | Runner.Crash _ -> Some false
   | Runner.Hang -> None
 
 let disagrees st input =

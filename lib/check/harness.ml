@@ -3,6 +3,7 @@ module Subject = Pdf_subjects.Subject
 type subject_outcome = {
   differential : Differential.report option;
   invariants : Invariants.report;
+  chaos : Invariants.report option;
 }
 
 type t = { outcomes : (string * subject_outcome) list }
@@ -12,7 +13,7 @@ let checked_subjects () =
     (fun (s : Subject.t) -> Oracle.find s.name <> None)
     Pdf_subjects.Catalog.all
 
-let run ?(execs = 2000) ?(seed = 1) subjects =
+let run ?(execs = 2000) ?(seed = 1) ?(chaos = false) subjects =
   let outcomes =
     List.map
       (fun (subject : Subject.t) ->
@@ -24,7 +25,11 @@ let run ?(execs = 2000) ?(seed = 1) subjects =
         let invariants =
           Invariants.run ~execs:(max 100 (execs / 4)) ~seed subject
         in
-        (subject.name, { differential; invariants }))
+        let chaos =
+          if chaos then Some (Chaos.run ~execs:(max 100 (execs / 4)) ~seed subject)
+          else None
+        in
+        (subject.name, { differential; invariants; chaos }))
       subjects
   in
   { outcomes }
@@ -34,6 +39,7 @@ let subject_ok o =
    | None -> true
    | Some d -> d.Differential.disagreements = [])
   && Invariants.ok o.invariants
+  && (match o.chaos with None -> true | Some c -> Chaos.ok c)
 
 let ok t = List.for_all (fun (_, o) -> subject_ok o) t.outcomes
 
@@ -45,7 +51,10 @@ let pp ppf t =
       (match o.differential with
        | None -> Format.fprintf ppf "no reference oracle; differential pass skipped@."
        | Some d -> Format.fprintf ppf "%a@." Differential.pp_report d);
-      Format.fprintf ppf "%a@." Invariants.pp_report o.invariants)
+      Format.fprintf ppf "%a@." Invariants.pp_report o.invariants;
+      match o.chaos with
+      | None -> ()
+      | Some c -> Format.fprintf ppf "%a@." Chaos.pp_report c)
     t.outcomes;
   Format.fprintf ppf "%s@."
     (if ok t then "all checks passed" else "CHECKS FAILED")

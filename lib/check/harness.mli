@@ -5,16 +5,20 @@ type subject_outcome = {
   differential : Differential.report option;
       (** [None] when the subject has no reference oracle *)
   invariants : Invariants.report;
+  chaos : Invariants.report option;
+      (** present only when the harness ran with [~chaos:true] *)
 }
 
 type t = { outcomes : (string * subject_outcome) list }
 
 val run :
-  ?execs:int -> ?seed:int -> Pdf_subjects.Subject.t list -> t
+  ?execs:int -> ?seed:int -> ?chaos:bool -> Pdf_subjects.Subject.t list -> t
 (** [run subjects] checks every subject: a differential pass against its
     oracle (when {!Oracle.find} knows one) and the full invariant
     suite. [execs] (default 2000) is the per-subject differential
-    execution budget; invariants run on a quarter of it. *)
+    execution budget; invariants run on a quarter of it. [chaos]
+    (default false) additionally runs the {!Chaos} fault-injection
+    drills on the same quarter budget. *)
 
 val ok : t -> bool
 (** No disagreements and no failed invariant checks. *)

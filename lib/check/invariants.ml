@@ -148,6 +148,9 @@ let snapshot_resume_identity subject machine input =
 
 (* {1 The checks} *)
 
+(* Deliberately ignores wall-clock timing and cache accounting (hit
+   counts, rescues): those legitimately differ between cache-on/off,
+   interrupted/uninterrupted and slow/fast runs of the same campaign. *)
 let results_equal (a : Pfuzzer.result) (b : Pfuzzer.result) =
   a.valid_inputs = b.valid_inputs
   && Coverage.equal a.valid_coverage b.valid_coverage
@@ -157,6 +160,9 @@ let results_equal (a : Pfuzzer.result) (b : Pfuzzer.result) =
   && a.first_valid_at = b.first_valid_at
   && a.dedupe_resets = b.dedupe_resets
   && a.path_resets = b.path_resets
+  && a.hangs = b.hangs
+  && a.crash_total = b.crash_total
+  && a.crashes = b.crashes
 
 let run ?(execs = 400) ?(seed = 1) subject =
   let checks = ref [] in
@@ -220,6 +226,34 @@ let run ?(execs = 400) ?(seed = 1) subject =
           (Printf.sprintf "%d inputs resumed at every read boundary"
              (List.length sample))
       | Some violation -> add "snapshot-resume-identity" false violation));
+  (* Checkpoint/resume equivalence: capture a checkpoint mid-campaign,
+     round-trip it through the wire encoding, resume it (with a cold
+     prefix cache) and demand the same campaign as the uninterrupted
+     run — timing and cache accounting aside. *)
+  let captured = ref None in
+  let _interrupted : Pfuzzer.result =
+    Pfuzzer.fuzz
+      ~checkpoint_every:(max 1 (execs / 3))
+      ~on_checkpoint:(fun ck -> if !captured = None then captured := Some ck)
+      config subject
+  in
+  (match !captured with
+   | None ->
+     add "checkpoint-resume-equivalence" false "no checkpoint was captured"
+   | Some ck ->
+     (match Pfuzzer.Checkpoint.(decode (encode ck)) with
+      | Error e ->
+        add "checkpoint-resume-equivalence" false
+          (Printf.sprintf "encode/decode round-trip failed: %s" e)
+      | Ok ck' ->
+        let resumed = Pfuzzer.resume_from ck' subject in
+        let equal = results_equal r1 resumed in
+        add "checkpoint-resume-equivalence" equal
+          (if equal then
+             Printf.sprintf
+               "interrupted at execution %d, resumed to an identical campaign"
+               (Pfuzzer.Checkpoint.executions ck')
+           else "resumed campaign diverged from the uninterrupted run")));
   (match replay_queue_events config subject with
    | None ->
      add "queue-priority-monotonicity" true

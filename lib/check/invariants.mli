@@ -11,6 +11,10 @@
       the union of the valid inputs' coverage, and each valid input
       contributed branches new at its discovery time (Algorithm 1's
       [runCheck] condition);
+    - {b checkpoint/resume equivalence}: a campaign interrupted at a
+      checkpoint and resumed from the encode/decode round-trip of that
+      checkpoint produces exactly the uninterrupted campaign (timing and
+      cache accounting aside);
     - {b grid determinism}: [Experiment.run ~jobs:1] and [~jobs:3]
       produce semantically equal cells;
     - {b trace/coverage agreement}: the [touched] first-occurrence
@@ -21,6 +25,13 @@
 type check = { name : string; ok : bool; detail : string }
 
 type report = { subject : string; checks : check list }
+
+val results_equal : Pdf_core.Pfuzzer.result -> Pdf_core.Pfuzzer.result -> bool
+(** Timing- and cache-insensitive campaign equality: same valid inputs,
+    coverage, execution/candidate/queue counters, hang count and crash
+    corpus. Wall-clock fields and cache accounting (including snapshot
+    rescues) are deliberately ignored — they may differ between runs
+    that are semantically the same campaign. *)
 
 val run : ?execs:int -> ?seed:int -> Pdf_subjects.Subject.t -> report
 (** [run subject] drives the fuzzer for [execs] (default 400)

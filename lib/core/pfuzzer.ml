@@ -1,9 +1,11 @@
 module Rng = Pdf_util.Rng
 module Pqueue = Pdf_util.Pqueue
+module Atomic_file = Pdf_util.Atomic_file
 module Coverage = Pdf_instr.Coverage
 module Runner = Pdf_instr.Runner
 module Comparison = Pdf_instr.Comparison
 module Subject = Pdf_subjects.Subject
+module Fault = Pdf_fault.Fault
 module Obs = Pdf_obs.Observer
 module Event = Pdf_obs.Event
 module Phase = Pdf_obs.Phase
@@ -34,9 +36,26 @@ type cache_stats = {
   misses : int;
   evictions : int;
   chars_saved : int;
+  rescues : int;
 }
 
-let no_cache_stats = { hits = 0; misses = 0; evictions = 0; chars_saved = 0 }
+let no_cache_stats =
+  { hits = 0; misses = 0; evictions = 0; chars_saved = 0; rescues = 0 }
+
+type crash = {
+  exn : string;
+  site : int;
+  detail : string;
+  input : string;
+  first_at : int;
+  count : int;
+}
+
+(* Distinct (exn, site) identities retained for triage. Beyond the bound
+   new identities still count towards [crash_total] but are not kept —
+   a subject that crashes everywhere must not turn the corpus into a
+   memory leak. *)
+let crash_bound = 256
 
 type result = {
   valid_inputs : string list;
@@ -48,6 +67,9 @@ type result = {
   dedupe_resets : int;
   path_resets : int;
   cache : cache_stats;
+  crashes : crash list;
+  crash_total : int;
+  hangs : int;
   wall_clock_s : float;
   execs_per_sec : float;
 }
@@ -57,6 +79,89 @@ type queue_event =
   | Popped of float * string
   | Reranked of (float * string) list
   | Truncated of (float * string) list
+
+(* {1 Checkpoints}
+
+   Everything the deterministic part of a campaign depends on, in
+   Marshal-safe form (no closures, no Hashtbls — tables flatten to
+   lists). The prefix-snapshot cache is deliberately excluded: resuming
+   with a cold cache is safe because incremental execution is
+   bit-identical to full execution, and cache counters are timing-like
+   accounting that result comparisons already ignore. *)
+
+module Checkpoint = struct
+  type payload = {
+    ck_subject : string;
+    ck_config : config;
+    ck_rng : int64;
+    ck_queue : (float * Candidate.t) list;  (* insertion order *)
+    ck_current : Candidate.t;  (* the candidate about to be executed *)
+    ck_vbr : Coverage.t;
+    ck_valid_rev : string list;
+    ck_valid_count : int;
+    ck_first_valid_at : int option;
+    ck_last_progress_at : int;
+    ck_executions : int;
+    ck_candidates_created : int;
+    ck_queue_peak : int;
+    ck_dedupe_resets : int;
+    ck_path_resets : int;
+    ck_seen : string list;
+    ck_paths : (int * int) list;
+    ck_hangs : int;
+    ck_crashes : ((string * int) * crash) list;  (* first-seen order *)
+    ck_crash_total : int;
+  }
+
+  type t = payload
+
+  let version = 1
+  let magic = "pfckpt"
+
+  let subject_name t = t.ck_subject
+  let executions t = t.ck_executions
+  let config t = t.ck_config
+
+  let encode t =
+    let payload = Marshal.to_string t [] in
+    let b = Buffer.create (String.length payload + 32) in
+    Buffer.add_string b magic;
+    Buffer.add_char b (Char.chr version);
+    Buffer.add_string b (Digest.string payload);
+    Buffer.add_string b payload;
+    Buffer.contents b
+
+  let decode s =
+    let mlen = String.length magic in
+    let hlen = mlen + 1 + 16 in
+    if String.length s < hlen then Error "checkpoint file too short to be valid"
+    else if String.sub s 0 mlen <> magic then
+      Error "not a pfuzzer checkpoint (bad magic)"
+    else
+      let v = Char.code s.[mlen] in
+      if v <> version then
+        Error
+          (Printf.sprintf
+             "checkpoint version mismatch (file has v%d, this build reads v%d)"
+             v version)
+      else
+        let digest = String.sub s (mlen + 1) 16 in
+        let payload = String.sub s hlen (String.length s - hlen) in
+        if not (String.equal (Digest.string payload) digest) then
+          Error "checkpoint corrupted (payload digest mismatch)"
+        else
+          match (Marshal.from_string payload 0 : payload) with
+          | p -> Ok p
+          | exception _ ->
+            Error "checkpoint payload unreadable (truncated or incompatible)"
+
+  let save path t = Atomic_file.write_string path (encode t)
+
+  let load path =
+    match Atomic_file.read_string path with
+    | s -> decode s
+    | exception Sys_error msg -> Error msg
+end
 
 type state = {
   config : config;
@@ -69,6 +174,10 @@ type state = {
   rng : Rng.t;
   queue : Candidate.t Pqueue.t;
   on_queue_event : (queue_event -> unit) option;
+  (* Deterministic chaos: when a plan is installed, each execution index
+     is looked up and a planned fault replaces or degrades that single
+     execution. [None] is the production path. *)
+  faults : Fault.plan option;
   (* Telemetry. [obs = None] is the fast path: no events, no clock
      reads, no allocation — the observability layer costs nothing when
      off. Every emission site matches on [obs] *before* constructing
@@ -87,6 +196,13 @@ type state = {
   mutable path_resets : int;
   path_counts : (int, int) Hashtbl.t;
   seen_inputs : (string, unit) Hashtbl.t;
+  (* Crash triage: bounded dedup table keyed on (exn, site) plus the
+     first-seen order, so the corpus lists crashes in discovery order. *)
+  crash_tab : (string * int, crash) Hashtbl.t;
+  mutable crash_order_rev : (string * int) list;
+  mutable crash_total : int;
+  mutable hangs : int;
+  mutable cache_rescues : int;
   on_valid : string -> unit;
   on_execution : (Runner.run -> unit) option;
 }
@@ -147,6 +263,7 @@ let maybe_snapshot st =
         ~cov:(Coverage.cardinal st.vbr)
         ~hits ~misses
         ~plateau:(st.executions - st.last_progress_at)
+        ~hangs:st.hangs ~crashes:st.crash_total
     end
 
 exception Budget_exhausted
@@ -166,6 +283,50 @@ let remember_snapshots cache journal (run : Runner.run) =
   (match Runner.substitution_index run with Some i -> store i | None -> ());
   store (String.length run.input)
 
+(* Busy-wait used by [Slow] faults: deterministic work the optimizer
+   cannot delete, with no observable effect besides wall clock. *)
+let spin n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + (i land 7)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+(* Run the subject under a planned fault. [Raise] and [Starve_fuel]
+   replace the execution entirely (the faulty execution is skipped — its
+   observations are whatever the degraded run saw); [Slow] burns time
+   and then falls through to the normal path; [Corrupt_cache] poisons
+   every cached snapshot first, exercising the rescue path below.
+   Returns [None] when the normal execution should proceed. *)
+let faulted_run st kind input =
+  let registry = st.subject.Subject.registry in
+  match kind with
+  | Fault.Raise msg ->
+    Some
+      (Runner.exec ~registry
+         ~parse:(fun _ -> raise (Fault.Injected msg))
+         ~fuel:st.subject.Subject.fuel input)
+  | Fault.Starve_fuel ->
+    (* Raise [Out_of_fuel] before the parse makes any progress: a
+       guaranteed [Hang] for every subject, including those whose parsers
+       never consume fuel themselves. *)
+    Some
+      (Runner.exec ~registry
+         ~parse:(fun _ -> raise Pdf_instr.Ctx.Out_of_fuel)
+         ~fuel:st.subject.Subject.fuel input)
+  | Fault.Slow n ->
+    spin n;
+    None
+  | Fault.Corrupt_cache ->
+    (match st.cache with
+     | Some cache -> Runner.Cache.corrupt_all cache
+     | None -> ());
+    None
+  | Fault.Kill_worker ->
+    (* Worker death is a grid-level fault; inside the single-domain
+       fuzzer loop it degrades to a no-op. *)
+    None
+
 (* One execution of the subject. [prefix_len] is the caller's hint that
    the first [prefix_len] characters of [input] were inherited verbatim
    from an already-executed parent; when the incremental engine is on and
@@ -174,54 +335,97 @@ let remember_snapshots cache journal (run : Runner.run) =
    whether it resumed from a cached snapshot. *)
 let execute st ~prefix_len input =
   if st.executions >= st.config.max_executions then raise Budget_exhausted;
+  let fault =
+    match st.faults with
+    | None -> None
+    | Some plan -> Fault.consume plan st.executions
+  in
   st.executions <- st.executions + 1;
+  (match fault with
+   | None -> ()
+   | Some kind ->
+     match tsink st with
+     | None -> ()
+     | Some o ->
+       Obs.emit o ~exec:st.executions
+         (Event.Fault { kind = Fault.kind_label kind }));
   (match tsink st with
    | None -> ()
    | Some o ->
      Obs.emit o ~exec:st.executions
        (Event.Exec_start { len = String.length input; prefix = prefix_len }));
+  let injected =
+    match fault with
+    | None -> None
+    | Some kind ->
+      let t_exec = span_begin st in
+      let run = faulted_run st kind input in
+      span_end st Phase.Exec t_exec;
+      run
+  in
   let run, cached =
-    match st.cache, st.machine with
-    | Some cache, Some machine ->
-      let t_cache = span_begin st in
-      let consulted = prefix_len > 0 && prefix_len <= String.length input in
-      let snap =
-        if consulted then Runner.Cache.find cache (String.sub input 0 prefix_len)
-        else None
-      in
-      span_end st Phase.Cache t_cache;
-      (if consulted then
-         match tsink st with
-         | None -> ()
-         | Some o ->
-           Obs.emit o ~exec:st.executions
-             (match snap with
-              | Some s -> Event.Cache_hit { saved = Runner.snapshot_pos s }
-              | None -> Event.Cache_miss));
-      let t_exec = span_begin st in
-      let run, journal =
-        match snap with
-        | Some snap -> Runner.resume snap input
-        | None -> Subject.exec_journaled st.subject machine input
-      in
-      span_end st Phase.Exec t_exec;
-      let t_store = span_begin st in
-      remember_snapshots cache journal run;
-      span_end st Phase.Cache t_store;
-      (match tsink st with
-       | None -> ()
-       | Some o ->
-         let ev = (Runner.Cache.stats cache).Runner.Cache.evictions in
-         if ev > st.evictions_seen then begin
-           st.evictions_seen <- ev;
-           Obs.emit o ~exec:st.executions (Event.Cache_evict { evictions = ev })
-         end);
-      (run, snap <> None)
-    | _ ->
-      let t_exec = span_begin st in
-      let run = Subject.run st.subject input in
-      span_end st Phase.Exec t_exec;
-      (run, false)
+    match injected with
+    | Some run -> (run, false)
+    | None ->
+      (match st.cache, st.machine with
+       | Some cache, Some machine ->
+         let t_cache = span_begin st in
+         let consulted = prefix_len > 0 && prefix_len <= String.length input in
+         let snap =
+           if consulted then Runner.Cache.find cache (String.sub input 0 prefix_len)
+           else None
+         in
+         span_end st Phase.Cache t_cache;
+         (if consulted then
+            match tsink st with
+            | None -> ()
+            | Some o ->
+              Obs.emit o ~exec:st.executions
+                (match snap with
+                 | Some s -> Event.Cache_hit { saved = Runner.snapshot_pos s }
+                 | None -> Event.Cache_miss));
+         let t_exec = span_begin st in
+         let (run, journal), cached =
+           match snap with
+           | Some snap -> begin
+             let ((r, _) as resumed) = Runner.resume snap input in
+             (* A crashing resume is ambiguous: the subject may crash on
+                this input, or the snapshot may be corrupt. Invalidate
+                the entry and re-execute cold — a real subject crash
+                reproduces identically, a poisoned snapshot is healed
+                with zero observable difference. *)
+             match r.Runner.verdict with
+             | Runner.Crash _ ->
+               Runner.Cache.remove cache (String.sub input 0 prefix_len);
+               st.cache_rescues <- st.cache_rescues + 1;
+               (match tsink st with
+                | None -> ()
+                | Some o ->
+                  Obs.emit o ~exec:st.executions
+                    (Event.Rescue { prefix = prefix_len }));
+               (Subject.exec_journaled st.subject machine input, false)
+             | _ -> (resumed, true)
+           end
+           | None -> (Subject.exec_journaled st.subject machine input, false)
+         in
+         span_end st Phase.Exec t_exec;
+         let t_store = span_begin st in
+         remember_snapshots cache journal run;
+         span_end st Phase.Cache t_store;
+         (match tsink st with
+          | None -> ()
+          | Some o ->
+            let ev = (Runner.Cache.stats cache).Runner.Cache.evictions in
+            if ev > st.evictions_seen then begin
+              st.evictions_seen <- ev;
+              Obs.emit o ~exec:st.executions (Event.Cache_evict { evictions = ev })
+            end);
+         (run, cached)
+       | _ ->
+         let t_exec = span_begin st in
+         let run = Subject.run st.subject input in
+         span_end st Phase.Exec t_exec;
+         (run, false))
   in
   (match st.on_execution with None -> () | Some f -> f run);
   (run, cached)
@@ -353,12 +557,59 @@ let verdict_string (run : Runner.run) =
   | Runner.Accepted -> "accepted"
   | Runner.Rejected _ -> "rejected"
   | Runner.Hang -> "hang"
+  | Runner.Crash _ -> "crash"
+
+(* Crash triage: count every crash, retain the first witness per
+   (exn, site) identity up to the corpus bound, and emit a typed event
+   marking whether the identity is fresh. *)
+let record_crash st (run : Runner.run) (c : Runner.crash) =
+  st.crash_total <- st.crash_total + 1;
+  let key = (c.Runner.exn, c.Runner.site) in
+  let fresh =
+    match Hashtbl.find_opt st.crash_tab key with
+    | Some entry ->
+      Hashtbl.replace st.crash_tab key { entry with count = entry.count + 1 };
+      false
+    | None ->
+      if Hashtbl.length st.crash_tab < crash_bound then begin
+        Hashtbl.replace st.crash_tab key
+          {
+            exn = c.Runner.exn;
+            site = c.Runner.site;
+            detail = c.Runner.detail;
+            input = run.Runner.input;
+            first_at = st.executions;
+            count = 1;
+          };
+        st.crash_order_rev <- key :: st.crash_order_rev;
+        true
+      end
+      else false
+  in
+  match tsink st with
+  | None -> ()
+  | Some o ->
+    Obs.emit o ~exec:st.executions
+      (Event.Crash
+         { exn = c.Runner.exn; site = c.Runner.site; fresh; total = st.crash_total })
+
+let crashed (run : Runner.run) =
+  match run.Runner.verdict with Runner.Crash _ -> true | _ -> false
 
 (* Algorithm 1, [runCheck]: an input counts as valid only if it is
    accepted and covers branches no previous valid input covered. *)
 let run_check st ~parent ~prefix_len input =
   let t0 = match st.obs with None -> 0 | Some o -> Obs.now_ns o in
   let run, cached = execute st ~prefix_len input in
+  (match run.Runner.verdict with
+   | Runner.Hang -> begin
+     st.hangs <- st.hangs + 1;
+     match tsink st with
+     | None -> ()
+     | Some o -> Obs.emit o ~exec:st.executions (Event.Hang { total = st.hangs })
+   end
+   | Runner.Crash c -> record_crash st run c
+   | _ -> ());
   let cov_before =
     match tsink st with None -> 0 | Some _ -> Coverage.cardinal st.vbr
   in
@@ -401,47 +652,116 @@ let extend data c =
   Bytes.unsafe_set b n c;
   Bytes.unsafe_to_string b
 
-let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution ?obs
-    ?(initial_inputs = []) config subject =
-  let t_start = Pdf_obs.Clock.now_ns () in
+let make_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults ~rng config
+    subject =
   let machine = if config.incremental then subject.Subject.machine else None in
+  {
+    config;
+    subject;
+    machine;
+    cache =
+      (match machine with
+       | Some _ -> Some (Runner.Cache.create ())
+       | None -> None);
+    rng;
+    queue = Pqueue.create ();
+    on_queue_event;
+    faults;
+    obs;
+    evictions_seen = 0;
+    vbr = Coverage.empty;
+    valid_rev = [];
+    valid_count = 0;
+    last_progress_at = 0;
+    executions = 0;
+    candidates_created = 0;
+    queue_peak = 0;
+    first_valid_at = None;
+    dedupe_resets = 0;
+    path_resets = 0;
+    path_counts = Hashtbl.create 1024;
+    seen_inputs = Hashtbl.create 4096;
+    crash_tab = Hashtbl.create 16;
+    crash_order_rev = [];
+    crash_total = 0;
+    hangs = 0;
+    cache_rescues = 0;
+    on_valid;
+    on_execution;
+  }
+
+(* A checkpoint captures the loop-top instant: the candidate about to be
+   executed, the queue without it, and the RNG exactly as the previous
+   iteration left it. Resuming replays from that instant bit-for-bit
+   (modulo cache accounting, which restarts cold). *)
+let checkpoint_of st (current : Candidate.t) : Checkpoint.t =
+  {
+    ck_subject = st.subject.Subject.name;
+    ck_config = st.config;
+    ck_rng = Rng.state st.rng;
+    ck_queue = Pqueue.snapshot st.queue;
+    ck_current = current;
+    ck_vbr = st.vbr;
+    ck_valid_rev = st.valid_rev;
+    ck_valid_count = st.valid_count;
+    ck_first_valid_at = st.first_valid_at;
+    ck_last_progress_at = st.last_progress_at;
+    ck_executions = st.executions;
+    ck_candidates_created = st.candidates_created;
+    ck_queue_peak = st.queue_peak;
+    ck_dedupe_resets = st.dedupe_resets;
+    ck_path_resets = st.path_resets;
+    ck_seen = Hashtbl.fold (fun k () acc -> k :: acc) st.seen_inputs [];
+    ck_paths = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.path_counts [];
+    ck_hangs = st.hangs;
+    ck_crashes =
+      List.rev_map (fun key -> (key, Hashtbl.find st.crash_tab key))
+        st.crash_order_rev;
+    ck_crash_total = st.crash_total;
+  }
+
+let restore_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults
+    (ck : Checkpoint.t) subject =
+  if not (String.equal subject.Subject.name ck.ck_subject) then
+    invalid_arg
+      (Printf.sprintf
+         "Pfuzzer.resume_from: checkpoint was taken for subject %S, not %S"
+         ck.ck_subject subject.Subject.name);
   let st =
-    {
-      config;
-      subject;
-      machine;
-      cache =
-        (match machine with
-         | Some _ -> Some (Runner.Cache.create ())
-         | None -> None);
-      rng = Rng.make config.seed;
-      queue = Pqueue.create ();
-      on_queue_event;
-      obs;
-      evictions_seen = 0;
-      vbr = Coverage.empty;
-      valid_rev = [];
-      valid_count = 0;
-      last_progress_at = 0;
-      executions = 0;
-      candidates_created = 0;
-      queue_peak = 0;
-      first_valid_at = None;
-      dedupe_resets = 0;
-      path_resets = 0;
-      path_counts = Hashtbl.create 1024;
-      seen_inputs = Hashtbl.create 4096;
-      on_valid;
-      on_execution;
-    }
+    make_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults
+      ~rng:(Rng.of_state ck.ck_rng) ck.ck_config subject
   in
-  (match obs with
+  (* The queue snapshot is in insertion order; re-pushing in that order
+     preserves the heap's priority/insertion-order total order, so the
+     resumed run pops the exact sequence the original would have. *)
+  List.iter (fun (prio, c) -> Pqueue.push st.queue prio c) ck.ck_queue;
+  List.iter (fun s -> Hashtbl.replace st.seen_inputs s ()) ck.ck_seen;
+  List.iter (fun (h, n) -> Hashtbl.replace st.path_counts h n) ck.ck_paths;
+  List.iter (fun (key, cr) -> Hashtbl.replace st.crash_tab key cr) ck.ck_crashes;
+  st.crash_order_rev <- List.rev_map fst ck.ck_crashes;
+  st.vbr <- ck.ck_vbr;
+  st.valid_rev <- ck.ck_valid_rev;
+  st.valid_count <- ck.ck_valid_count;
+  st.first_valid_at <- ck.ck_first_valid_at;
+  st.last_progress_at <- ck.ck_last_progress_at;
+  st.executions <- ck.ck_executions;
+  st.candidates_created <- ck.ck_candidates_created;
+  st.queue_peak <- ck.ck_queue_peak;
+  st.dedupe_resets <- ck.ck_dedupe_resets;
+  st.path_resets <- ck.ck_path_resets;
+  st.hangs <- ck.ck_hangs;
+  st.crash_total <- ck.ck_crash_total;
+  (st, ck.ck_current)
+
+let drive st ~first ~checkpoint_every ~on_checkpoint =
+  let t_start = Pdf_obs.Clock.now_ns () in
+  (match st.obs with
    | None -> ()
    | Some o ->
-     Obs.run_meta o ~subject:subject.Subject.name
-       ~outcomes:(Pdf_instr.Site.total_outcomes subject.Subject.registry)
-       ~seed:config.seed ~max_executions:config.max_executions
-       ~incremental:(machine <> None));
+     Obs.run_meta o ~subject:st.subject.Subject.name
+       ~outcomes:(Pdf_instr.Site.total_outcomes st.subject.Subject.registry)
+       ~seed:st.config.seed ~max_executions:st.config.max_executions
+       ~incremental:(st.machine <> None));
   let next_candidate () =
     let t_pop = span_begin st in
     let popped = Pqueue.pop_with_priority st.queue in
@@ -465,32 +785,40 @@ let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution ?obs
          the beginning of the search. *)
       seed_of_char (random_char st)
   in
-  List.iter (fun input -> push_candidate st (Candidate.seed input)) initial_inputs;
   (try
-     let candidate = ref (seed_of_char (random_char st)) in
+     let candidate = ref first in
+     let last_checkpoint = ref st.executions in
      while true do
+       (match on_checkpoint with
+        | Some save when st.executions - !last_checkpoint >= checkpoint_every ->
+          save (checkpoint_of st !candidate);
+          last_checkpoint := st.executions
+        | _ -> ());
        let c = !candidate in
        (* A queued candidate is [prefix ^ repl] for an already-executed
           parent input sharing [prefix] — exactly the part a cached
           suspension lets us skip. *)
        let prefix_len = String.length c.data - String.length c.repl in
-       let valid, _run = run_check st ~parent:c ~prefix_len c.data in
-       if not valid then begin
+       let valid, run = run_check st ~parent:c ~prefix_len c.data in
+       if (not valid) && not (crashed run) then begin
          (* Second execution: the same input extended by one random
             character, probing whether the parser wants more input. The
-            just-executed candidate is the extension's parent prefix. *)
+            just-executed candidate is the extension's parent prefix. A
+            crashed candidate is triaged and dropped instead — extending
+            past the crash point would only reproduce it. *)
          let extended = extend c.data (random_char st) in
-         if String.length extended <= config.max_input_len then begin
+         if String.length extended <= st.config.max_input_len then begin
            let valid2, run2 =
              run_check st ~parent:c ~prefix_len:(String.length c.data) extended
            in
-           if not valid2 then add_inputs st ~parent:c run2
+           if (not valid2) && not (crashed run2) then
+             add_inputs st ~parent:c run2
          end
        end;
        candidate := next_candidate ()
      done
    with Budget_exhausted -> ());
-  (match obs with
+  (match st.obs with
    | None -> ()
    | Some o ->
      Obs.finish o ~exec:st.executions ~valid:st.valid_count
@@ -508,7 +836,7 @@ let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution ?obs
     path_resets = st.path_resets;
     cache =
       (match st.cache with
-       | None -> no_cache_stats
+       | None -> { no_cache_stats with rescues = st.cache_rescues }
        | Some cache ->
          let s = Runner.Cache.stats cache in
          {
@@ -516,9 +844,33 @@ let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution ?obs
            misses = s.misses;
            evictions = s.evictions;
            chars_saved = s.chars_saved;
+           rescues = st.cache_rescues;
          });
+    crashes =
+      List.rev_map (fun key -> Hashtbl.find st.crash_tab key) st.crash_order_rev;
+    crash_total = st.crash_total;
+    hangs = st.hangs;
     wall_clock_s;
     execs_per_sec =
       (if wall_ns <= 0 then 0.0
        else float_of_int st.executions /. wall_clock_s);
   }
+
+let fuzz ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution ?obs ?faults
+    ?(checkpoint_every = 1000) ?on_checkpoint ?(initial_inputs = []) config
+    subject =
+  let st =
+    make_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults
+      ~rng:(Rng.make config.seed) config subject
+  in
+  List.iter (fun input -> push_candidate st (Candidate.seed input)) initial_inputs;
+  let first = seed_of_char (random_char st) in
+  drive st ~first ~checkpoint_every ~on_checkpoint
+
+let resume_from ?(on_valid = fun _ -> ()) ?on_queue_event ?on_execution ?obs
+    ?faults ?(checkpoint_every = 1000) ?on_checkpoint checkpoint subject =
+  let st, first =
+    restore_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults
+      checkpoint subject
+  in
+  drive st ~first ~checkpoint_every ~on_checkpoint

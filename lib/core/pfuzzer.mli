@@ -32,10 +32,26 @@ type cache_stats = {
   evictions : int;
   chars_saved : int;
       (** total prefix characters whose re-parsing hits avoided *)
+  rescues : int;
+      (** cached resumes that crashed (corrupt or genuinely crashing
+          snapshot) and were recovered by invalidating the entry and
+          re-executing cold *)
 }
 
 val no_cache_stats : cache_stats
 (** All-zero stats, reported when the cache was not in play. *)
+
+type crash = {
+  exn : string;  (** exception constructor name *)
+  site : int;  (** crash-site hash; see {!Pdf_instr.Runner.crash} *)
+  detail : string;  (** printed form of the first witnessed exception *)
+  input : string;  (** first input that triggered this crash identity *)
+  first_at : int;  (** execution count at the first witness *)
+  count : int;  (** executions that crashed with this identity *)
+}
+(** One deduplicated crash-corpus entry. Identities are [(exn, site)]
+    pairs; at most 256 distinct identities are retained (further fresh
+    identities still count towards [crash_total]). *)
 
 type result = {
   valid_inputs : string list;  (** in discovery order *)
@@ -55,6 +71,11 @@ type result = {
   cache : cache_stats;
       (** prefix-snapshot cache accounting; all zero when incremental
           execution was off or the subject has no machine-form parser *)
+  crashes : crash list;
+      (** deduplicated crash corpus in discovery order; empty for a
+          well-behaved subject *)
+  crash_total : int;  (** executions that ended in a [Crash] verdict *)
+  hangs : int;  (** executions that ended in a [Hang] verdict *)
   wall_clock_s : float;  (** wall-clock duration of the whole run *)
   execs_per_sec : float;
       (** [executions /. wall_clock_s]; 0 when the run took no
@@ -70,11 +91,50 @@ type queue_event =
   | Truncated of (float * string) list
       (** queue truncated to its bound; snapshot as in [Reranked] *)
 
+(** {1 Checkpoints}
+
+    A checkpoint captures the campaign's deterministic state at a
+    loop-top instant: configuration, RNG state, the candidate queue (in
+    insertion order) plus the candidate about to execute, the
+    valid-branch set, the dedupe/path tables, all counters, and the
+    crash corpus. The prefix-snapshot cache is excluded — resuming with
+    a cold cache is safe because incremental execution is bit-identical
+    to full execution. On disk a checkpoint is
+    [magic "pfckpt" | version byte | MD5 of payload | payload], written
+    atomically; decoding rejects wrong magic, wrong version, and any
+    payload that fails its digest, each with a one-line error. *)
+
+module Checkpoint : sig
+  type t
+
+  val version : int
+  (** Format version this build reads and writes (currently 1). *)
+
+  val subject_name : t -> string
+  val executions : t -> int
+  val config : t -> config
+
+  val encode : t -> string
+
+  val decode : string -> (t, string) Stdlib.result
+  (** Inverse of {!encode}; [Error] carries a one-line human-readable
+      reason (bad magic, version mismatch, digest mismatch, …). *)
+
+  val save : string -> t -> unit
+  (** Atomic write-to-temp-then-rename; a kill mid-save leaves the
+      previous checkpoint intact. *)
+
+  val load : string -> (t, string) Stdlib.result
+end
+
 val fuzz :
   ?on_valid:(string -> unit) ->
   ?on_queue_event:(queue_event -> unit) ->
   ?on_execution:(Pdf_instr.Runner.run -> unit) ->
   ?obs:Pdf_obs.Observer.t ->
+  ?faults:Pdf_fault.Fault.plan ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Checkpoint.t -> unit) ->
   ?initial_inputs:string list ->
   config ->
   Pdf_subjects.Subject.t ->
@@ -89,6 +149,31 @@ val fuzz :
     these streams. [obs] attaches a telemetry observer: structured trace
     events, per-phase timing spans, periodic status snapshots — when
     absent (the default) the telemetry paths cost one branch and allocate
-    nothing. [initial_inputs] seeds the candidate queue — the §6.2
+    nothing. [faults] installs a deterministic chaos plan: planned
+    execution indices are degraded (crash, hang, slow-down, cache
+    corruption) instead of executed normally, and the campaign must keep
+    going. [on_checkpoint] is called with a fresh {!Checkpoint.t} every
+    [checkpoint_every] (default 1000) executions, at a loop-top instant;
+    what to do with it (typically {!Checkpoint.save}) is the caller's
+    choice. [initial_inputs] seeds the candidate queue — the §6.2
     hand-over point when pFuzzer continues from a lexical fuzzer's
     corpus. *)
+
+val resume_from :
+  ?on_valid:(string -> unit) ->
+  ?on_queue_event:(queue_event -> unit) ->
+  ?on_execution:(Pdf_instr.Runner.run -> unit) ->
+  ?obs:Pdf_obs.Observer.t ->
+  ?faults:Pdf_fault.Fault.plan ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Checkpoint.t -> unit) ->
+  Checkpoint.t ->
+  Pdf_subjects.Subject.t ->
+  result
+(** Continue a checkpointed campaign to its budget. The subject must be
+    the one named in the checkpoint ([Invalid_argument] otherwise); the
+    config — including seed and budget — comes from the checkpoint. A
+    resumed run's result equals the uninterrupted run's result in every
+    field except cache accounting and wall-clock timing. Queue-event
+    streams start from the restored queue, so [on_queue_event] replay
+    models must be primed with the checkpoint's queue contents. *)

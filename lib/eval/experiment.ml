@@ -11,10 +11,18 @@ type cell = {
   found_tags : string list;
 }
 
+type failure = {
+  f_subject : string;
+  f_tool : Tool.name;
+  f_seed : int;
+  f_error : string;
+}
+
 type t = {
   config : config;
   subjects : Subject.t list;
   cells : (string * (Tool.name * cell) list) list;
+  failures : failure list;
 }
 
 let make_cell (subject : Subject.t) (outcome : Tool.outcome) =
@@ -31,7 +39,7 @@ let better a b =
     a.coverage_percent > b.coverage_percent
   else List.length a.found_tags > List.length b.found_tags
 
-let run ?(tools = Tool.all) ?(jobs = 1) ?trace config subjects =
+let run ?(tools = Tool.all) ?(jobs = 1) ?(retries = 2) ?trace config subjects =
   (* Flatten the (subject, tool, seed) grid: every cell is a pure
      function of its coordinates, so the list can be mapped over a
      domain pool. Parallel.map preserves input order, which makes the
@@ -88,11 +96,61 @@ let run ?(tools = Tool.all) ?(jobs = 1) ?trace config subjects =
      | _ -> ());
     (make_cell subject outcome, contents ())
   in
-  let traced = Parallel.map ~jobs run_cell grid in
+  (* One sick cell must not sink the grid: failed cells are retried on
+     the main domain, and a cell whose every attempt raised is marked
+     with the all-zero outcome instead of aborting the experiment. Retry
+     telemetry goes straight to the merged trace (failures are rare and
+     retries run sequentially after the parallel pass, so there is no
+     per-cell buffer to race with). *)
+  let retry_events = ref [] in
+  let grid_arr = Array.of_list grid in
+  let on_retry ~index ~attempt e =
+    let (subject : Subject.t), tool, seed = grid_arr.(index) in
+    if config.verbose then
+      Printf.eprintf "[experiment] retrying %s on %s, seed %d (retry %d): %s\n%!"
+        (Tool.display_name tool) subject.name seed attempt
+        (Printexc.to_string e);
+    retry_events :=
+      {
+        Pdf_obs.Event.t_ns = 0;
+        exec = 0;
+        ev =
+          Pdf_obs.Event.Retry
+            {
+              what =
+                Printf.sprintf "%s/%s/%d" (Tool.display_name tool) subject.name
+                  seed;
+              attempt;
+              detail = Printexc.to_string e;
+            };
+      }
+      :: !retry_events
+  in
+  let attempts = Parallel.map_retry ~jobs ~retries ~on_retry run_cell grid in
+  let failures = ref [] in
+  let traced =
+    List.map2
+      (fun ((subject : Subject.t), tool, seed) attempt ->
+        match attempt with
+        | Ok cell -> cell
+        | Error e ->
+          failures :=
+            {
+              f_subject = subject.name;
+              f_tool = tool;
+              f_seed = seed;
+              f_error = Printexc.to_string e;
+            }
+            :: !failures;
+          (make_cell subject (Tool.empty_outcome tool ~subject:subject.name), ""))
+      grid attempts
+  in
   (match trace with
    | None -> ()
    | Some oc ->
      List.iter (fun (_, buf) -> output_string oc buf) traced;
+     let sink = Pdf_obs.Trace.jsonl oc in
+     List.iter (Pdf_obs.Trace.emit sink) (List.rev !retry_events);
      flush oc);
   let results = Array.of_list (List.map fst traced) in
   let idx = ref 0 in
@@ -119,7 +177,7 @@ let run ?(tools = Tool.all) ?(jobs = 1) ?trace config subjects =
         (subject.name, per_tool))
       subjects
   in
-  { config; subjects; cells }
+  { config; subjects; cells; failures = List.rev !failures }
 
 let cell t subject tool = List.assoc tool (List.assoc subject t.cells)
 

@@ -18,16 +18,30 @@ type cell = {
   found_tags : string list;
 }
 
+type failure = {
+  f_subject : string;
+  f_tool : Tool.name;
+  f_seed : int;
+  f_error : string;  (** printed exception from the last attempt *)
+}
+(** A grid cell whose every execution attempt (first run plus retries)
+    raised. Its contribution to {!t.cells} is the all-zero
+    {!Tool.empty_outcome}. *)
+
 type t = {
   config : config;
   subjects : Pdf_subjects.Subject.t list;
   cells : (string * (Tool.name * cell) list) list;
       (** subject name → per-tool best cells *)
+  failures : failure list;
+      (** cells abandoned after exhausting their retries, in grid
+          order; empty for a healthy evaluation *)
 }
 
 val run :
   ?tools:Tool.name list ->
   ?jobs:int ->
+  ?retries:int ->
   ?trace:out_channel ->
   config ->
   Pdf_subjects.Subject.t list ->
@@ -44,7 +58,13 @@ val run :
     its (tool, subject, seed) coordinates, and the buffers are written in
     grid order after all cells finish — so the merged trace has the same
     structure for any [jobs] (timestamps aside; see
-    {!Pdf_obs.Trace.normalize}). *)
+    {!Pdf_obs.Trace.normalize}).
+
+    A cell whose run raises is retried up to [retries] (default 2) more
+    times on the main domain ({!Parallel.map_retry}); each retry emits a
+    [retry] event into the merged trace, and a cell that exhausts its
+    retries is recorded in {!t.failures} with an all-zero outcome instead
+    of aborting the grid. *)
 
 val cell : t -> string -> Tool.name -> cell
 (** Lookup; raises [Not_found] for an unknown subject/tool. *)

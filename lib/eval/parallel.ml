@@ -39,3 +39,29 @@ let map ?(jobs = 1) f items =
          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
          | None -> assert false)
   end
+
+(* Retries run sequentially on the calling domain: a worker that died
+   mid-task may have left its domain-local state unusable, and failed
+   tasks are expected to be rare, so the simple, observable order (all
+   parallel work first, then retries in input order) wins over spawning
+   replacement domains. *)
+let map_retry ?(jobs = 1) ?(retries = 2) ?(backoff_s = 0.0) ?on_retry f items =
+  let attempt x = match f x with v -> Ok v | exception e -> Error e in
+  let first_pass = map ~jobs attempt items in
+  let rec redo index x attempt_no last_err =
+    if attempt_no > retries then Error last_err
+    else begin
+      (match on_retry with
+       | Some cb -> cb ~index ~attempt:attempt_no last_err
+       | None -> ());
+      if backoff_s > 0.0 then
+        Unix.sleepf (backoff_s *. float_of_int attempt_no);
+      match f x with
+      | v -> Ok v
+      | exception e -> redo index x (attempt_no + 1) e
+    end
+  in
+  List.mapi
+    (fun i (x, r) ->
+      match r with Ok v -> Ok v | Error e -> redo i x 1 e)
+    (List.combine items first_pass)

@@ -22,3 +22,24 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     with [jobs <= 1] (the default) this {e is} [List.map f items] — same
     order of evaluation, no domain is spawned. If [f] raises, the first
     exception in input order is re-raised after all workers finish. *)
+
+val map_retry :
+  ?jobs:int ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?on_retry:(index:int -> attempt:int -> exn -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn) result list
+(** Resilient {!map}: a task whose [f] raises (including one whose
+    worker domain died mid-task) does not sink the whole grid. The first
+    pass runs exactly like {!map} but captures each item's outcome as a
+    [result]; failed items are then retried up to [retries] (default 2)
+    more times, sequentially on the calling domain, sleeping
+    [backoff_s × attempt] seconds before each retry (default 0 — tasks
+    here are deterministic, so backoff only matters for callers whose
+    failures are environmental). [on_retry ~index ~attempt e] fires just
+    before each retry with the input-order index of the failing item and
+    the exception from the previous attempt. The returned list is in
+    input order; [Error e] marks an item whose every attempt failed,
+    carrying the last exception. This function itself never raises. *)

@@ -173,6 +173,51 @@ let throughput ppf (e : Experiment.t) =
     ~header:[ "subject"; "tool"; "executions"; "wall (s)"; "execs/sec" ]
     rows
 
+(* Contained misbehaviour per cell: fuel exhaustions and deduplicated
+   crashes. Only cells that misbehaved are listed; a fully healthy grid
+   renders a one-line all-clear instead of an empty table. *)
+let resilience ppf (e : Experiment.t) =
+  let rows =
+    List.concat_map
+      (fun (subject, per_tool) ->
+        List.filter_map
+          (fun (tool, cell) ->
+            let o = cell.Experiment.outcome in
+            if o.Tool.hangs = 0 && o.Tool.crash_total = 0 then None
+            else
+              Some
+                [
+                  subject;
+                  Tool.display_name tool;
+                  string_of_int o.Tool.hangs;
+                  string_of_int o.Tool.crash_total;
+                  string_of_int (List.length o.Tool.crashes);
+                ])
+          per_tool)
+      e.cells
+  in
+  if rows = [] then
+    Format.fprintf ppf "no hangs or contained crashes in any cell@."
+  else
+    Render.table ppf ~title:"Contained misbehaviour per cell"
+      ~header:[ "subject"; "tool"; "hangs"; "crashes"; "unique crashes" ]
+      rows
+
+let failed_cells ppf (e : Experiment.t) =
+  if e.failures <> [] then
+    Render.table ppf
+      ~title:"Failed cells (all retries exhausted; reported as all-zero)"
+      ~header:[ "subject"; "tool"; "seed"; "error" ]
+      (List.map
+         (fun (f : Experiment.failure) ->
+           [
+             f.f_subject;
+             Tool.display_name f.f_tool;
+             string_of_int f.f_seed;
+             f.f_error;
+           ])
+         e.failures)
+
 let full ppf (e : Experiment.t) =
   Render.section ppf "Table 1";
   table_1 ppf e.subjects;
@@ -190,4 +235,7 @@ let full ppf (e : Experiment.t) =
   Render.section ppf "Incremental execution";
   cache_report ppf e;
   Render.section ppf "Throughput";
-  throughput ppf e
+  throughput ppf e;
+  Render.section ppf "Resilience";
+  resilience ppf e;
+  failed_cells ppf e

@@ -26,6 +26,14 @@ val cache_report : Format.formatter -> Experiment.t -> unit
 val throughput : Format.formatter -> Experiment.t -> unit
 (** Real (wall-clock) cost per cell: executions, seconds, execs/sec. *)
 
+val resilience : Format.formatter -> Experiment.t -> unit
+(** Hangs and contained crashes per misbehaving cell, or a one-line
+    all-clear when no cell misbehaved. *)
+
+val failed_cells : Format.formatter -> Experiment.t -> unit
+(** The cells that exhausted their retries ({!Experiment.t.failures});
+    prints nothing for a healthy grid. *)
+
 val full : Format.formatter -> Experiment.t -> unit
 (** All of the above in paper order, followed by the incremental-execution
-    accounting. *)
+    accounting and the resilience summary. *)

@@ -20,14 +20,33 @@ type outcome = {
   valid_coverage : Pdf_instr.Coverage.t;
   executions : int;
   cache : Pdf_core.Pfuzzer.cache_stats;
+  crashes : Pdf_core.Pfuzzer.crash list;
+  crash_total : int;
+  hangs : int;
   wall_clock_s : float;
   execs_per_sec : float;
 }
 
+let empty_outcome tool ~subject =
+  {
+    tool;
+    subject;
+    valid_inputs = [];
+    valid_coverage = Pdf_instr.Coverage.empty;
+    executions = 0;
+    cache = Pdf_core.Pfuzzer.no_cache_stats;
+    crashes = [];
+    crash_total = 0;
+    hangs = 0;
+    wall_clock_s = 0.0;
+    execs_per_sec = 0.0;
+  }
+
 let throughput ~executions wall_clock_s =
   if wall_clock_s <= 0.0 then 0.0 else float_of_int executions /. wall_clock_s
 
-let run ?(incremental = true) ?obs tool ~budget_units ~seed subject =
+let run ?(incremental = true) ?obs ?faults ?checkpoint_every ?on_checkpoint
+    ?resume_from ?on_execution tool ~budget_units ~seed subject =
   let max_executions = max 1 (budget_units / cost_per_execution tool) in
   match tool with
   | Afl ->
@@ -43,6 +62,9 @@ let run ?(incremental = true) ?obs tool ~budget_units ~seed subject =
       valid_coverage = result.valid_coverage;
       executions = result.executions;
       cache = Pdf_core.Pfuzzer.no_cache_stats;
+      crashes = [];
+      crash_total = 0;
+      hangs = 0;
       wall_clock_s;
       execs_per_sec = throughput ~executions:result.executions wall_clock_s;
     }
@@ -61,14 +83,23 @@ let run ?(incremental = true) ?obs tool ~budget_units ~seed subject =
       valid_coverage = result.valid_coverage;
       executions = result.executions;
       cache = Pdf_core.Pfuzzer.no_cache_stats;
+      crashes = [];
+      crash_total = 0;
+      hangs = 0;
       wall_clock_s;
       execs_per_sec = throughput ~executions:result.executions wall_clock_s;
     }
   | Pfuzzer ->
     let result =
-      Pdf_core.Pfuzzer.fuzz ?obs
-        { Pdf_core.Pfuzzer.default_config with seed; max_executions; incremental }
-        subject
+      match resume_from with
+      | Some checkpoint ->
+        Pdf_core.Pfuzzer.resume_from ?obs ?faults ?checkpoint_every
+          ?on_checkpoint ?on_execution checkpoint subject
+      | None ->
+        Pdf_core.Pfuzzer.fuzz ?obs ?faults ?checkpoint_every ?on_checkpoint
+          ?on_execution
+          { Pdf_core.Pfuzzer.default_config with seed; max_executions; incremental }
+          subject
     in
     {
       tool;
@@ -77,6 +108,9 @@ let run ?(incremental = true) ?obs tool ~budget_units ~seed subject =
       valid_coverage = result.valid_coverage;
       executions = result.executions;
       cache = result.cache;
+      crashes = result.crashes;
+      crash_total = result.crash_total;
+      hangs = result.hangs;
       wall_clock_s = result.wall_clock_s;
       execs_per_sec = result.execs_per_sec;
     }

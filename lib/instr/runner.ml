@@ -1,6 +1,25 @@
 module Vec = Pdf_util.Vec
 
-type verdict = Accepted | Rejected of string | Hang
+type crash = { exn : string; site : int; detail : string }
+type verdict = Accepted | Rejected of string | Hang | Crash of crash
+
+(* First-occurrence order of outcomes: a compact path identity that is
+   insensitive to loop iteration counts ("non-duplicate branches").
+   Shared by {!path_hash} and the crash-site hash so a crash keeps the
+   same identity whether reached by full execution or a cache resume. *)
+let fnv_touched touched =
+  let h = ref 0x811c9dc5 in
+  Array.iter (fun oid -> h := (!h lxor oid) * 0x0100_0193 land max_int) touched;
+  !h
+
+let crash_of ctx e =
+  {
+    exn = Printexc.exn_slot_name e;
+    site = fnv_touched (Ctx.touched ctx);
+    detail = Printexc.to_string e;
+  }
+
+let crash_id c = Printf.sprintf "%s@%08x" c.exn c.site
 
 type run = {
   input : string;
@@ -37,6 +56,7 @@ let exec ~registry ~parse ?fuel ?track_comparisons ?track_trace ?track_frames
     | () -> Accepted
     | exception Ctx.Reject reason -> Rejected reason
     | exception Ctx.Out_of_fuel -> Hang
+    | exception e -> Crash (crash_of ctx e)
   in
   package ctx input verdict
 
@@ -132,6 +152,7 @@ let exec_machine ~registry ~(machine : Machine.recognizer) ?(fuel = 100_000)
     | () -> Accepted
     | exception Ctx.Reject reason -> Rejected reason
     | exception Ctx.Out_of_fuel -> Hang
+    | exception e -> Crash (crash_of ctx e)
   in
   let run = package ctx input verdict in
   ( run,
@@ -195,6 +216,7 @@ let resume (snap : snapshot) input =
     | () -> Accepted
     | exception Ctx.Reject reason -> Rejected reason
     | exception Ctx.Out_of_fuel -> Hang
+    | exception e -> Crash (crash_of ctx e)
   in
   let run = package ctx input verdict in
   ( run,
@@ -219,7 +241,7 @@ module Cache = struct
 
   type node = {
     key : string;
-    snap : snapshot;
+    mutable snap : snapshot;
     mutable prev : node option;  (* towards most-recent *)
     mutable next : node option;  (* towards least-recent *)
   }
@@ -287,6 +309,21 @@ module Cache = struct
       Hashtbl.replace t.table key node;
       push_front t node
     end
+
+  let remove t key =
+    match Hashtbl.find_opt t.table key with
+    | None -> ()
+    | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table key
+
+  exception Corrupted_snapshot
+
+  let corrupt_all t =
+    let poisoned = Machine.Peek (fun _ _ -> raise Corrupted_snapshot) in
+    Hashtbl.iter
+      (fun _ node -> node.snap <- { node.snap with s_step = poisoned })
+      t.table
 end
 
 let accepted run = run.verdict = Accepted
@@ -344,18 +381,10 @@ let avg_stack_of_last_two run =
     float_of_int (run.comparisons.(n - 1).stack_depth + run.comparisons.(n - 2).stack_depth)
     /. 2.0
 
-(* First-occurrence order of outcomes: a compact path identity that is
-   insensitive to loop iteration counts ("non-duplicate branches"). The
-   context maintains that order incrementally, so hashing it is one
-   allocation-free FNV-1a pass over [touched] — no per-run hash table. *)
-let path_hash run =
-  let h = ref 0x811c9dc5 in
-  Array.iter
-    (fun oid -> h := (!h lxor oid) * 0x0100_0193 land max_int)
-    run.touched;
-  !h
+let path_hash run = fnv_touched run.touched
 
 let pp_verdict ppf = function
   | Accepted -> Format.fprintf ppf "accepted"
   | Rejected reason -> Format.fprintf ppf "rejected (%s)" reason
   | Hang -> Format.fprintf ppf "hang"
+  | Crash c -> Format.fprintf ppf "crash (%s: %s)" (crash_id c) c.detail

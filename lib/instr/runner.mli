@@ -4,10 +4,29 @@
     {!exec} corresponds to one execution of the instrumented program in
     the paper (exit status, comparison log, coverage, trace, EOF flag). *)
 
+type crash = {
+  exn : string;
+      (** the exception's constructor name ([Printexc.exn_slot_name]),
+          e.g. ["Stdlib.Failure"] — the coarse triage key *)
+  site : int;
+      (** FNV-1a hash of the run's first-occurrence outcome sequence at
+          the moment of the crash — a callsite identity that
+          distinguishes the same exception raised from different places
+          in the subject, and is stable between full and resumed
+          executions of the same input *)
+  detail : string;  (** [Printexc.to_string] of the exception *)
+}
+(** Identity of a subject crash. Two crashes with equal [(exn, site)]
+    are duplicates for triage purposes. *)
+
 type verdict =
   | Accepted  (** the parser consumed the input without error: exit 0 *)
   | Rejected of string  (** first parse error: non-zero exit *)
   | Hang  (** fuel exhausted, the analogue of the paper's infinite loop *)
+  | Crash of crash
+      (** the subject raised something other than {!Ctx.Reject} /
+          {!Ctx.Out_of_fuel} — the analogue of a SIGSEGV in the paper's
+          C subjects. Contained, never propagated. *)
 
 type run = {
   input : string;
@@ -35,12 +54,20 @@ val exec :
   ?track_frames:bool ->
   string ->
   run
-(** Run the parser on the given input. Only {!Ctx.Reject} and
-    {!Ctx.Out_of_fuel} are caught; any other exception is a bug in the
-    subject and propagates. [track_trace] (default false) fills the
-    [trace] field; see {!Ctx.make}. *)
+(** Run the parser on the given input. The exception contract:
+    {!Ctx.Reject} maps to [Rejected], {!Ctx.Out_of_fuel} to [Hang], and
+    {e every other exception} the subject raises — [Failure],
+    [Invalid_argument], [Stack_overflow], anything — is contained as
+    [Crash] with the observations accumulated up to the raise. A
+    misbehaving subject can therefore never abort a campaign; crashes
+    are ordinary verdicts that the fuzzer triages and keeps fuzzing
+    past. [track_trace] (default false) fills the [trace] field; see
+    {!Ctx.make}. *)
 
 val accepted : run -> bool
+
+val crash_id : crash -> string
+(** ["<exn>@<site-hex>"] — the dedup key as a printable label. *)
 
 (** {1 Incremental execution}
 
@@ -76,7 +103,10 @@ val exec_machine :
   run * journal
 (** Run a machine-form subject, journaling every read boundary. The
     [run] is identical to what {!exec} over [Machine.run] would
-    produce; defaults match {!Ctx.make}. *)
+    produce — including the crash-containment contract: a raising
+    continuation yields a [Crash] run (journaled up to the last
+    boundary before the raise), never an escaped exception; defaults
+    match {!Ctx.make}. *)
 
 val snapshot_at : journal -> int -> snapshot option
 (** [snapshot_at journal p] is the suspension at the first read of input
@@ -127,6 +157,19 @@ module Cache : sig
   (** Insert, evicting the least-recently-used entry at the bound. An
       existing entry for the same prefix is kept (first-in wins — the
       snapshots are equivalent by construction). *)
+
+  val remove : t -> string -> unit
+  (** Drop one entry (no-op when absent). Used by the fuzzer to
+      invalidate a snapshot whose resume crashed, before falling back
+      to cold execution. Does not count as an eviction. *)
+
+  exception Corrupted_snapshot
+
+  val corrupt_all : t -> unit
+  (** Chaos hook: poison every cached snapshot so that resuming it
+      raises {!Corrupted_snapshot} (and is therefore contained as a
+      [Crash] run). Models on-disk/in-memory snapshot corruption; the
+      fuzzer must recover by invalidating and re-executing cold. *)
 
   val stats : t -> stats
   val length : t -> int

@@ -27,6 +27,11 @@ type t =
   | Cache_miss
   | Cache_evict of { evictions : int }
   | Reset of { table : string }
+  | Hang of { total : int }
+  | Crash of { exn : string; site : int; fresh : bool; total : int }
+  | Fault of { kind : string }
+  | Rescue of { prefix : int }
+  | Retry of { what : string; attempt : int; detail : string }
   | Snapshot of {
       execs_per_sec : float;
       depth : int;
@@ -35,6 +40,8 @@ type t =
       hits : int;
       misses : int;
       plateau : int;
+      hangs : int;
+      crashes : int;
     }
   | Phases of { spans : (string * int) list; wall_ns : int }
   | Run_done of { valid : int; cov : int; wall_ns : int; execs_per_sec : float }
@@ -55,6 +62,11 @@ let kind = function
   | Cache_miss -> "cache_miss"
   | Cache_evict _ -> "cache_evict"
   | Reset _ -> "reset"
+  | Hang _ -> "hang"
+  | Crash _ -> "crash"
+  | Fault _ -> "fault"
+  | Rescue _ -> "rescue"
+  | Retry _ -> "retry"
   | Snapshot _ -> "snapshot"
   | Phases _ -> "phases"
   | Run_done _ -> "run_done"
@@ -95,6 +107,18 @@ let fields ev =
   | Cache_miss -> []
   | Cache_evict c -> [ ("evictions", I c.evictions) ]
   | Reset r -> [ ("table", S r.table) ]
+  | Hang h -> [ ("total", I h.total) ]
+  | Crash c ->
+    [
+      ("exn", S c.exn);
+      ("site", I c.site);
+      ("fresh", B c.fresh);
+      ("total", I c.total);
+    ]
+  | Fault fa -> [ ("kind", S fa.kind) ]
+  | Rescue r -> [ ("prefix", I r.prefix) ]
+  | Retry r ->
+    [ ("what", S r.what); ("attempt", I r.attempt); ("detail", S r.detail) ]
   | Snapshot s ->
     [
       ("execs_per_sec", F s.execs_per_sec);
@@ -104,6 +128,8 @@ let fields ev =
       ("hits", I s.hits);
       ("misses", I s.misses);
       ("plateau", I s.plateau);
+      ("hangs", I s.hangs);
+      ("crashes", I s.crashes);
     ]
   | Phases p ->
     List.map (fun (name, ns) -> (name ^ "_ns", Json.I ns)) p.spans
@@ -210,6 +236,24 @@ let of_fields fields =
     | "cache_miss" -> Cache_miss
     | "cache_evict" -> Cache_evict { evictions = int_field f "evictions" }
     | "reset" -> Reset { table = str_field f "table" }
+    | "hang" -> Hang { total = int_field f "total" }
+    | "crash" ->
+      Crash
+        {
+          exn = str_field f "exn";
+          site = int_field f "site";
+          fresh = bool_field f "fresh";
+          total = int_field f "total";
+        }
+    | "fault" -> Fault { kind = str_field f "kind" }
+    | "rescue" -> Rescue { prefix = int_field f "prefix" }
+    | "retry" ->
+      Retry
+        {
+          what = str_field f "what";
+          attempt = int_field f "attempt";
+          detail = str_field f "detail";
+        }
     | "snapshot" ->
       Snapshot
         {
@@ -220,6 +264,8 @@ let of_fields fields =
           hits = int_field f "hits";
           misses = int_field f "misses";
           plateau = int_field f "plateau";
+          hangs = int_field f "hangs";
+          crashes = int_field f "crashes";
         }
     | "phases" ->
       let spans =

@@ -38,6 +38,22 @@ type t =
   | Cache_miss
   | Cache_evict of { evictions : int }  (** cumulative eviction count *)
   | Reset of { table : string }  (** "dedupe" or "path" generational reset *)
+  | Hang of { total : int }
+      (** an execution exhausted its fuel ([Ctx.Out_of_fuel]); [total]
+          is the cumulative hang count *)
+  | Crash of { exn : string; site : int; fresh : bool; total : int }
+      (** the subject crashed; [fresh] marks the first sighting of this
+          [(exn, site)] identity, duplicates have [fresh = false];
+          [total] is the cumulative crash count *)
+  | Fault of { kind : string }
+      (** a planned fault fired at this execution (chaos runs only);
+          [kind] is the {!Pdf_fault.Fault.kind_label} *)
+  | Rescue of { prefix : int }
+      (** a cached-snapshot resume crashed; the entry was invalidated
+          and the input re-executed cold *)
+  | Retry of { what : string; attempt : int; detail : string }
+      (** a failed unit of work (e.g. an evaluation-grid cell) is being
+          retried; [attempt] counts from 1 *)
   | Snapshot of {
       execs_per_sec : float;
       depth : int;
@@ -46,6 +62,8 @@ type t =
       hits : int;
       misses : int;
       plateau : int;  (** executions since valid coverage last grew *)
+      hangs : int;
+      crashes : int;
     }  (** periodic status sample, driving the live progress line *)
   | Phases of { spans : (string * int) list; wall_ns : int }
       (** cumulative per-phase wall-clock spans at end of run; spans

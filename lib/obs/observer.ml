@@ -88,18 +88,21 @@ let rate t ~now ~exec =
   let dt = now - t.last_snap_t in
   if dt <= 0 then 0.0 else float_of_int (exec - t.last_snap_exec) *. 1e9 /. float_of_int dt
 
-let snapshot t ~exec ~depth ~valid ~cov ~hits ~misses ~plateau =
+let snapshot t ~exec ~depth ~valid ~cov ~hits ~misses ~plateau ~hangs ~crashes =
   let now = now_ns t in
   let execs_per_sec = rate t ~now ~exec in
   t.last_snap_t <- now;
   t.last_snap_exec <- exec;
-  emit t ~exec (Event.Snapshot { execs_per_sec; depth; valid; cov; hits; misses; plateau });
+  emit t ~exec
+    (Event.Snapshot
+       { execs_per_sec; depth; valid; cov; hits; misses; plateau; hangs; crashes });
   match t.progress with
   | None -> ()
   | Some p ->
     Progress.print p
       (Progress.render ~execs:exec ~max_executions:t.max_executions ~execs_per_sec
-         ~depth ~valid ~cov ~outcomes:t.outcomes ~hits ~misses ~plateau)
+         ~depth ~valid ~cov ~outcomes:t.outcomes ~hits ~misses ~plateau ~hangs
+         ~crashes)
 
 let finish t ~exec ~valid ~cov =
   let wall = now_ns t in

@@ -73,6 +73,8 @@ val snapshot :
   hits:int ->
   misses:int ->
   plateau:int ->
+  hangs:int ->
+  crashes:int ->
   unit
 (** Emit a {!Event.Snapshot} and repaint the live line. Throughput is
     computed from the delta since the previous snapshot. *)

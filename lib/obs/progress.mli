@@ -22,10 +22,12 @@ val render :
   hits:int ->
   misses:int ->
   plateau:int ->
+  hangs:int ->
+  crashes:int ->
   string
 (** One status line: executions, throughput, queue depth, valid count,
     coverage percentage, cache hit rate ("-" before any consultation),
-    and plateau age in executions. *)
+    plateau age in executions, and cumulative hang and crash counts. *)
 
 val print : t -> string -> unit
 val finish : t -> unit

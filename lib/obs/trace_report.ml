@@ -33,6 +33,11 @@ type t = {
   cache_hits : int;
   cache_misses : int;
   valids : (int * string) list;  (* exec count, input — in discovery order *)
+  hangs : int;
+  crashes : int;
+  crash_unique : int;  (* distinct (exn, site) identities *)
+  faults : int;  (* injected faults that fired (chaos runs) *)
+  rescues : int;  (* crashed cache resumes recovered by cold re-execution *)
 }
 
 (* Split a merged evaluate trace into per-cell runs. A trace with no
@@ -68,6 +73,11 @@ let analyse ?(top = 10) ?cell events =
   let misses = ref 0 in
   let valids_rev = ref [] in
   let slow_all = ref [] in
+  let hangs = ref 0 in
+  let crashes = ref 0 in
+  let crash_unique = ref 0 in
+  let faults = ref 0 in
+  let rescues = ref 0 in
   List.iter
     (fun (s : Event.stamped) ->
       last_t := max !last_t s.t_ns;
@@ -99,6 +109,12 @@ let analyse ?(top = 10) ?cell events =
       | Event.Valid v -> valids_rev := (s.exec, v.input) :: !valids_rev
       | Event.Cache_hit _ -> incr hits
       | Event.Cache_miss -> incr misses
+      | Event.Hang h -> hangs := max !hangs h.total
+      | Event.Crash c ->
+        crashes := max !crashes c.total;
+        if c.fresh then incr crash_unique
+      | Event.Fault _ -> incr faults
+      | Event.Rescue _ -> incr rescues
       | Event.Phases p ->
         phases := List.filter (fun (name, _) -> List.mem name known_phases) p.spans;
         phase_percentiles :=
@@ -134,6 +150,11 @@ let analyse ?(top = 10) ?cell events =
     cache_hits = !hits;
     cache_misses = !misses;
     valids = List.rev !valids_rev;
+    hangs = !hangs;
+    crashes = !crashes;
+    crash_unique = !crash_unique;
+    faults = !faults;
+    rescues = !rescues;
   }
 
 (* Thin the per-execution curve to at most [rows] evenly spaced points
@@ -200,6 +221,13 @@ let render ?(rows = 20) ppf t =
     Format.fprintf ppf "prefix cache: %d hits, %d misses (%.1f%% hit rate)@."
       t.cache_hits t.cache_misses
       (100.0 *. float_of_int t.cache_hits /. float_of_int (t.cache_hits + t.cache_misses));
+  if t.hangs + t.crashes + t.faults + t.rescues > 0 then begin
+    Format.fprintf ppf "resilience: %d hangs, %d crashes (%d unique)" t.hangs
+      t.crashes t.crash_unique;
+    if t.faults > 0 then Format.fprintf ppf ", %d injected faults" t.faults;
+    if t.rescues > 0 then Format.fprintf ppf ", %d snapshot rescues" t.rescues;
+    Format.fprintf ppf "@."
+  end;
   (* Coverage over time: the paper's Figure 2 as a table + bar chart. *)
   let buckets = bucketed ~rows t in
   let outcomes = match t.meta with Some m -> m.outcomes | None -> 0 in

@@ -1,0 +1,48 @@
+type staged = {
+  oc : out_channel;
+  tmp : string;
+  path : string;
+  mutable open_ : bool;
+}
+
+let temp_name path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+
+let stage path =
+  let tmp = temp_name path in
+  { oc = open_out_bin tmp; tmp; path; open_ = true }
+
+let channel s = s.oc
+
+let commit s =
+  if s.open_ then begin
+    s.open_ <- false;
+    close_out s.oc;
+    Sys.rename s.tmp s.path
+  end
+
+let abort s =
+  if s.open_ then begin
+    s.open_ <- false;
+    (try close_out s.oc with Sys_error _ -> ());
+    (try Sys.remove s.tmp with Sys_error _ -> ())
+  end
+
+let with_out path f =
+  let s = stage path in
+  match f s.oc with
+  | v ->
+      commit s;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      abort s;
+      Printexc.raise_with_backtrace e bt
+
+let write_string path contents =
+  with_out path (fun oc -> output_string oc contents)
+
+let read_string path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

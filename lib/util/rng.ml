@@ -15,6 +15,8 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 let copy t = { state = t.state }
+let state t = t.state
+let of_state s = { state = s }
 
 let int t bound =
   assert (bound > 0);

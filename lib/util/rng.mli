@@ -20,6 +20,14 @@ val copy : t -> t
 (** [copy t] duplicates the current state; both copies then produce the
     same stream. *)
 
+val state : t -> int64
+(** [state t] exposes the raw SplitMix64 state word, for serialising the
+    generator into a checkpoint. *)
+
+val of_state : int64 -> t
+(** [of_state s] rebuilds a generator from a {!state} word. The rebuilt
+    generator continues the exact stream of the serialised one. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit value. *)
 

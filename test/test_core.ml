@@ -275,6 +275,151 @@ let test_path_counts_capped () =
   Alcotest.(check bool) "fuzzer still works across resets" true
     (List.length tiny.valid_inputs > 0)
 
+(* {1 Resilience: checkpoints, faults, crash corpus} *)
+
+module Fault = Pdf_fault.Fault
+
+let contains_sub hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Run [name] to its budget, capturing the first periodic checkpoint the
+   campaign emits. *)
+let capture_checkpoint ?(execs = 900) ?(every = 300) name =
+  let subject = Catalog.find name in
+  let captured = ref None in
+  let full =
+    Pfuzzer.fuzz ~checkpoint_every:every
+      ~on_checkpoint:(fun ck -> if !captured = None then captured := Some ck)
+      { Pfuzzer.default_config with max_executions = execs }
+      subject
+  in
+  match !captured with
+  | None -> Alcotest.fail "no checkpoint was captured"
+  | Some ck -> (full, ck, subject)
+
+let test_checkpoint_roundtrip () =
+  let _, ck, _ = capture_checkpoint "json" in
+  match Pfuzzer.Checkpoint.(decode (encode ck)) with
+  | Error e -> Alcotest.failf "encode/decode round-trip failed: %s" e
+  | Ok ck' ->
+    Alcotest.(check string) "subject name survives" "json"
+      (Pfuzzer.Checkpoint.subject_name ck');
+    Alcotest.(check int) "execution count survives"
+      (Pfuzzer.Checkpoint.executions ck)
+      (Pfuzzer.Checkpoint.executions ck');
+    Alcotest.(check bool) "config survives" true
+      (Pfuzzer.Checkpoint.config ck' = Pfuzzer.Checkpoint.config ck)
+
+let expect_decode_error what s fragment =
+  match Pfuzzer.Checkpoint.decode s with
+  | Ok _ -> Alcotest.failf "%s: decode unexpectedly succeeded" what
+  | Error e ->
+    if not (contains_sub e fragment) then
+      Alcotest.failf "%s: error %S does not mention %S" what e fragment
+
+let test_checkpoint_rejects_damage () =
+  let _, ck, _ = capture_checkpoint "paren" in
+  let enc = Pfuzzer.Checkpoint.encode ck in
+  expect_decode_error "truncated header" (String.sub enc 0 10) "too short";
+  let bad_magic = "XXXXXX" ^ String.sub enc 6 (String.length enc - 6) in
+  expect_decode_error "bad magic" bad_magic "bad magic";
+  let bumped = Bytes.of_string enc in
+  Bytes.set bumped 6 (Char.chr (Char.code enc.[6] + 1));
+  expect_decode_error "version bump" (Bytes.to_string bumped) "version mismatch";
+  let corrupted = Bytes.of_string enc in
+  Bytes.set corrupted 40 (Char.chr (Char.code enc.[40] lxor 0xff));
+  expect_decode_error "flipped payload byte" (Bytes.to_string corrupted)
+    "digest mismatch";
+  (* Truncating the payload (header intact) also trips the digest. *)
+  expect_decode_error "truncated payload"
+    (String.sub enc 0 (String.length enc - 5))
+    "digest mismatch"
+
+let test_checkpoint_file_roundtrip () =
+  let _, ck, _ = capture_checkpoint "csv" in
+  let path = Filename.temp_file "pfuzzer_ck" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Pfuzzer.Checkpoint.save path ck;
+      match Pfuzzer.Checkpoint.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok ck' ->
+        Alcotest.(check string) "subject survives the file system" "csv"
+          (Pfuzzer.Checkpoint.subject_name ck');
+        Alcotest.(check int) "executions survive the file system"
+          (Pfuzzer.Checkpoint.executions ck)
+          (Pfuzzer.Checkpoint.executions ck'));
+  match Pfuzzer.Checkpoint.load "/nonexistent/pfuzzer.ckpt" with
+  | Ok _ -> Alcotest.fail "loading a missing file succeeded"
+  | Error _ -> ()
+
+let test_resume_equivalence_all_subjects () =
+  (* The headline resilience invariant: interrupt-then-resume is
+     observationally identical to running uninterrupted, on every seed
+     subject. [results_equal] ignores only wall-clock and cache
+     accounting. *)
+  List.iter
+    (fun name ->
+      let full, ck, subject = capture_checkpoint name in
+      let resumed = Pfuzzer.resume_from ck subject in
+      Alcotest.(check bool)
+        (Printf.sprintf "resumed = uninterrupted on %s" name)
+        true
+        (Pdf_check.Invariants.results_equal full resumed))
+    [ "paren"; "ini"; "csv"; "json"; "expr" ]
+
+let test_resume_rejects_wrong_subject () =
+  let _, ck, _ = capture_checkpoint "json" in
+  match Pfuzzer.resume_from ck (Catalog.find "expr") with
+  | (_ : Pfuzzer.result) ->
+    Alcotest.fail "resuming a json checkpoint on expr succeeded"
+  | exception Invalid_argument _ -> ()
+
+let test_fault_plan_crash_corpus () =
+  let subject = Catalog.find "json" in
+  let indices = [ 50; 150; 250; 350; 450 ] in
+  let plan =
+    Fault.of_list (List.map (fun i -> (i, Fault.Raise "chaos raise")) indices)
+  in
+  let r =
+    Pfuzzer.fuzz ~faults:plan
+      { Pfuzzer.default_config with max_executions = 600 }
+      subject
+  in
+  let fired = List.length (Fault.triggered plan) in
+  Alcotest.(check int) "every planned fault fired" (List.length indices) fired;
+  Alcotest.(check int) "every firing was a contained crash" fired r.crash_total;
+  Alcotest.(check int) "campaign ran to its budget regardless" 600 r.executions;
+  Alcotest.(check int) "raises are not hangs" 0 r.hangs;
+  match r.crashes with
+  | [ c ] ->
+    Alcotest.(check string) "deduplicated under the injected exception"
+      (Printexc.exn_slot_name (Fault.Injected "x"))
+      c.exn;
+    Alcotest.(check int) "dedup count totals the firings" fired c.count;
+    Alcotest.(check bool) "first witness within the budget" true
+      (c.first_at > 0 && c.first_at <= 600);
+    Alcotest.(check bool) "detail records the injected message" true
+      (contains_sub c.detail "chaos raise")
+  | l -> Alcotest.failf "expected one crash identity, got %d" (List.length l)
+
+let test_fault_plan_starvation_hangs () =
+  let subject = Catalog.find "expr" in
+  let plan = Fault.of_list [ (10, Fault.Starve_fuel); (20, Fault.Starve_fuel) ] in
+  let r =
+    Pfuzzer.fuzz ~faults:plan
+      { Pfuzzer.default_config with max_executions = 200 }
+      subject
+  in
+  Alcotest.(check int) "both starvations fired" 2
+    (List.length (Fault.triggered plan));
+  Alcotest.(check bool) "starvations surface as hangs" true (r.hangs >= 2);
+  Alcotest.(check int) "no crashes" 0 r.crash_total;
+  Alcotest.(check int) "campaign ran to its budget" 200 r.executions
+
 let prop_heuristic_monotone_in_coverage =
   QCheck.Test.make ~name:"heuristic is monotone in new coverage" ~count:100
     QCheck.(pair (int_range 0 20) (int_range 0 20))
@@ -334,5 +479,22 @@ let () =
             test_incremental_equivalence;
           Alcotest.test_case "cache stats sanity" `Quick test_cache_stats_sanity;
           Alcotest.test_case "path counts capped" `Quick test_path_counts_capped;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "checkpoint encode/decode round-trip" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "checkpoint rejects damage" `Quick
+            test_checkpoint_rejects_damage;
+          Alcotest.test_case "checkpoint file round-trip" `Quick
+            test_checkpoint_file_roundtrip;
+          Alcotest.test_case "resume equivalence on every subject" `Slow
+            test_resume_equivalence_all_subjects;
+          Alcotest.test_case "resume rejects wrong subject" `Quick
+            test_resume_rejects_wrong_subject;
+          Alcotest.test_case "fault plan builds a crash corpus" `Quick
+            test_fault_plan_crash_corpus;
+          Alcotest.test_case "starvation faults surface as hangs" `Quick
+            test_fault_plan_starvation_hangs;
         ] );
     ]

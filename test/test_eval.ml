@@ -151,6 +151,57 @@ let test_pipeline () =
     (List.length result.valid_inputs)
     (List.length (List.sort_uniq compare result.valid_inputs))
 
+let test_experiment_no_failures () =
+  let e = run_small () in
+  Alcotest.(check int) "healthy grid has no failed cells" 0
+    (List.length e.Experiment.failures)
+
+(* {1 Parallel retry} *)
+
+let test_map_retry_order () =
+  let items = List.init 17 Fun.id in
+  let out = Pdf_eval.Parallel.map_retry ~jobs:4 (fun x -> x * x) items in
+  Alcotest.(check (list int)) "order and values preserved"
+    (List.map (fun x -> x * x) items)
+    (List.map
+       (function Ok v -> v | Error _ -> Alcotest.fail "unexpected failure")
+       out)
+
+let test_map_retry_transient_failure () =
+  (* Item 3 fails on its first two attempts, then succeeds; every other
+     item succeeds immediately. The whole batch must come back [Ok]. *)
+  let attempts = Array.init 8 (fun _ -> Atomic.make 0) in
+  let retried = ref [] in
+  let out =
+    Pdf_eval.Parallel.map_retry ~jobs:3 ~retries:2
+      ~on_retry:(fun ~index ~attempt _e -> retried := (index, attempt) :: !retried)
+      (fun i ->
+        let n = Atomic.fetch_and_add attempts.(i) 1 in
+        if i = 3 && n < 2 then failwith "transient";
+        i * 10)
+      (List.init 8 Fun.id)
+  in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * 10) v
+      | Error _ -> Alcotest.failf "slot %d failed after retries" i)
+    out;
+  Alcotest.(check int) "item 3 ran three times" 3 (Atomic.get attempts.(3));
+  Alcotest.(check (list (pair int int))) "on_retry saw index 3, attempts 1 and 2"
+    [ (3, 1); (3, 2) ]
+    (List.rev !retried)
+
+let test_map_retry_permanent_failure () =
+  let out =
+    Pdf_eval.Parallel.map_retry ~jobs:2 ~retries:1
+      (fun i -> if i = 1 then failwith "permanent" else i)
+      [ 0; 1; 2 ]
+  in
+  match out with
+  | [ Ok 0; Error (Failure _); Ok 2 ] -> ()
+  | _ -> Alcotest.fail "expected exactly slot 1 to exhaust its retries"
+
 let render f =
   let buf = Buffer.create 1024 in
   let ppf = Format.formatter_of_buffer buf in
@@ -209,6 +260,16 @@ let () =
           Alcotest.test_case "headline" `Quick test_experiment_headline;
           Alcotest.test_case "best of seeds" `Slow test_experiment_best_of_seeds;
           Alcotest.test_case "jobs determinism" `Slow test_experiment_jobs_deterministic;
+          Alcotest.test_case "healthy grid has no failures" `Quick
+            test_experiment_no_failures;
+        ] );
+      ( "parallel-retry",
+        [
+          Alcotest.test_case "order preserved" `Quick test_map_retry_order;
+          Alcotest.test_case "transient failure recovered" `Quick
+            test_map_retry_transient_failure;
+          Alcotest.test_case "permanent failure reported in place" `Quick
+            test_map_retry_permanent_failure;
         ] );
       ( "pipeline", [ Alcotest.test_case "three-stage hand-over" `Quick test_pipeline ] );
       ( "report",

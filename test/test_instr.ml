@@ -411,6 +411,91 @@ let test_prefix_cache_lru () =
   check Alcotest.int "evictions" 1 s.Runner.Cache.evictions;
   Alcotest.(check bool) "chars saved counted" true (s.Runner.Cache.chars_saved > 0)
 
+(* {1 Crash containment}
+
+   The exception contract of runner.mli: any exception a subject raises
+   — other than [Ctx.Reject] and [Ctx.Out_of_fuel] — surfaces as a
+   [Crash] verdict, in both the direct-style and the machine-form
+   execution paths, with an (exception, site) identity that separates
+   distinct raise points and coincides for the same raise point. *)
+
+let test_crash_containment () =
+  let registry = Site.create_registry "crashy" in
+  let a = Site.branch registry "a" in
+  let b = Site.branch registry "b" in
+  let direct parse = (Runner.exec ~registry ~parse "x").Runner.verdict in
+  let v_fail =
+    direct (fun ctx ->
+        ignore (Ctx.branch ctx a true);
+        failwith "boom")
+  in
+  let v_deep =
+    direct (fun ctx ->
+        ignore (Ctx.branch ctx a true);
+        ignore (Ctx.branch ctx b true);
+        failwith "boom")
+  in
+  let v_arg =
+    direct (fun ctx ->
+        ignore (Ctx.branch ctx a true);
+        invalid_arg "bad")
+  in
+  let machine_run, _journal =
+    Runner.exec_machine ~registry
+      ~machine:(fun ctx ->
+        ignore (Ctx.branch ctx a true);
+        failwith "boom")
+      "x"
+  in
+  (match (v_fail, v_deep, v_arg, machine_run.Runner.verdict) with
+   | Runner.Crash c1, Runner.Crash c2, Runner.Crash c3, Runner.Crash cm ->
+     check Alcotest.string "constructor name"
+       (Printexc.exn_slot_name (Failure "boom"))
+       c1.Runner.exn;
+     check Alcotest.string "same exception, same label" c1.Runner.exn
+       c2.Runner.exn;
+     Alcotest.(check bool) "different raise points get different sites" true
+       (c1.Runner.site <> c2.Runner.site);
+     Alcotest.(check bool) "different exceptions get different identities" true
+       (Runner.crash_id c3 <> Runner.crash_id c1);
+     check Alcotest.string "machine form crashes with the same identity"
+       (Runner.crash_id c1) (Runner.crash_id cm)
+   | _ -> Alcotest.fail "a raising subject did not yield a Crash verdict");
+  (* The two blessed control-flow exceptions keep their own verdicts. *)
+  (match direct (fun ctx -> Ctx.reject ctx "no") with
+   | Runner.Rejected _ -> ()
+   | v -> Alcotest.failf "Reject mapped to %a" Runner.pp_verdict v);
+  match direct (fun _ -> raise Ctx.Out_of_fuel) with
+  | Runner.Hang -> ()
+  | v -> Alcotest.failf "Out_of_fuel mapped to %a" Runner.pp_verdict v
+
+(* A crash reached through a cached resume has the same identity as the
+   same crash reached by full execution: the site hash covers only the
+   outcomes touched, which are bit-identical either way. *)
+let test_crash_identity_stable_across_resume () =
+  let registry = Site.create_registry "resumable-crash" in
+  let a = Site.branch registry "a" in
+  let machine _ctx =
+    let open Pdf_instr.Machine in
+    Next
+      (fun c ctx ->
+        match c with
+        | Some t when Tchar.code t = Char.code '{' ->
+          Next
+            (fun _ ctx ->
+              ignore (Ctx.branch ctx a true);
+              failwith "late boom")
+        | _ -> Ctx.reject ctx "want {")
+  in
+  let full, journal = Runner.exec_machine ~registry ~machine "{x" in
+  let snap = Option.get (Runner.snapshot_at journal 1) in
+  let resumed, _ = Runner.resume snap "{x" in
+  match (full.Runner.verdict, resumed.Runner.verdict) with
+  | Runner.Crash cf, Runner.Crash cr ->
+    check Alcotest.string "crash identity stable across resume"
+      (Runner.crash_id cf) (Runner.crash_id cr)
+  | _ -> Alcotest.fail "crash not contained on both paths"
+
 (* {1 Cross-subject invariants} *)
 
 let printable_gen =
@@ -501,6 +586,13 @@ let () =
             test_snapshot_unread_positions;
           Alcotest.test_case "resume chains" `Quick test_resume_chains;
           Alcotest.test_case "prefix cache LRU" `Quick test_prefix_cache_lru;
+        ] );
+      ( "crash containment",
+        [
+          Alcotest.test_case "contract: direct and machine form" `Quick
+            test_crash_containment;
+          Alcotest.test_case "identity stable across resume" `Quick
+            test_crash_identity_stable_across_resume;
         ] );
       ("invariants", invariant_tests);
     ]

@@ -63,8 +63,24 @@ let golden =
              hits = 3;
              misses = 1;
              plateau = 2;
+             hangs = 1;
+             crashes = 0;
            }),
-      {|{"ev":"snapshot","t":70,"n":4,"execs_per_sec":1234.0,"depth":5,"valid":1,"cov":12,"hits":3,"misses":1,"plateau":2}|}
+      {|{"ev":"snapshot","t":70,"n":4,"execs_per_sec":1234.0,"depth":5,"valid":1,"cov":12,"hits":3,"misses":1,"plateau":2,"hangs":1,"crashes":0}|}
+    );
+    ( stamp 72 4 (Event.Hang { total = 3 }),
+      {|{"ev":"hang","t":72,"n":4,"total":3}|} );
+    ( stamp 74 4
+        (Event.Crash
+           { exn = "Stdlib.Failure"; site = 0x1a2b; fresh = true; total = 1 }),
+      {|{"ev":"crash","t":74,"n":4,"exn":"Stdlib.Failure","site":6699,"fresh":true,"total":1}|}
+    );
+    ( stamp 76 4 (Event.Fault { kind = "starve_fuel" }),
+      {|{"ev":"fault","t":76,"n":4,"kind":"starve_fuel"}|} );
+    ( stamp 77 4 (Event.Rescue { prefix = 5 }),
+      {|{"ev":"rescue","t":77,"n":4,"prefix":5}|} );
+    ( stamp 78 4 (Event.Retry { what = "cell"; attempt = 2; detail = "oops" }),
+      {|{"ev":"retry","t":78,"n":4,"what":"cell","attempt":2,"detail":"oops"}|}
     );
     ( stamp 80 5
         (Event.Phases { spans = [ ("exec", 100); ("cache", 50) ]; wall_ns = 400 }),
@@ -153,13 +169,15 @@ let test_observer_spans () =
 
 let test_progress_render () =
   check Alcotest.string "status line"
-    "[pfuzzer] 500/2000 execs | 1234/s | queue 42 | valid 7 | cov 50.0% | cache 99.0% | plateau 12"
+    "[pfuzzer] 500/2000 execs | 1234/s | queue 42 | valid 7 | cov 50.0% | cache 99.0% | plateau 12 | hang 2 | crash 3"
     (Progress.render ~execs:500 ~max_executions:2000 ~execs_per_sec:1234.0
-       ~depth:42 ~valid:7 ~cov:38 ~outcomes:76 ~hits:99 ~misses:1 ~plateau:12);
+       ~depth:42 ~valid:7 ~cov:38 ~outcomes:76 ~hits:99 ~misses:1 ~plateau:12
+       ~hangs:2 ~crashes:3);
   check Alcotest.string "no cache consultations"
-    "[pfuzzer] 1/10 execs | 0/s | queue 0 | valid 0 | cov 0.0% | cache - | plateau 1"
+    "[pfuzzer] 1/10 execs | 0/s | queue 0 | valid 0 | cov 0.0% | cache - | plateau 1 | hang 0 | crash 0"
     (Progress.render ~execs:1 ~max_executions:10 ~execs_per_sec:0.0 ~depth:0
-       ~valid:0 ~cov:0 ~outcomes:0 ~hits:0 ~misses:0 ~plateau:1)
+       ~valid:0 ~cov:0 ~outcomes:0 ~hits:0 ~misses:0 ~plateau:1 ~hangs:0
+       ~crashes:0)
 
 (* {1 A real traced run: schema, consistency with the result, report} *)
 

@@ -208,7 +208,9 @@ let prop_generated_accepted name gen =
       | Runner.Accepted -> true
       | Runner.Hang -> QCheck.assume_fail () (* tinyc if(..) may loop *)
       | Runner.Rejected reason ->
-        QCheck.Test.fail_reportf "%s rejected %S: %s" name input reason)
+        QCheck.Test.fail_reportf "%s rejected %S: %s" name input reason
+      | Runner.Crash c ->
+        QCheck.Test.fail_reportf "%s crashed on %S: %s" name input c.detail)
 
 (* {1 Inventory shape (Tables 2-4)} *)
 

@@ -447,6 +447,60 @@ let test_vec_of_prefix_cow () =
     (Invalid_argument "Vec.of_prefix") (fun () ->
       ignore (Vec.of_prefix arr ~len:5 0))
 
+(* {1 Atomic_file: crash-safe writes} *)
+
+module Atomic_file = Pdf_util.Atomic_file
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "pdf_atomic" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_atomic_write_read_roundtrip () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "out.bin" in
+      let payload = "binary\x00payload\nwith newline" in
+      Atomic_file.write_string path payload;
+      check Alcotest.string "round-trip" payload (Atomic_file.read_string path);
+      Atomic_file.write_string path "second";
+      check Alcotest.string "replaces in place" "second"
+        (Atomic_file.read_string path);
+      check Alcotest.(array string) "no temp residue" [| "out.bin" |]
+        (Sys.readdir dir))
+
+let test_atomic_with_out_commit_and_abort () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "report.txt" in
+      Atomic_file.with_out path (fun oc -> output_string oc "good");
+      check Alcotest.string "committed on success" "good"
+        (Atomic_file.read_string path);
+      (match
+         Atomic_file.with_out path (fun oc ->
+             output_string oc "half-written";
+             failwith "interrupted")
+       with
+      | () -> Alcotest.fail "with_out swallowed the exception"
+      | exception Failure _ -> ());
+      check Alcotest.string "previous content intact after abort" "good"
+        (Atomic_file.read_string path);
+      check Alcotest.(array string) "aborted temp removed" [| "report.txt" |]
+        (Sys.readdir dir))
+
+let test_atomic_stage_abort_idempotent () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "never.txt" in
+      let st = Atomic_file.stage path in
+      output_string (Atomic_file.channel st) "doomed";
+      Atomic_file.abort st;
+      Atomic_file.abort st;
+      check Alcotest.bool "destination never created" false (Sys.file_exists path);
+      check Alcotest.(array string) "directory clean" [||] (Sys.readdir dir))
+
 let () =
   Alcotest.run "pdf_util"
     [
@@ -501,6 +555,15 @@ let () =
           qtest prop_hist_accumulators;
         ] );
       ("vec", [ Alcotest.test_case "of_prefix copy-on-write" `Quick test_vec_of_prefix_cow ]);
+      ( "atomic-file",
+        [
+          Alcotest.test_case "write/read round-trip" `Quick
+            test_atomic_write_read_roundtrip;
+          Alcotest.test_case "with_out commits and aborts" `Quick
+            test_atomic_with_out_commit_and_abort;
+          Alcotest.test_case "abort is idempotent" `Quick
+            test_atomic_stage_abort_idempotent;
+        ] );
       ( "render",
         [
           Alcotest.test_case "table" `Quick test_render_table;
