@@ -11,7 +11,7 @@
    Sections: table-1 table-2 table-3 table-4 figure-2 figure-3 headline
              ablation-dyck ablation-heuristic ablation-grammar
              ablation-tables ablation-token-taints ablation-semantics
-             pipeline micro incremental obs
+             pipeline micro incremental compiled obs
 
    --out FILE dumps the machine-readable results of the sections that
    produce them (micro, incremental, obs) as JSON — the CI bench smoke
@@ -47,7 +47,7 @@ let valid_sections =
     "table-1"; "table-2"; "table-3"; "table-4"; "figure-2"; "figure-3";
     "headline"; "ablation-dyck"; "ablation-heuristic"; "ablation-grammar";
     "ablation-tables"; "ablation-token-taints"; "ablation-semantics";
-    "pipeline"; "micro"; "incremental"; "obs";
+    "pipeline"; "micro"; "incremental"; "compiled"; "obs";
   ]
 
 let usage_line =
@@ -731,6 +731,183 @@ let incremental options =
                  name fuzz_execs c.hits c.misses c.evictions c.chars_saved)
              fuzz_stats)))
 
+(* {1 Compiled execution tier: staged closures vs the interpreted walker}
+
+   The engine A/B of whole fuzzing campaigns: the same seeded session
+   with [engine = Interpreted] and [engine = Compiled], timed in
+   interleaved rounds (so load noise hits both sides alike), paired per
+   round, median pairwise speedup reported. Equivalence is asserted
+   before anything is timed — a fast engine that changes results would
+   be a bug, not a win. The JSON records the build profile baked in at
+   compile time: the headline comparison in BENCH_compiled.json is
+   dev-interpreted (the previous default) vs release-compiled (the new
+   one), which multiplies this in-binary ratio by the release flags. *)
+
+let compiled_corpus = function
+  | "paren" ->
+    [ "([]{})"; "<<[()]>>"; "()()"; "((((((()))))))"; "([{<>}])([{<>}])" ]
+  | "expr" -> [ "1+2"; "10-2+3"; "(((7)))"; "-3+42-17+(9-(8))"; "123456789" ]
+  | "ini" ->
+    [
+      "[s]\nk=v\n"; "key = spaced value here\n";
+      "; comment line\n[sec]\nk.e-y_2=value\nanother=1\n";
+    ]
+  | "csv" ->
+    [
+      "a,b\nc,d"; "\"he said \"\"hi\"\"\",x,y\nlong,bare,fields,here"; "a,\nb,";
+    ]
+  | "json" ->
+    [
+      "{\"a\":1}"; " [ 1 , { \"k\" : false } ] ";
+      "{\"key\":[1,2,3,\"str\",true,null],\"n\":-1.5e3}";
+    ]
+  | name -> failwith ("no compiled-bench corpus for " ^ name)
+
+let compiled_bench options =
+  Render.section ppf
+    (Printf.sprintf "compiled: staged execution tier vs interpreted (%s profile)"
+       Build_profile.profile);
+  let rounds = if options.quick then 4 else 8 in
+  let slice = if options.quick then 3_000 else 30_000 in
+  let campaign_execs = if options.quick then 2_000 else 20_000 in
+  let subjects = [ "expr"; "paren"; "ini"; "csv"; "json" ] in
+  let measured =
+    List.map
+      (fun name ->
+        let subject = Catalog.find name in
+        let machine =
+          match subject.Subject.machine with
+          | Some m -> m
+          | None -> failwith (name ^ " has no machine-form parser")
+        in
+        let compiled =
+          match subject.Subject.compiled with
+          | Some c -> c
+          | None -> failwith (name ^ " has no staged recognizer")
+        in
+        let inputs = compiled_corpus name in
+        let arena =
+          Runner.arena ~registry:subject.Subject.registry
+            ~fuel:subject.Subject.fuel ()
+        in
+        (* Equivalence sanity before timing anything: per-input
+           observations and a whole seeded campaign must coincide. *)
+        List.iter
+          (fun input ->
+            let interp, _ = Subject.exec_journaled subject machine input in
+            let comp, _ = Runner.exec_compiled arena compiled input in
+            if not (Pdf_check.Invariants.runs_equal interp comp) then
+              failwith
+                (Printf.sprintf "%s: engines diverge on %S" name input))
+          inputs;
+        let check_cfg =
+          { Pfuzzer.default_config with max_executions = 2_000 }
+        in
+        let rc =
+          Pfuzzer.fuzz { check_cfg with engine = Pfuzzer.Compiled } subject
+        in
+        let ri =
+          Pfuzzer.fuzz { check_cfg with engine = Pfuzzer.Interpreted } subject
+        in
+        if not (Pdf_check.Invariants.results_equal rc ri) then
+          failwith (name ^ ": compiled and interpreted campaigns diverge");
+        (* Per-execution engine cost: the incremental path's cold
+           execution, interpreted walker vs staged closures, interleaved
+           and paired per round. *)
+        let execs_per_slice = slice * List.length inputs in
+        let time_slice f =
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to slice do
+            List.iter f inputs
+          done;
+          (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int execs_per_slice
+        in
+        let run_interp input = ignore (Subject.exec_journaled subject machine input)
+        and run_comp input = ignore (Runner.exec_compiled arena compiled input) in
+        (* warmup *)
+        List.iter run_interp inputs;
+        List.iter run_comp inputs;
+        let per_round =
+          List.init rounds (fun _ ->
+              let interp = time_slice run_interp in
+              let comp = time_slice run_comp in
+              (interp, comp, interp /. comp))
+        in
+        let interp_ns = median (List.map (fun (a, _, _) -> a) per_round) in
+        let comp_ns = median (List.map (fun (_, b, _) -> b) per_round) in
+        let sp = median (List.map (fun (_, _, s) -> s) per_round) in
+        (* Per-config minima: the least-noise estimate, preferred for
+           cross-run comparisons on a loaded machine. *)
+        let interp_min =
+          List.fold_left (fun acc (a, _, _) -> min acc a) infinity per_round
+        in
+        let comp_min =
+          List.fold_left (fun acc (_, b, _) -> min acc b) infinity per_round
+        in
+        (* Whole-campaign context: the same engines inside a real
+           fuzzing run, where queue and cache work dilute the ratio. *)
+        let campaign_cfg =
+          { Pfuzzer.default_config with max_executions = campaign_execs }
+        in
+        let time_campaign engine =
+          let t0 = Unix.gettimeofday () in
+          let (_ : Pfuzzer.result) =
+            Pfuzzer.fuzz { campaign_cfg with engine } subject
+          in
+          (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int campaign_execs
+        in
+        let c_interp = time_campaign Pfuzzer.Interpreted in
+        let c_comp = time_campaign Pfuzzer.Compiled in
+        (name, (interp_ns, comp_ns, sp), (interp_min, comp_min), (c_interp, c_comp)))
+      subjects
+  in
+  Render.table ppf
+    ~title:
+      (Printf.sprintf
+         "cold execution, ns/exec (%d interleaved rounds, %d execs each)"
+         rounds slice)
+    ~header:
+      [ "subject"; "interpreted"; "compiled"; "speedup (median)"; "speedup (minima)" ]
+    (List.map
+       (fun (name, (interp, comp, sp), (imin, cmin), _) ->
+         [
+           name;
+           Printf.sprintf "%.0f" interp;
+           Printf.sprintf "%.0f" comp;
+           Printf.sprintf "%.2fx" sp;
+           Printf.sprintf "%.2fx" (imin /. cmin);
+         ])
+       measured);
+  Render.table ppf
+    ~title:
+      (Printf.sprintf "whole fuzzing campaigns, ns/execution (%d execs)"
+         campaign_execs)
+    ~header:[ "subject"; "interpreted"; "compiled"; "speedup" ]
+    (List.map
+       (fun (name, _, _, (ci, cc)) ->
+         [
+           name;
+           Printf.sprintf "%.0f" ci;
+           Printf.sprintf "%.0f" cc;
+           Printf.sprintf "%.2fx" (ci /. cc);
+         ])
+       measured);
+  add_json "compiled"
+    (Printf.sprintf
+       "{\n    \"profile\": %S,\n    \"rounds\": %d,\n    \"execs_per_round\": %d,\n    \"rows\": [\n%s\n    ]\n  }"
+       Build_profile.profile rounds slice
+       (String.concat ",\n"
+          (List.map
+             (fun (name, (interp, comp, sp), (imin, cmin), (ci, cc)) ->
+               Printf.sprintf
+                 "      { \"name\": %S, \"interpreted_ns_per_exec\": %.0f, \
+                  \"compiled_ns_per_exec\": %.0f, \"speedup_pairwise_median\": %.2f, \
+                  \"interpreted_ns_min\": %.0f, \"compiled_ns_min\": %.0f, \
+                  \"campaign_interpreted_ns_per_exec\": %.0f, \
+                  \"campaign_compiled_ns_per_exec\": %.0f }"
+                 name interp comp sp imin cmin ci cc)
+             measured)))
+
 (* {1 Telemetry overhead: the fuzzer with the observer off, on, and fully
    traced}
 
@@ -832,6 +1009,7 @@ let () =
   if wants options "pipeline" then pipeline options;
   if wants options "micro" then micro options;
   if wants options "incremental" then incremental options;
+  if wants options "compiled" then compiled_bench options;
   if wants options "obs" then obs_bench options;
   write_json options;
   Format.pp_print_flush ppf ()

@@ -74,6 +74,7 @@ let subject =
     registry;
     parse;
     machine = None;
+    compiled = None;
     fuel = 10_000;
     tokens = [];
     tokenize = (fun _ -> []);

@@ -11,6 +11,10 @@
       the union of the valid inputs' coverage, and each valid input
       contributed branches new at its discovery time (Algorithm 1's
       [runCheck] condition);
+    - {b engine equivalence}: the compiled execution tier and the
+      interpreted tier produce bit-identical per-execution streams and
+      results, on both the incremental and cold paths — staging is a
+      pure optimisation;
     - {b checkpoint/resume equivalence}: a campaign interrupted at a
       checkpoint and resumed from the encode/decode round-trip of that
       checkpoint produces exactly the uninterrupted campaign (timing and
@@ -32,6 +36,11 @@ val results_equal : Pdf_core.Pfuzzer.result -> Pdf_core.Pfuzzer.result -> bool
     corpus. Wall-clock fields and cache accounting (including snapshot
     rescues) are deliberately ignored — they may differ between runs
     that are semantically the same campaign. *)
+
+val runs_equal : Pdf_instr.Runner.run -> Pdf_instr.Runner.run -> bool
+(** Full observational equality of two executions: input, verdict,
+    comparison log, coverage, trace, touched order, EOF accesses, stack
+    depth and frames. Timing is the only field excluded. *)
 
 val run : ?execs:int -> ?seed:int -> Pdf_subjects.Subject.t -> report
 (** [run subject] drives the fuzzer for [execs] (default 400)

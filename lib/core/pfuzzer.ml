@@ -10,6 +10,23 @@ module Obs = Pdf_obs.Observer
 module Event = Pdf_obs.Event
 module Phase = Pdf_obs.Phase
 
+(* Which execution tier runs the subject. [Compiled] is a request: it
+   takes effect only when the subject ships a staged recognizer, and
+   silently degrades to the interpreted engine otherwise — observable
+   results are bit-identical either way, so the knob is pure
+   performance. *)
+type engine = Interpreted | Compiled
+
+let engine_to_string = function
+  | Interpreted -> "interpreted"
+  | Compiled -> "compiled"
+
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "interpreted" -> Some Interpreted
+  | "compiled" -> Some Compiled
+  | _ -> None
+
 type config = {
   seed : int;
   max_executions : int;
@@ -18,6 +35,8 @@ type config = {
   queue_bound : int;
   dedupe : bool;
   incremental : bool;
+  engine : engine;
+  batch : int;
 }
 
 let default_config =
@@ -29,6 +48,8 @@ let default_config =
     queue_bound = 50_000;
     dedupe = true;
     incremental = true;
+    engine = Compiled;
+    batch = 16;
   }
 
 type cache_stats = {
@@ -60,6 +81,7 @@ let crash_bound = 256
 type result = {
   valid_inputs : string list;
   valid_coverage : Coverage.t;
+  engine : string;
   executions : int;
   candidates_created : int;
   queue_peak : int;
@@ -115,7 +137,8 @@ module Checkpoint = struct
 
   type t = payload
 
-  let version = 1
+  (* v2: [config] gained the [engine] and [batch] fields. *)
+  let version = 2
   let magic = "pfckpt"
 
   let subject_name t = t.ck_subject
@@ -171,6 +194,15 @@ type state = {
      prefix to the snapshot suspended at its end. *)
   machine : Pdf_instr.Machine.recognizer option;
   cache : Runner.Cache.t option;
+  (* The compiled tier: when the config asks for it and the subject
+     ships a staged recognizer, cold executions run through the arena
+     ([Runner.exec_compiled] on the incremental path,
+     [Runner.exec_staged] otherwise) instead of the interpreted
+     journaled runner. [engine_label] is the engine that actually
+     executes — "interpreted" when the request degraded. *)
+  staged : Pdf_instr.Machine.recognizer option;
+  arena : Runner.arena option;
+  engine_label : string;
   rng : Rng.t;
   queue : Candidate.t Pqueue.t;
   on_queue_event : (queue_event -> unit) option;
@@ -271,17 +303,28 @@ exception Budget_exhausted
 (* After an incremental run, remember the suspensions future executions
    will want: the one at the substitution index (children are
    [prefix ^ repl] sharing exactly that prefix) and the one at the end of
-   the input (the extension probe [input ^ c] resumes there). Both are
-   O(log boundaries) lookups sharing the run's arrays — no copying. *)
+   the input (the extension probe [input ^ c] resumes there). The
+   {!Runner.Cache.mem} gate matters for the compiled tier, where
+   materialising a snapshot replays the prefix: prefixes already cached
+   (the common steady-state case) skip the materialisation entirely. *)
 let remember_snapshots cache journal (run : Runner.run) =
   let store pos =
-    if pos > 0 && pos <= String.length run.input then
-      match Runner.snapshot_at journal pos with
-      | Some snap -> Runner.Cache.store cache (String.sub run.input 0 pos) snap
-      | None -> ()
+    if pos > 0 && pos <= String.length run.input then begin
+      let prefix = String.sub run.input 0 pos in
+      if not (Runner.Cache.mem cache prefix) then
+        match Runner.snapshot_at journal pos with
+        | Some snap -> Runner.Cache.store cache prefix snap
+        | None -> ()
+    end
   in
   (match Runner.substitution_index run with Some i -> store i | None -> ());
   store (String.length run.input)
+
+(* Cold (non-resumed) journaled execution through the active engine. *)
+let exec_cold st machine input =
+  match (st.staged, st.arena) with
+  | Some staged, Some arena -> Runner.exec_compiled arena staged input
+  | _ -> Subject.exec_journaled st.subject machine input
 
 (* Busy-wait used by [Slow] faults: deterministic work the optimizer
    cannot delete, with no observable effect besides wall clock. *)
@@ -403,10 +446,10 @@ let execute st ~prefix_len input =
                 | Some o ->
                   Obs.emit o ~exec:st.executions
                     (Event.Rescue { prefix = prefix_len }));
-               (Subject.exec_journaled st.subject machine input, false)
+               (exec_cold st machine input, false)
              | _ -> (resumed, true)
            end
-           | None -> (Subject.exec_journaled st.subject machine input, false)
+           | None -> (exec_cold st machine input, false)
          in
          span_end st Phase.Exec t_exec;
          let t_store = span_begin st in
@@ -423,7 +466,11 @@ let execute st ~prefix_len input =
          (run, cached)
        | _ ->
          let t_exec = span_begin st in
-         let run = Subject.run st.subject input in
+         let run =
+           match (st.staged, st.arena) with
+           | Some staged, Some arena -> Runner.exec_staged arena staged input
+           | _ -> Subject.run st.subject input
+         in
          span_end st Phase.Exec t_exec;
          (run, false))
   in
@@ -626,6 +673,7 @@ let run_check st ~parent ~prefix_len input =
           {
             dur_ns = Obs.now_ns o - t0;
             verdict = verdict_string run;
+            engine = st.engine_label;
             cached;
             sub_index =
               (match Runner.substitution_index run with Some i -> i | None -> -1);
@@ -655,6 +703,11 @@ let extend data c =
 let make_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults ~rng config
     subject =
   let machine = if config.incremental then subject.Subject.machine else None in
+  let staged =
+    match config.engine with
+    | Compiled -> subject.Subject.compiled
+    | Interpreted -> None
+  in
   {
     config;
     subject;
@@ -663,6 +716,16 @@ let make_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults ~rng config
       (match machine with
        | Some _ -> Some (Runner.Cache.create ())
        | None -> None);
+    staged;
+    arena =
+      (match staged with
+       | Some _ ->
+         Some
+           (Runner.arena ~registry:subject.Subject.registry
+              ~fuel:subject.Subject.fuel ())
+       | None -> None);
+    engine_label =
+      (if staged <> None then "compiled" else "interpreted");
     rng;
     queue = Pqueue.create ();
     on_queue_event;
@@ -761,7 +824,7 @@ let drive st ~first ~checkpoint_every ~on_checkpoint =
      Obs.run_meta o ~subject:st.subject.Subject.name
        ~outcomes:(Pdf_instr.Site.total_outcomes st.subject.Subject.registry)
        ~seed:st.config.seed ~max_executions:st.config.max_executions
-       ~incremental:(st.machine <> None));
+       ~incremental:(st.machine <> None) ~engine:st.engine_label);
   let next_candidate () =
     let t_pop = span_begin st in
     let popped = Pqueue.pop_with_priority st.queue in
@@ -788,34 +851,43 @@ let drive st ~first ~checkpoint_every ~on_checkpoint =
   (try
      let candidate = ref first in
      let last_checkpoint = ref st.executions in
+     (* Drain candidates in batches: checkpoint opportunities (and with
+        them any checkpoint-file I/O) happen only at batch boundaries,
+        so the hot loop between boundaries is pure fuzzing. Results are
+        batch-size-independent — the per-candidate work is identical and
+        strictly sequential; only checkpoint cadence shifts. *)
+     let batch = max 1 st.config.batch in
      while true do
        (match on_checkpoint with
         | Some save when st.executions - !last_checkpoint >= checkpoint_every ->
           save (checkpoint_of st !candidate);
           last_checkpoint := st.executions
         | _ -> ());
-       let c = !candidate in
-       (* A queued candidate is [prefix ^ repl] for an already-executed
-          parent input sharing [prefix] — exactly the part a cached
-          suspension lets us skip. *)
-       let prefix_len = String.length c.data - String.length c.repl in
-       let valid, run = run_check st ~parent:c ~prefix_len c.data in
-       if (not valid) && not (crashed run) then begin
-         (* Second execution: the same input extended by one random
-            character, probing whether the parser wants more input. The
-            just-executed candidate is the extension's parent prefix. A
-            crashed candidate is triaged and dropped instead — extending
-            past the crash point would only reproduce it. *)
-         let extended = extend c.data (random_char st) in
-         if String.length extended <= st.config.max_input_len then begin
-           let valid2, run2 =
-             run_check st ~parent:c ~prefix_len:(String.length c.data) extended
-           in
-           if (not valid2) && not (crashed run2) then
-             add_inputs st ~parent:c run2
-         end
-       end;
-       candidate := next_candidate ()
+       for _ = 1 to batch do
+         let c = !candidate in
+         (* A queued candidate is [prefix ^ repl] for an already-executed
+            parent input sharing [prefix] — exactly the part a cached
+            suspension lets us skip. *)
+         let prefix_len = String.length c.data - String.length c.repl in
+         let valid, run = run_check st ~parent:c ~prefix_len c.data in
+         if (not valid) && not (crashed run) then begin
+           (* Second execution: the same input extended by one random
+              character, probing whether the parser wants more input. The
+              just-executed candidate is the extension's parent prefix. A
+              crashed candidate is triaged and dropped instead — extending
+              past the crash point would only reproduce it. *)
+           let extended = extend c.data (random_char st) in
+           if String.length extended <= st.config.max_input_len then begin
+             let valid2, run2 =
+               run_check st ~parent:c ~prefix_len:(String.length c.data)
+                 extended
+             in
+             if (not valid2) && not (crashed run2) then
+               add_inputs st ~parent:c run2
+           end
+         end;
+         candidate := next_candidate ()
+       done
      done
    with Budget_exhausted -> ());
   (match st.obs with
@@ -828,6 +900,7 @@ let drive st ~first ~checkpoint_every ~on_checkpoint =
   {
     valid_inputs = List.rev st.valid_rev;
     valid_coverage = st.vbr;
+    engine = st.engine_label;
     executions = st.executions;
     candidates_created = st.candidates_created;
     queue_peak = st.queue_peak;

@@ -9,6 +9,18 @@
     are reported, extend the valid-branch set, and trigger a full
     re-ranking of the queue. *)
 
+type engine = Interpreted | Compiled
+(** The execution tier for subject runs. [Compiled] routes cold
+    executions through the subject's staged recognizer in a reusable
+    {!Pdf_instr.Runner.arena} — a pure performance knob: the staged
+    recognizer makes exactly the observations its interpreted twin
+    makes, so results are bit-identical between engines ([pfuzzer check]
+    enforces this). The request degrades silently to [Interpreted] for
+    subjects without a staged recognizer. *)
+
+val engine_to_string : engine -> string
+val engine_of_string : string -> engine option
+
 type config = {
   seed : int;  (** RNG seed; equal seeds give equal runs *)
   max_executions : int;  (** budget in subject executions *)
@@ -20,11 +32,17 @@ type config = {
       (** resume children from their parent's cached parse state instead
           of re-parsing the shared prefix (subjects with a machine-form
           parser only; observable results are bit-identical either way) *)
+  engine : engine;
+  batch : int;
+      (** candidates drained per main-loop batch; checkpoint
+          opportunities occur only at batch boundaries. Results are
+          identical for every batch size (min 1). *)
 }
 
 val default_config : config
 (** seed 1, 2000 executions, inputs up to 64 characters, {!Heuristic.Prose},
-    queue bound 50_000, dedupe on, incremental on. *)
+    queue bound 50_000, dedupe on, incremental on, engine [Compiled],
+    batch 16. *)
 
 type cache_stats = {
   hits : int;  (** executions that resumed from a cached suspension *)
@@ -58,6 +76,9 @@ type result = {
   valid_coverage : Pdf_instr.Coverage.t;
       (** union of the full coverage of all valid inputs (the paper's
           [vBr]) *)
+  engine : string;
+      (** the execution tier that actually ran: "compiled" or
+          "interpreted" (also when a [Compiled] request degraded) *)
   executions : int;  (** executions actually performed *)
   candidates_created : int;
   queue_peak : int;
@@ -108,7 +129,8 @@ module Checkpoint : sig
   type t
 
   val version : int
-  (** Format version this build reads and writes (currently 1). *)
+  (** Format version this build reads and writes (currently 2; v2 added
+      the [engine] and [batch] config fields). *)
 
   val subject_name : t -> string
   val executions : t -> int

@@ -45,8 +45,9 @@ let empty_outcome tool ~subject =
 let throughput ~executions wall_clock_s =
   if wall_clock_s <= 0.0 then 0.0 else float_of_int executions /. wall_clock_s
 
-let run ?(incremental = true) ?obs ?faults ?checkpoint_every ?on_checkpoint
-    ?resume_from ?on_execution tool ~budget_units ~seed subject =
+let run ?(incremental = true) ?(engine = Pdf_core.Pfuzzer.Compiled) ?batch ?obs
+    ?faults ?checkpoint_every ?on_checkpoint ?resume_from ?on_execution tool
+    ~budget_units ~seed subject =
   let max_executions = max 1 (budget_units / cost_per_execution tool) in
   match tool with
   | Afl ->
@@ -96,10 +97,21 @@ let run ?(incremental = true) ?obs ?faults ?checkpoint_every ?on_checkpoint
         Pdf_core.Pfuzzer.resume_from ?obs ?faults ?checkpoint_every
           ?on_checkpoint ?on_execution checkpoint subject
       | None ->
+        let config =
+          {
+            Pdf_core.Pfuzzer.default_config with
+            seed;
+            max_executions;
+            incremental;
+            engine;
+            batch =
+              (match batch with
+               | Some b -> b
+               | None -> Pdf_core.Pfuzzer.default_config.batch);
+          }
+        in
         Pdf_core.Pfuzzer.fuzz ?obs ?faults ?checkpoint_every ?on_checkpoint
-          ?on_execution
-          { Pdf_core.Pfuzzer.default_config with seed; max_executions; incremental }
-          subject
+          ?on_execution config subject
     in
     {
       tool;

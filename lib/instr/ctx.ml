@@ -13,7 +13,7 @@ exception Out_of_fuel
    packaging into arrays is a single blit instead of a list reversal. *)
 type t = {
   registry : Site.registry;
-  text : string;
+  mutable text : string; (* mutable only for {!rearm} *)
   mutable cursor : int;
   mutable eof_access : bool;
   comparisons : Comparison.t Vec.t;
@@ -32,6 +32,13 @@ type t = {
      fresh tainted character. *)
   mutable peeked : Tchar.t option;
   mutable peeked_at : int;
+  (* Pre-tainted input (compiled tier): when [pretaint] is on, every
+     input character is tainted up front and [peek] is a plain array
+     read — no allocation and, crucially, no mutable-store write barrier
+     on the memo fields, which profiles as one of the hottest costs of
+     the per-character loop. *)
+  pretaint : bool;
+  mutable pretainted : Tchar.t option array;
 }
 
 let dummy_comparison =
@@ -45,8 +52,12 @@ let dummy_comparison =
 
 let dummy_frame = Frame.Exit { pos = 0 }
 
+let pretaint_of text =
+  Array.init (String.length text) (fun i ->
+      Some (Tchar.input i (String.unsafe_get text i)))
+
 let make ~registry ?(fuel = 100_000) ?(track_comparisons = true)
-    ?(track_trace = false) ?(track_frames = false) text =
+    ?(track_trace = false) ?(track_frames = false) ?(pretaint = false) text =
   {
     registry;
     text;
@@ -65,7 +76,32 @@ let make ~registry ?(fuel = 100_000) ?(track_comparisons = true)
     frames = Vec.create dummy_frame;
     peeked = None;
     peeked_at = -1;
+    pretaint;
+    pretainted = (if pretaint then pretaint_of text else [||]);
   }
+
+(* Reset a context for a fresh run over new input, keeping the allocated
+   recording buffers (and their grown capacities). This is what makes an
+   execution arena pay off: after warm-up, starting a run allocates
+   nothing but the input string itself. Only contexts created by [make]
+   may be rearmed — a [restore]d context borrows its buffers from a
+   parent run, and [Vec.clear] dropping the borrow would silently detach
+   it — callers ({!Runner}'s arena) guarantee this by construction. *)
+let rearm t ~fuel text =
+  t.text <- text;
+  t.cursor <- 0;
+  t.eof_access <- false;
+  Vec.clear t.comparisons;
+  Bytes.fill t.covered 0 (Bytes.length t.covered) '\000';
+  Vec.clear t.touched;
+  Vec.clear t.trace;
+  t.stack <- 0;
+  t.max_stack <- 0;
+  t.fuel <- fuel;
+  Vec.clear t.frames;
+  t.peeked <- None;
+  t.peeked_at <- -1;
+  if t.pretaint then t.pretainted <- pretaint_of text
 
 (* {2 Snapshot marks}
 
@@ -129,18 +165,21 @@ let restore ~registry ~(mark : mark) ~cursor ~comparisons ~touched ~trace
     frames = Vec.of_prefix frames ~len:mark.m_frames dummy_frame;
     peeked = None;
     peeked_at = -1;
+    pretaint = false;
+    pretainted = [||];
   }
 
-let pos t = t.cursor
+let[@inline] pos t = t.cursor
 let input t = t.text
-let at_eof t = t.cursor >= String.length t.text
-let depth t = t.stack
+let[@inline] at_eof t = t.cursor >= String.length t.text
+let[@inline] depth t = t.stack
 
 let peek t =
   if at_eof t then begin
     t.eof_access <- true;
     None
   end
+  else if t.pretaint then Array.unsafe_get t.pretainted t.cursor
   else if t.peeked_at = t.cursor then t.peeked
   else begin
     (* [at_eof] above established [cursor < length text]. *)
@@ -160,16 +199,16 @@ let next t =
 (* Outcome ids come from this run's registry, so [oid] is within
    [covered] by construction (it was sized from the same registry) and
    the accesses can skip their bound checks. *)
-let record_outcome t oid =
+let[@inline] record_outcome t oid =
   if Bytes.unsafe_get t.covered oid = '\000' then begin
     Bytes.unsafe_set t.covered oid '\001';
     Vec.push t.touched oid
   end;
   if t.track_trace then Vec.push t.trace oid
 
-let cover t site = record_outcome t (Site.outcome site true)
+let[@inline] cover t site = record_outcome t (Site.outcome site true)
 
-let branch t site cond =
+let[@inline] branch t site cond =
   record_outcome t (Site.outcome site cond);
   cond
 
@@ -197,7 +236,7 @@ let with_frame t site f =
     exit_frame t;
     raise e
 
-let tick t =
+let[@inline] tick t =
   if t.fuel <= 0 then raise Out_of_fuel;
   t.fuel <- t.fuel - 1
 
@@ -219,7 +258,7 @@ let emit t ~index ~kind ~result =
    be logged — constructing a [kind] block for an untracked run (or, for
    [one_of], a charset and a label per call) is wasted allocation on the
    hottest path. *)
-let emit_tainted t (c : Tchar.t) kind result =
+let[@inline] emit_tainted t (c : Tchar.t) kind result =
   let index = Taint.max_index_raw c.taint in
   if index >= 0 then emit t ~index ~kind ~result
 
@@ -248,6 +287,38 @@ let one_of t site c chars =
       (Comparison.Char_set (Charset.of_string chars, "one-of " ^ chars))
       result;
   branch t site result
+
+(* Pre-resolved comparison slots: the compiled tier stages the two
+   outcome ids and the event-kind block once, so the per-character path
+   is a compare, a possible event push and a coverage store — no
+   [Site.outcome] dispatch and no kind allocation per call. The
+   observation sequence is identical to the [eq]/[in_range]/[in_set]/
+   [one_of] forms above: event first, then outcome. *)
+type slot = { sl_true : int; sl_false : int; sl_kind : Comparison.kind }
+
+let slot site kind =
+  {
+    sl_true = Site.outcome site true;
+    sl_false = Site.outcome site false;
+    sl_kind = kind;
+  }
+
+let[@inline] slot_result t sl (c : Tchar.t) result =
+  if t.track_comparisons then emit_tainted t c sl.sl_kind result;
+  record_outcome t (if result then sl.sl_true else sl.sl_false);
+  result
+
+let[@inline] eq_slot t sl (c : Tchar.t) expected =
+  slot_result t sl c (Char.equal c.Tchar.ch expected)
+
+let[@inline] in_range_slot t sl (c : Tchar.t) lo hi =
+  slot_result t sl c (c.Tchar.ch >= lo && c.Tchar.ch <= hi)
+
+let[@inline] in_set_slot t sl (c : Tchar.t) set =
+  slot_result t sl c (Charset.mem c.Tchar.ch set)
+
+let[@inline] one_of_slot t sl (c : Tchar.t) chars =
+  slot_result t sl c (String.contains chars c.Tchar.ch)
 
 (* Instrumented strcmp. Walk the token and the keyword in lockstep,
    emitting a per-position character event; on a mismatch after partial

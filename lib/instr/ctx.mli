@@ -24,6 +24,7 @@ val make :
   ?track_comparisons:bool ->
   ?track_trace:bool ->
   ?track_frames:bool ->
+  ?pretaint:bool ->
   string ->
   t
 (** [make ~registry input] prepares a run. [fuel] bounds the number of
@@ -34,7 +35,21 @@ val make :
     records the full outcome sequence with multiplicities — needed only
     by consumers that care about hit counts, such as the AFL shim's edge
     bitmap; the search heuristics work from the deduplicated
-    first-occurrence order, which is always maintained. *)
+    first-occurrence order, which is always maintained. [pretaint]
+    (default false) taints every input character up front so that
+    {!peek} is a plain array read — no allocation and no write barrier
+    on the memo fields. The observed {!Pdf_taint.Tchar.t} values are
+    identical either way; the flag only moves the work. Used by the
+    compiled tier's execution arena, where the same context is recycled
+    across many runs. *)
+
+val rearm : t -> fuel:int -> string -> unit
+(** [rearm t ~fuel input] resets [t] in place for a fresh run over
+    [input], keeping the recording buffers it has already grown — the
+    allocation-free restart that {!Runner}'s execution arena is built
+    on. Only contexts created by {!make} may be rearmed; a {!restore}d
+    context borrows buffers from its parent run and must not be
+    recycled. Tracking flags are fixed at {!make} time. *)
 
 (** {1 Snapshot marks}
 
@@ -141,6 +156,25 @@ val one_of : t -> Site.t -> Pdf_taint.Tchar.t -> string -> bool
 val in_range : t -> Site.t -> Pdf_taint.Tchar.t -> char -> char -> bool
 val in_set :
   t -> Site.t -> label:string -> Pdf_taint.Tchar.t -> Pdf_util.Charset.t -> bool
+
+(** {2 Pre-resolved slots}
+
+    Staged variants of the comparison operations for the compiled tier:
+    a {!slot} freezes a site's two outcome ids and the comparison-event
+    kind at staging time, so the per-character call performs no
+    [Site.outcome] dispatch and allocates no kind block. Each [_slot]
+    operation records exactly the same observations as its tracked
+    counterpart above (the supplied kind must match what that
+    counterpart would build). *)
+
+type slot
+
+val slot : Site.t -> Comparison.kind -> slot
+
+val eq_slot : t -> slot -> Pdf_taint.Tchar.t -> char -> bool
+val in_range_slot : t -> slot -> Pdf_taint.Tchar.t -> char -> char -> bool
+val in_set_slot : t -> slot -> Pdf_taint.Tchar.t -> Pdf_util.Charset.t -> bool
+val one_of_slot : t -> slot -> Pdf_taint.Tchar.t -> string -> bool
 
 val str_eq : t -> Site.t -> Pdf_taint.Tstring.t -> string -> bool
 (** Instrumented [strcmp]-style equality: emits one character-comparison

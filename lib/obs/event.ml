@@ -5,12 +5,14 @@ type t =
       seed : int;
       max_executions : int;
       incremental : bool;
+      engine : string;
     }
   | Cell of { tool : string; subject : string; seed : int }
   | Exec_start of { len : int; prefix : int }
   | Exec_done of {
       dur_ns : int;
       verdict : string;
+      engine : string;
       cached : bool;
       sub_index : int;
       cov : int;
@@ -84,6 +86,7 @@ let fields ev =
       ("seed", I m.seed);
       ("max_executions", I m.max_executions);
       ("incremental", B m.incremental);
+      ("engine", S m.engine);
     ]
   | Cell c -> [ ("tool", S c.tool); ("subject", S c.subject); ("seed", I c.seed) ]
   | Exec_start e -> [ ("len", I e.len); ("prefix", I e.prefix) ]
@@ -91,6 +94,7 @@ let fields ev =
     [
       ("dur_ns", I e.dur_ns);
       ("verdict", S e.verdict);
+      ("engine", S e.engine);
       ("cached", B e.cached);
       ("sub", I e.sub_index);
       ("cov", I e.cov);
@@ -166,6 +170,12 @@ let bool_field fields k =
   | Some (Json.B b) -> b
   | _ -> Json.fail "missing bool field %S" k
 
+(* Traces written before a field existed parse with its default, so old
+   traces keep loading across schema growth ([engine] arrived after the
+   first release of the format). *)
+let str_field_default fields k default =
+  match get fields k with Some (Json.S s) -> s | _ -> default
+
 (* JSON has one number type: an integral float serializes without a
    fractional part only sometimes, so accept either shape for floats. *)
 let float_field fields k =
@@ -186,6 +196,7 @@ let of_fields fields =
           seed = int_field f "seed";
           max_executions = int_field f "max_executions";
           incremental = bool_field f "incremental";
+          engine = str_field_default f "engine" "interpreted";
         }
     | "cell" ->
       Cell
@@ -201,6 +212,7 @@ let of_fields fields =
         {
           dur_ns = int_field f "dur_ns";
           verdict = str_field f "verdict";
+          engine = str_field_default f "engine" "interpreted";
           cached = bool_field f "cached";
           sub_index = int_field f "sub";
           cov = int_field f "cov";

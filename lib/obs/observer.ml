@@ -76,10 +76,12 @@ let phase_totals t =
 
 (* {1 Run lifecycle} *)
 
-let run_meta t ~subject ~outcomes ~seed ~max_executions ~incremental =
+let run_meta t ~subject ~outcomes ~seed ~max_executions ~incremental ~engine =
   t.max_executions <- max_executions;
   t.outcomes <- outcomes;
-  emit t ~exec:0 (Event.Run_meta { subject; outcomes; seed; max_executions; incremental })
+  emit t ~exec:0
+    (Event.Run_meta
+       { subject; outcomes; seed; max_executions; incremental; engine })
 
 let snapshot_due t =
   t.snapshot_interval_ns > 0 && now_ns t - t.last_snap_t >= t.snapshot_interval_ns

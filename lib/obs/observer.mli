@@ -56,6 +56,7 @@ val run_meta :
   seed:int ->
   max_executions:int ->
   incremental:bool ->
+  engine:string ->
   unit
 (** Emit the run header and remember the totals the progress line needs. *)
 

@@ -97,6 +97,97 @@ let machine : Machine.recognizer =
 
 let parse ctx = Machine.run ctx machine
 
+(* {1 Staged (compiled) form}
+
+   CSV has no recursive nesting either, so the whole recognizer stages
+   at module initialisation: the quoted-field scan, the comma loop and
+   the record/newline cycle all close over themselves with [C.fix], the
+   bare-field scan is a static [skip_set] cycle, and a steady-state run
+   allocates no step nodes. *)
+module C = Pdf_instr.Compiled
+
+let sl_quote_open = C.slot_eq b_quote_open '"'
+let sl_quote_close = C.slot_eq b_quote_close '"'
+let sl_quote_escape = C.slot_eq b_quote_escape '"'
+let sl_newline = C.slot_eq b_newline '\n'
+
+let compiled : C.t =
+  let quoted (k : C.k) : C.k =
+    C.with_frame s_quoted
+      (fun k ->
+        let body =
+          C.fix (fun body ->
+              let skip_body = C.skip body in
+              let after_quote =
+                (* A doubled quote continues the field. *)
+                C.peek (fun c2 ->
+                    fun ctx ->
+                      match c2 with
+                      | Some c2 when Ctx.eq_slot ctx sl_quote_escape c2 '"' ->
+                        skip_body ctx
+                      | Some _ | None -> k ctx)
+              in
+              C.next (fun c ->
+                  fun ctx ->
+                    match c with
+                    | None -> Ctx.reject ctx "unterminated quoted field"
+                    | Some c ->
+                      if Ctx.eq_slot ctx sl_quote_close c '"' then
+                        after_quote ctx
+                      else body ctx))
+        in
+        C.skip (* opening quote *) body)
+      k
+  in
+  let field (k : C.k) : C.k =
+    C.with_frame s_field
+      (fun k ->
+        let q = quoted k in
+        let bare = C.skip_set b_bare_char ~label:"bare-char" bare_chars k in
+        C.peek (fun c ->
+            fun ctx ->
+              match c with
+              | None -> k ctx
+              | Some c ->
+                if Ctx.eq_slot ctx sl_quote_open c '"' then q ctx
+                else bare ctx))
+      k
+  in
+  let record (k : C.k) : C.k =
+    C.with_frame s_record
+      (fun k ->
+        let more =
+          C.fix (fun more ->
+              C.eat_if b_comma ',' (fun ate -> if ate then field more else k))
+        in
+        field more)
+      k
+  in
+  C.with_frame s_parse
+    (fun k ->
+      let rest =
+        C.fix (fun rest ->
+            let rec_rest = record rest in
+            let after_nl =
+              (* After a newline, either another record follows or the
+                 input ends; the peek doubles as the trailing-newline EOF
+                 probe for extensibility. *)
+              C.peek (fun c2 -> match c2 with None -> k | Some _ -> rec_rest)
+            in
+            let skip_after = C.skip after_nl in
+            C.peek (fun c ->
+                fun ctx ->
+                  match c with
+                  | None ->
+                    ignore (Ctx.branch ctx b_final_eof true);
+                    k ctx
+                  | Some c ->
+                    if Ctx.eq_slot ctx sl_newline c '\n' then skip_after ctx
+                    else Ctx.reject ctx "unexpected character after field"))
+      in
+      record rest)
+    C.stop
+
 let tokens = [ Token.literal ","; Token.make "field" 1 ]
 
 let tokenize input =
@@ -118,6 +209,7 @@ let subject =
     registry;
     parse;
     machine = Some machine;
+    compiled = Some compiled;
     fuel = 100_000;
     tokens;
     tokenize;

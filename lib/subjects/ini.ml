@@ -120,6 +120,105 @@ let machine : Machine.recognizer =
 
 let parse ctx = Machine.run ctx machine
 
+(* {1 Staged (compiled) form}
+
+   INI has no recursive nesting, so the whole recognizer stages at
+   module initialisation: every loop ([lines], the section-name scan,
+   the skip-sets) closes over itself with [C.fix] or the static
+   [skip_set] cycle, and a steady-state run allocates no step nodes at
+   all. The section-name scan needs its [len = 0] emptiness branch only
+   on the first iteration, so it is staged as a first-iteration node
+   chained into a fixed rest-loop. *)
+module C = Pdf_instr.Compiled
+
+let sl_rbracket = C.slot_eq b_rbracket ']'
+let sl_section_nl = C.slot_eq b_section_nl '\n'
+let sl_newline = C.slot_eq b_newline '\n'
+let sl_comment_semi = C.slot_eq b_comment_semi ';'
+let sl_comment_hash = C.slot_eq b_comment_hash '#'
+let sl_lbracket = C.slot_eq b_lbracket '['
+let sl_keychar = C.slot_set b_keychar ~label:"key-char" key_chars
+
+let compiled : C.t =
+  let skip_inline_ws k = C.skip_set b_inline_ws ~label:"inline-ws" inline_ws k in
+  let skip_to_eol k = C.skip_set b_value_char ~label:"line-char" value_chars k in
+  let section (k : C.k) : C.k =
+    C.with_frame s_section
+      (fun k ->
+        let after = skip_to_eol k in
+        let body ~first rest =
+          C.next (fun c ->
+              fun ctx ->
+                match c with
+                | None -> Ctx.reject ctx "unterminated section header"
+                | Some c ->
+                  if Ctx.eq_slot ctx sl_rbracket c ']' then begin
+                    ignore (Ctx.branch ctx b_section_empty first);
+                    after ctx
+                  end
+                  else if Ctx.eq_slot ctx sl_section_nl c '\n' then
+                    Ctx.reject ctx "newline in section header"
+                  else rest ctx)
+        in
+        let rest = C.fix (fun rest -> body ~first:false rest) in
+        body ~first:true rest)
+      k
+  in
+  let kvpair (k : C.k) : C.k =
+    C.with_frame s_kvpair
+      (fun k ->
+        C.skip_set b_key_more ~label:"key-char" key_chars
+          (skip_inline_ws
+             (C.expect b_equals '=' (skip_inline_ws (skip_to_eol k)))))
+      k
+  in
+  let line (k : C.k) : C.k =
+    C.with_frame s_line
+      (fun k ->
+        let skip_k = C.skip k in
+        let comment =
+          C.with_frame s_comment (fun k -> C.skip (skip_to_eol k)) k
+        in
+        let sec = C.skip (section k) in
+        let kv = kvpair k in
+        skip_inline_ws
+          (C.peek (fun c ->
+               fun ctx ->
+                 match c with
+                 | None ->
+                   ignore (Ctx.branch ctx b_blank true);
+                   k ctx
+                 | Some c ->
+                   ignore (Ctx.branch ctx b_blank false);
+                   if Ctx.eq_slot ctx sl_newline c '\n' then skip_k ctx
+                   else if
+                     Ctx.eq_slot ctx sl_comment_semi c ';'
+                     || Ctx.eq_slot ctx sl_comment_hash c '#'
+                   then comment ctx
+                   else if Ctx.eq_slot ctx sl_lbracket c '[' then sec ctx
+                   else if Ctx.in_set_slot ctx sl_keychar c key_chars then
+                     kv ctx
+                   else Ctx.reject ctx "invalid start of line")))
+      k
+  in
+  C.with_frame s_parse
+    (fun k ->
+      C.fix (fun lines ->
+          let skip_lines = C.skip lines in
+          let after_line =
+            C.peek (fun c2 ->
+                fun ctx ->
+                  match c2 with
+                  | Some c2 when Ctx.eq_slot ctx sl_newline c2 '\n' ->
+                    skip_lines ctx
+                  | Some _ | None -> lines ctx)
+          in
+          let body = line after_line in
+          (* Loop-head peek doubles as the final EOF probe, exactly as in
+             the interpreted machine. *)
+          C.peek (fun c -> match c with None -> k | Some _ -> body)))
+    C.stop
+
 let tokens =
   [
     Token.literal "[";
@@ -151,6 +250,7 @@ let subject =
     registry;
     parse;
     machine = Some machine;
+    compiled = Some compiled;
     fuel = 100_000;
     tokens;
     tokenize;

@@ -798,6 +798,7 @@ let subject =
     registry;
     parse;
     machine = None;
+    compiled = None;
     fuel = 8_000;
     tokens;
     tokenize;

@@ -65,6 +65,72 @@ let machine : Machine.recognizer =
 
 let parse ctx = Machine.run ctx machine
 
+(* {1 Staged (compiled) form}
+
+   Same grammar, same sites, same reject strings — but the per-pair site
+   lookups ([List.assoc] on every comparison) and the reject messages
+   are resolved into a flat array at staging, and the dispatch chain
+   walks it by index. The chain stays an in-order [Ctx.eq] sequence over
+   the same pairs: the comparison log is the observation record, so the
+   probe order must match the interpreted twin exactly. *)
+module C = Pdf_instr.Compiled
+
+let compiled : C.t =
+  let table =
+    Array.of_list
+      (List.map
+         (fun (o, close) ->
+           let msg_eof, msg = C.reject_msgs close in
+           ( C.slot_eq (List.assoc o b_open) o,
+             o,
+             List.assoc close b_close,
+             close,
+             msg_eof,
+             msg ))
+         pairs)
+  in
+  let len = Array.length table in
+  (* [seq] re-enters per invocation (the nesting is genuinely recursive),
+     but each entry stages its frame and peek node once instead of per
+     character, and bracket matching runs over the precomputed table. *)
+  let rec seq (k : C.k) : C.k =
+    C.with_frame s_seq
+      (fun k ->
+        C.peek (fun c ->
+            match c with None -> k | Some c -> try_opens 0 c k))
+      k
+  and try_opens i c (k : C.k) : C.k =
+   fun ctx ->
+    if i >= len then k ctx
+    else
+      let slo, o, bc, close, msg_eof, msg = Array.unsafe_get table i in
+      if Ctx.eq_slot ctx slo c o then
+        C.skip (seq (C.expect_with ~msg_eof ~msg bc close (seq k))) ctx
+      else try_opens (i + 1) c k ctx
+  in
+  C.with_frame s_parse
+    (fun k ->
+      let tail =
+        C.peek (fun c ->
+            fun ctx ->
+              match c with
+              | Some _ ->
+                ignore (Ctx.branch ctx b_trailing true);
+                Ctx.reject ctx "unbalanced input"
+              | None ->
+                ignore (Ctx.branch ctx b_trailing false);
+                k ctx)
+      in
+      let body = seq tail in
+      (* Same empty-input probe as the interpreted machine: a peek, so
+         the rejection registers an EOF access. *)
+      C.peek (fun c ->
+          fun ctx ->
+            if Ctx.branch ctx b_empty (c = None) then
+              Ctx.reject ctx "empty input"
+            else body ctx))
+    C.stop
+
 let tokens =
   List.concat_map
     (fun (o, c) -> [ Token.literal (String.make 1 o); Token.literal (String.make 1 c) ])
@@ -88,6 +154,7 @@ let subject =
     registry;
     parse;
     machine = Some machine;
+    compiled = Some compiled;
     fuel = 100_000;
     tokens;
     tokenize;

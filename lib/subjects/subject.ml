@@ -4,6 +4,7 @@ type t = {
   registry : Pdf_instr.Site.registry;
   parse : Pdf_instr.Ctx.t -> unit;
   machine : Pdf_instr.Machine.recognizer option;
+  compiled : Pdf_instr.Compiled.t option;
   fuel : int;
   tokens : Token.t list;
   tokenize : string -> string list;

@@ -14,6 +14,12 @@ type t = {
       (** step-wise form of [parse], when the subject provides one; it
           must recognize exactly the same language with the same
           observations. Enables incremental (snapshot/resume) execution. *)
+  compiled : Pdf_instr.Compiled.t option;
+      (** staged (pre-specialized closure tree) form, when the subject
+          provides one; observationally identical to [machine] — same
+          language, same comparison log, coverage, trace and reject
+          strings — but with per-step allocation moved to staging time.
+          Selected by the fuzzer's [Compiled] engine. *)
   fuel : int;  (** per-run fuel budget (interpreting subjects hang) *)
   tokens : Token.t list;
   tokenize : string -> string list;

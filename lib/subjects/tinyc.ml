@@ -423,6 +423,7 @@ let subject =
     registry = Plain.registry;
     parse = Plain.parse;
     machine = None;
+    compiled = None;
     fuel = 1_500;
     tokens;
     tokenize;
@@ -436,6 +437,7 @@ let subject_semantic =
     registry = Semantic.registry;
     parse = Semantic.parse;
     machine = None;
+    compiled = None;
     fuel = 1_500;
     tokens;
     tokenize;
@@ -449,6 +451,7 @@ let subject_token_taints =
     registry = Token_taints.registry;
     parse = Token_taints.parse;
     machine = None;
+    compiled = None;
     fuel = 1_500;
     tokens;
     tokenize;

@@ -118,6 +118,7 @@ let subject ~name ~description ?(coverage = Table_elements)
     registry;
     parse;
     machine = None;
+    compiled = None;
     fuel = 50_000;
     tokens;
     tokenize;

@@ -19,8 +19,8 @@ let of_prefix arr ~len dummy =
   (* cap = len marks the backing array as shared: it is never written. *)
   { data = arr; len; cap = len; dummy }
 
-let length t = t.len
-let is_empty t = t.len = 0
+let[@inline] length t = t.len
+let[@inline] is_empty t = t.len = 0
 
 let grow t =
   let ncap = if t.len = 0 then 16 else 2 * t.len in
@@ -29,14 +29,14 @@ let grow t =
   t.data <- ndata;
   t.cap <- ncap
 
-let push t x =
+let[@inline] push t x =
   if t.len >= t.cap then grow t;
   (* len < cap <= Array.length data after the grow check, so the store
      needs no bound check of its own. *)
   Array.unsafe_set t.data t.len x;
   t.len <- t.len + 1
 
-let get t i =
+let[@inline] get t i =
   if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
   t.data.(i)
 

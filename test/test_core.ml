@@ -420,6 +420,116 @@ let test_fault_plan_starvation_hangs () =
   Alcotest.(check int) "no crashes" 0 r.crash_total;
   Alcotest.(check int) "campaign ran to its budget" 200 r.executions
 
+(* {1 Engines and batching}
+
+   The engine and batch knobs are pure performance controls: any setting
+   must produce the same campaign, observation for observation. *)
+
+let stream_with config subject =
+  let runs = ref [] in
+  let result =
+    Pfuzzer.fuzz ~on_execution:(fun run -> runs := run :: !runs) config subject
+  in
+  (result, List.rev !runs)
+
+let check_streams_identical what (ra, runs_a) (rb, runs_b) =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: aggregate results identical" what)
+    true
+    (Pdf_check.Invariants.results_equal ra rb);
+  Alcotest.(check int)
+    (Printf.sprintf "%s: same stream length" what)
+    (List.length runs_a) (List.length runs_b);
+  List.iter2
+    (fun a b ->
+      if not (Pdf_check.Invariants.runs_equal a b) then
+        Alcotest.failf "%s: streams diverge at input %S" what
+          a.Pdf_instr.Runner.input)
+    runs_a runs_b
+
+let test_engine_equivalence () =
+  (* Compiled and interpreted tiers: bit-identical campaigns. *)
+  let subject = Catalog.find "json" in
+  let config = { Pfuzzer.default_config with max_executions = 1500 } in
+  check_streams_identical "compiled vs interpreted"
+    (stream_with { config with engine = Pfuzzer.Compiled } subject)
+    (stream_with { config with engine = Pfuzzer.Interpreted } subject)
+
+let test_batch_size_independence () =
+  (* The batch size only changes checkpoint cadence, never results:
+     draining one candidate per engine entry and sixteen must coincide. *)
+  let subject = Catalog.find "expr" in
+  let config = { Pfuzzer.default_config with max_executions = 1500 } in
+  let one = stream_with { config with batch = 1 } subject in
+  let sixteen = stream_with { config with batch = 16 } subject in
+  check_streams_identical "batch 1 vs batch 16" one sixteen;
+  let seven = stream_with { config with batch = 7 } subject in
+  check_streams_identical "batch 1 vs batch 7" one seven
+
+let test_checkpoint_cadence_vs_batch () =
+  (* A checkpoint interval that does not divide the batch size still
+     round-trips: checkpoints land on the next batch boundary, and
+     resuming one reproduces the uninterrupted campaign exactly. *)
+  let subject = Catalog.find "csv" in
+  let config =
+    { Pfuzzer.default_config with max_executions = 900; batch = 4 }
+  in
+  let captured = ref None in
+  let full =
+    Pfuzzer.fuzz ~checkpoint_every:7
+      ~on_checkpoint:(fun ck -> if !captured = None then captured := Some ck)
+      config subject
+  in
+  match !captured with
+  | None -> Alcotest.fail "no checkpoint captured with every=7, batch=4"
+  | Some ck ->
+    (* Checkpoints fire at the first batch boundary at or past the
+       interval — never early, and within one batch's worth of
+       executions late (each candidate costs at most two). *)
+    let at = Pfuzzer.Checkpoint.executions ck in
+    Alcotest.(check bool) "checkpoint not early" true (at >= 7);
+    Alcotest.(check bool) "checkpoint within one batch of the interval" true
+      (at <= 7 + (4 * 2));
+    let resumed = Pfuzzer.resume_from ck subject in
+    Alcotest.(check bool) "resumed = uninterrupted despite batch skew" true
+      (Pdf_check.Invariants.results_equal full resumed)
+
+let test_crash_mid_batch () =
+  (* Faults that fire in the middle of a batch are contained like any
+     other crash: the batch keeps draining and the budget is honoured. *)
+  let subject = Catalog.find "json" in
+  let indices = [ 18; 19; 20 ] in
+  let plan =
+    Fault.of_list (List.map (fun i -> (i, Fault.Raise "mid-batch chaos")) indices)
+  in
+  let r =
+    Pfuzzer.fuzz ~faults:plan
+      { Pfuzzer.default_config with max_executions = 200; batch = 16 }
+      subject
+  in
+  Alcotest.(check int) "every mid-batch fault fired" (List.length indices)
+    (List.length (Fault.triggered plan));
+  Alcotest.(check int) "each firing was contained" (List.length indices)
+    r.crash_total;
+  Alcotest.(check int) "budget honoured through mid-batch crashes" 200
+    r.executions
+
+let test_grid_determinism_with_engines () =
+  (* The evaluation grid stays bit-deterministic under the compiled
+     default: parallel and sequential runs coincide. *)
+  let config =
+    {
+      Pdf_eval.Experiment.budget_units = 20_000;
+      seeds = [ 1; 2 ];
+      verbose = false;
+    }
+  in
+  let subjects = [ Catalog.find "paren"; Catalog.find "ini" ] in
+  let sequential = Pdf_eval.Experiment.run ~jobs:1 config subjects in
+  let parallel = Pdf_eval.Experiment.run ~jobs:3 config subjects in
+  Alcotest.(check bool) "jobs:1 = jobs:3 with compiled engine" true
+    (Pdf_eval.Experiment.equal sequential parallel)
+
 let prop_heuristic_monotone_in_coverage =
   QCheck.Test.make ~name:"heuristic is monotone in new coverage" ~count:100
     QCheck.(pair (int_range 0 20) (int_range 0 20))
@@ -479,6 +589,19 @@ let () =
             test_incremental_equivalence;
           Alcotest.test_case "cache stats sanity" `Quick test_cache_stats_sanity;
           Alcotest.test_case "path counts capped" `Quick test_path_counts_capped;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "compiled = interpreted streams" `Quick
+            test_engine_equivalence;
+          Alcotest.test_case "batch size never changes results" `Quick
+            test_batch_size_independence;
+          Alcotest.test_case "checkpoint cadence not divisible by batch" `Quick
+            test_checkpoint_cadence_vs_batch;
+          Alcotest.test_case "crashes mid-batch are contained" `Quick
+            test_crash_mid_batch;
+          Alcotest.test_case "grid deterministic under compiled default" `Quick
+            test_grid_determinism_with_engines;
         ] );
       ( "resilience",
         [

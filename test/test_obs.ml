@@ -25,8 +25,15 @@ let golden =
   [
     ( stamp 0 0
         (Event.Run_meta
-           { subject = "json"; outcomes = 76; seed = 1; max_executions = 500; incremental = true }),
-      {|{"ev":"run_meta","t":0,"n":0,"subject":"json","outcomes":76,"seed":1,"max_executions":500,"incremental":true}|}
+           {
+             subject = "json";
+             outcomes = 76;
+             seed = 1;
+             max_executions = 500;
+             incremental = true;
+             engine = "compiled";
+           }),
+      {|{"ev":"run_meta","t":0,"n":0,"subject":"json","outcomes":76,"seed":1,"max_executions":500,"incremental":true,"engine":"compiled"}|}
     );
     ( stamp 10 1 (Event.Exec_start { len = 3; prefix = 2 }),
       {|{"ev":"exec_start","t":10,"n":1,"len":3,"prefix":2}|} );
@@ -35,6 +42,7 @@ let golden =
            {
              dur_ns = 900;
              verdict = "rejected";
+             engine = "compiled";
              cached = true;
              sub_index = 2;
              cov = 10;
@@ -42,7 +50,7 @@ let golden =
              valid = false;
              len = 3;
            }),
-      {|{"ev":"exec_done","t":20,"n":1,"dur_ns":900,"verdict":"rejected","cached":true,"sub":2,"cov":10,"cov_delta":0,"valid":false,"len":3}|}
+      {|{"ev":"exec_done","t":20,"n":1,"dur_ns":900,"verdict":"rejected","engine":"compiled","cached":true,"sub":2,"cov":10,"cov_delta":0,"valid":false,"len":3}|}
     );
     ( stamp 30 2 (Event.Valid { input = "a\tb\xff"; cov = 12; count = 1 }),
       {|{"ev":"valid","t":30,"n":2,"input":"a\tb\u00ff","cov":12,"count":1}|} );
@@ -113,7 +121,23 @@ let test_round_trip () =
    | Event.Valid v -> check Alcotest.string "all bytes round-trip" bytes v.input
    | _ -> Alcotest.fail "wrong event kind");
   Alcotest.check_raises "malformed line rejected" (Json.Malformed "expected '{' at 0")
-    (fun () -> ignore (Event.of_json_line "not json"))
+    (fun () -> ignore (Event.of_json_line "not json"));
+  (* Traces written before the engine field existed still load, with the
+     tag defaulting to "interpreted". *)
+  let old_line =
+    {|{"ev":"exec_done","t":20,"n":1,"dur_ns":900,"verdict":"rejected","cached":true,"sub":2,"cov":10,"cov_delta":0,"valid":false,"len":3}|}
+  in
+  (match (Event.of_json_line old_line).Event.ev with
+   | Event.Exec_done e ->
+     check Alcotest.string "engine defaults on old traces" "interpreted" e.engine
+   | _ -> Alcotest.fail "wrong event kind");
+  let old_meta =
+    {|{"ev":"run_meta","t":0,"n":0,"subject":"json","outcomes":76,"seed":1,"max_executions":500,"incremental":true}|}
+  in
+  match (Event.of_json_line old_meta).Event.ev with
+  | Event.Run_meta m ->
+    check Alcotest.string "run_meta engine defaults" "interpreted" m.engine
+  | _ -> Alcotest.fail "wrong event kind"
 
 let test_normalize () =
   let line =
