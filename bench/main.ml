@@ -11,7 +11,7 @@
    Sections: table-1 table-2 table-3 table-4 figure-2 figure-3 headline
              ablation-dyck ablation-heuristic ablation-grammar
              ablation-tables ablation-token-taints ablation-semantics
-             pipeline micro incremental compiled obs
+             pipeline micro incremental compiled obs dist
 
    --out FILE dumps the machine-readable results of the sections that
    produce them (micro, incremental, obs) as JSON — the CI bench smoke
@@ -47,7 +47,7 @@ let valid_sections =
     "table-1"; "table-2"; "table-3"; "table-4"; "figure-2"; "figure-3";
     "headline"; "ablation-dyck"; "ablation-heuristic"; "ablation-grammar";
     "ablation-tables"; "ablation-token-taints"; "ablation-semantics";
-    "pipeline"; "micro"; "incremental"; "compiled"; "obs";
+    "pipeline"; "micro"; "incremental"; "compiled"; "obs"; "dist";
   ]
 
 let usage_line =
@@ -991,8 +991,91 @@ let obs_bench options =
                  name off m t (pct off m) (pct off t))
              measured)))
 
+(* {1 Distributed campaigns: equivalence, then worker scaling}
+
+   Equivalence before timing: the merged result of every fleet must be
+   bit-identical to the sequential reference, or the scaling numbers
+   measure a different computation. Scaling is then honest wall clock
+   over the same shard plan, with the machine's core count recorded —
+   on a single-core runner every worker count shares one CPU, and the
+   fork/pipe overhead makes N>1 slower, not faster. The JSON says so
+   rather than pretending. *)
+
+let dist_bench options =
+  Render.section ppf "dist: distributed campaign equivalence and worker scaling";
+  let subject_name = "json" in
+  let subject = Catalog.find subject_name in
+  let execs = max 400 (options.budget / 100) in
+  let shards = 8 in
+  let frame_every = max 1 (execs / (4 * shards)) in
+  let config = { Pfuzzer.default_config with max_executions = execs } in
+  let reference = Pdf_eval.Dist.reference ~shards config subject in
+  let ref_bytes = Marshal.to_string reference [] in
+  let rounds = if options.quick then 3 else 5 in
+  let worker_counts = [ 1; 2; 4 ] in
+  let measured =
+    List.map
+      (fun workers ->
+        let outcomes =
+          List.init rounds (fun _ ->
+              Pdf_eval.Dist.run_campaign ~workers ~shards ~frame_every config
+                subject)
+        in
+        List.iter
+          (fun (o : Pdf_eval.Dist.outcome) ->
+            if Marshal.to_string o.result [] <> ref_bytes then
+              failwith
+                (Printf.sprintf
+                   "dist: workers:%d diverged from the sequential reference"
+                   workers))
+          outcomes;
+        let walls =
+          List.map (fun (o : Pdf_eval.Dist.outcome) -> o.wall_clock_s) outcomes
+        in
+        (workers, median walls))
+      worker_counts
+  in
+  let t1 = match measured with (_, t) :: _ -> t | [] -> nan in
+  let cores = Pdf_eval.Parallel.default_jobs () in
+  Render.table ppf
+    ~title:
+      (Printf.sprintf
+         "%s subject, %d executions over %d shards, %d round(s), %d core(s) \
+          available — every fleet bit-identical to the reference"
+         subject_name execs shards rounds cores)
+    ~header:[ "workers"; "wall s (median)"; "scaling vs workers:1" ]
+    (List.map
+       (fun (workers, wall) ->
+         [
+           string_of_int workers;
+           Printf.sprintf "%.3f" wall;
+           Printf.sprintf "%.2fx" (t1 /. wall);
+         ])
+       measured);
+  if cores < 2 then
+    Format.fprintf ppf
+      "Single-core machine: worker processes time-slice one CPU, so the@.\
+       scaling column measures fork and pipe overhead, not speedup.@.";
+  add_json "dist"
+    (Printf.sprintf
+       "{\n    \"subject\": %S,\n    \"executions\": %d,\n    \"shards\": %d,\n\
+       \    \"rounds\": %d,\n    \"cores\": %d,\n    \"equivalent\": true,\n\
+       \    \"rows\": [\n%s\n    ]\n  }"
+       subject_name execs shards rounds cores
+       (String.concat ",\n"
+          (List.map
+             (fun (workers, wall) ->
+               Printf.sprintf
+                 "      { \"workers\": %d, \"wall_s_median\": %.3f, \
+                  \"scaling_vs_1\": %.2f }"
+                 workers wall (t1 /. wall))
+             measured)))
+
 let () =
   let options = parse_args () in
+  (* dist forks worker processes; OCaml 5 forbids fork once any domain
+     has been spawned, so it must precede the evaluation-grid sections. *)
+  if wants options "dist" then dist_bench options;
   if wants options "table-1" then table_1 ();
   if wants options "table-2" then table_tokens "json" "table-2";
   if wants options "table-3" then table_tokens "tinyc" "table-3";

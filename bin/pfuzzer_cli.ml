@@ -2,6 +2,7 @@
 
      pfuzzer fuzz --subject json --tool pfuzzer --executions 20000
      pfuzzer fuzz --subject json --trace t.jsonl --stats-interval 1
+     pfuzzer campaign --subject json --workers 4 --executions 20000
      pfuzzer trace-report t.jsonl
      pfuzzer run --subject tinyc "if(a<2)b=1;"
      pfuzzer evaluate --budget 2000000 --seeds 1,2,3
@@ -380,6 +381,201 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz one subject with one tool.") term
 
+(* campaign *)
+
+let campaign_cmd =
+  let run subject_name seed executions workers shards frame_every retries
+      kill_worker trace out quiet =
+    match find_subject subject_name with
+    | Error e -> Error e
+    | Ok subject ->
+      let config =
+        { Pdf_core.Pfuzzer.default_config with seed; max_executions = executions }
+      in
+      let staged = Option.map Pdf_util.Atomic_file.stage trace in
+      let sink =
+        Option.map
+          (fun st -> Pdf_obs.Trace.jsonl (Pdf_util.Atomic_file.channel st))
+          staged
+      in
+      let obs = Option.map (fun s -> Pdf_obs.Observer.create ~sink:s ()) sink in
+      (match
+         Pdf_eval.Dist.run_campaign ~workers ~shards ~frame_every ~retries
+           ~trace:(trace <> None) ?obs ?kill_worker config subject
+       with
+       | exception Failure msg ->
+         (* Replay rounds exhausted, or fork unavailable (a domain was
+            spawned earlier in this process). Same distinctive status as
+            an unusable checkpoint: not a CLI error, not a crash. *)
+         Option.iter (fun s -> try Pdf_obs.Trace.close s with _ -> ()) sink;
+         Option.iter Pdf_util.Atomic_file.abort staged;
+         Printf.eprintf "pfuzzer: campaign failed: %s\n%!" msg;
+         exit 2
+       | outcome ->
+         (* One JSONL file, readable by trace-report: the coordinator's
+            lifecycle events first, then each worker's per-shard stream
+            in shard order — the concatenation order is the plan order,
+            not the scheduling order. *)
+         (match (staged, sink) with
+          | Some st, Some s ->
+            Pdf_obs.Trace.close s;
+            let oc = Pdf_util.Atomic_file.channel st in
+            List.iter (output_string oc) outcome.shard_traces;
+            Pdf_util.Atomic_file.commit st;
+            Printf.printf "# campaign trace written to %s\n" (Option.get trace)
+          | _ -> ());
+         let r = outcome.result in
+         if not quiet then
+           List.iter (fun input -> Printf.printf "%S\n" input) r.valid_inputs;
+         let budgets =
+           String.concat ","
+             (List.map
+                (fun (sh : Pdf_eval.Dist.shard) -> string_of_int sh.shard_budget)
+                outcome.o_plan.shards)
+         in
+         Printf.printf
+           "# campaign on %s: %d shards (budgets %s) over %d workers, %d \
+            executions in %.2fs, %d valid inputs, %.1f%% branch coverage, %d \
+            hangs, %d crashes (%d unique)\n"
+           subject.name
+           (List.length outcome.o_plan.shards)
+           budgets outcome.workers r.executions outcome.wall_clock_s
+           (List.length r.valid_inputs)
+           (Pdf_instr.Coverage.percent r.valid_coverage subject.registry)
+           r.hangs r.crash_total
+           (List.length r.crashes);
+         Printf.printf
+           "# workers: %s; %d frames accepted, %d rejected, %d shard replays\n"
+           (String.concat ", "
+              (List.map
+                 (fun (w, s) -> Printf.sprintf "%d %s" w s)
+                 outcome.worker_status))
+           outcome.frames_accepted
+           (List.length outcome.frames_rejected)
+           outcome.replays;
+         List.iter
+           (fun (w, reason) ->
+             Printf.printf "# worker %d rejected frame: %s\n" w reason)
+           outcome.frames_rejected;
+         (match out with
+          | None -> ()
+          | Some path ->
+            (* Timing-free by construction: every field is a pure
+               function of (subject, seed, executions, shards), so two
+               campaigns with different worker counts must produce
+               byte-identical files — CI diffs them directly. *)
+            let digest =
+              Digest.to_hex (Digest.string (Marshal.to_string r []))
+            in
+            let buf = Buffer.create 256 in
+            let open Pdf_obs.Json in
+            write_flat buf
+              [
+                ("subject", S subject.name);
+                ("seed", I seed);
+                ("executions", I r.executions);
+                ("shards", I (List.length outcome.o_plan.shards));
+                ("shard_budgets", S budgets);
+                ("valid_inputs", I (List.length r.valid_inputs));
+                ( "coverage_pct",
+                  F (Pdf_instr.Coverage.percent r.valid_coverage subject.registry)
+                );
+                ("first_valid_at", I (Option.value r.first_valid_at ~default:(-1)));
+                ("crash_identities", I (List.length r.crashes));
+                ("crash_total", I r.crash_total);
+                ("hangs", I r.hangs);
+                ("result_digest", S digest);
+              ];
+            Buffer.add_char buf '\n';
+            Pdf_util.Atomic_file.write_string path (Buffer.contents buf);
+            Printf.printf "# campaign summary written to %s\n" path);
+         Ok ())
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (pos_int "worker count") 2
+      & info [ "w"; "workers" ] ~docv:"N"
+          ~doc:
+            "Worker processes to fork. The merged result is bit-identical \
+             for every N — workers are concurrency, the shard plan is the \
+             computation.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (pos_int "shard count") 4
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Shards in the campaign plan: independent fuzzing runs with \
+             derived seeds and budget slices, dealt round-robin to the \
+             workers. Changing S changes the campaign; changing --workers \
+             does not.")
+  in
+  let frame_every =
+    Arg.(
+      value
+      & opt (pos_int "frame interval") 500
+      & info [ "frame-every" ] ~docv:"N"
+          ~doc:"Per-shard executions between progress sync frames.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt (nonneg_int "retries") 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Replay rounds for shards whose worker died before sending a \
+             final frame. Exits 2 when a shard is still missing after the \
+             last round.")
+  in
+  let kill_worker =
+    Arg.(
+      value
+      & opt (some (nonneg_int "worker id")) None
+      & info [ "kill-worker" ] ~docv:"W"
+          ~doc:
+            "Chaos drill: SIGKILL worker W at its first accepted frame. The \
+             campaign must still produce the bit-identical merged result by \
+             replaying the lost shards.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSONL trace: the coordinator's shard plan and worker \
+             lifecycle events, then every worker's per-shard event stream \
+             concatenated in shard order.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write a one-line JSON campaign summary with no timing fields: \
+             byte-identical across worker counts, so CI can diff the files \
+             from --workers 1 and --workers 4 directly.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary lines.")
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ subject_arg $ seed_arg $ executions_arg 20_000 $ workers
+         $ shards $ frame_every $ retries $ kill_worker $ trace $ out $ quiet))
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a distributed fuzzing campaign: a deterministic shard plan \
+          executed by N forked workers streaming sync frames to a merging \
+          coordinator. The result is bit-identical for every worker count.")
+    term
+
 (* run *)
 
 let run_cmd =
@@ -695,6 +891,7 @@ let () =
        (Cmd.group info
           [
             fuzz_cmd;
+            campaign_cmd;
             run_cmd;
             evaluate_cmd;
             trace_report_cmd;

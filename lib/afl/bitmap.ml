@@ -51,6 +51,17 @@ let merge ~into sparse =
       Bytes.set into edge (Char.chr (Char.code (Bytes.get into edge) lor v)))
     sparse
 
+let union a b =
+  let u = Bytes.create size in
+  for i = 0 to size - 1 do
+    Bytes.unsafe_set u i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get a i) lor Char.code (Bytes.unsafe_get b i)))
+  done;
+  u
+
+let equal = Bytes.equal
+
 let count_nonzero t =
   let n = ref 0 in
   for i = 0 to size - 1 do

@@ -35,4 +35,11 @@ val new_bits : virgin:t -> sparse -> bool
 val merge : into:t -> sparse -> unit
 (** Accumulate a run into the virgin map. *)
 
+val union : t -> t -> t
+(** Bitwise union of two virgin maps, into a fresh map. Commutative,
+    associative and idempotent — the merge a distributed campaign uses
+    to combine per-worker AFL maps in any grouping or arrival order. *)
+
+val equal : t -> t -> bool
+
 val count_nonzero : t -> int

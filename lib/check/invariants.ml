@@ -4,6 +4,7 @@ module Runner = Pdf_instr.Runner
 module Subject = Pdf_subjects.Subject
 module Pfuzzer = Pdf_core.Pfuzzer
 module Experiment = Pdf_eval.Experiment
+module Dist = Pdf_eval.Dist
 
 type check = { name : string; ok : bool; detail : string }
 
@@ -163,6 +164,7 @@ let results_equal (a : Pfuzzer.result) (b : Pfuzzer.result) =
   && a.hangs = b.hangs
   && a.crash_total = b.crash_total
   && a.crashes = b.crashes
+  && Pdf_instr.Hits.equal a.hits b.hits
 
 let run ?(execs = 400) ?(seed = 1) subject =
   let checks = ref [] in
@@ -340,6 +342,41 @@ let run ?(execs = 400) ?(seed = 1) subject =
     (Experiment.equal sequential parallel)
     (if Experiment.equal sequential parallel then "jobs:1 = jobs:3 on the full tool grid"
      else "jobs:1 and jobs:3 grids differ");
+  (* Distributed equivalence: the same campaign through the in-process
+     sequential reference and through fleets of 1, 2 and 4 workers must
+     merge to one bit-identical result — the shard plan, not the
+     process topology, defines the campaign. Grid determinism above has
+     already spawned domains, and OCaml 5 forbids [Unix.fork] for the
+     rest of the process's life after that, so the fleets here go
+     through [Dist.simulate_campaign] — same plan, assignment, wire
+     encode/decode and merge, minus the fork (forked campaigns are
+     exercised by [test_dist] and the CLI, which fork first). *)
+  let dist_shards = 4 in
+  let dist_ref = Dist.reference ~shards:dist_shards config subject in
+  let frame_every = max 1 (execs / (2 * dist_shards)) in
+  let dist_results =
+    List.map
+      (fun workers ->
+        Dist.simulate_campaign ~workers ~shards:dist_shards ~frame_every
+          config subject)
+      [ 1; 2; 4 ]
+  in
+  let dist_vs_ref = List.for_all (results_equal dist_ref) dist_results in
+  let dist_bytes = List.map (fun r -> Marshal.to_string r []) dist_results in
+  let dist_bitwise =
+    match dist_bytes with
+    | first :: rest -> List.for_all (String.equal first) rest
+    | [] -> false
+  in
+  add "dist-equivalence"
+    (dist_vs_ref && dist_bitwise)
+    (if dist_vs_ref && dist_bitwise then
+       Printf.sprintf
+         "reference = workers:1 = workers:2 = workers:4 (%d shards, in-process protocol)"
+         dist_shards
+     else if not dist_vs_ref then
+       "a simulated campaign diverged from the sequential reference"
+     else "merged results differ bitwise across worker counts");
   (* Trace/coverage agreement over a mixed sample: the fuzzer's valid
      inputs plus random strings. *)
   let rng = Rng.make (seed + 17) in

@@ -21,6 +21,11 @@
       cache accounting aside);
     - {b grid determinism}: [Experiment.run ~jobs:1] and [~jobs:3]
       produce semantically equal cells;
+    - {b distributed equivalence}: the same campaign through
+      {!Pdf_eval.Dist}'s in-process sequential reference and through
+      forked fleets of 1, 2 and 4 workers merges to one bit-identical
+      result — worker count, scheduling and frame arrival order are
+      invisible in the merged campaign;
     - {b trace/coverage agreement}: the [touched] first-occurrence
       order, the coverage bitset, [coverage_up_to_last_index] and
       [path_hash] are mutually consistent, and opting into the full
@@ -32,10 +37,10 @@ type report = { subject : string; checks : check list }
 
 val results_equal : Pdf_core.Pfuzzer.result -> Pdf_core.Pfuzzer.result -> bool
 (** Timing- and cache-insensitive campaign equality: same valid inputs,
-    coverage, execution/candidate/queue counters, hang count and crash
-    corpus. Wall-clock fields and cache accounting (including snapshot
-    rescues) are deliberately ignored — they may differ between runs
-    that are semantically the same campaign. *)
+    coverage, branch hit-counts, execution/candidate/queue counters,
+    hang count and crash corpus. Wall-clock fields and cache accounting
+    (including snapshot rescues) are deliberately ignored — they may
+    differ between runs that are semantically the same campaign. *)
 
 val runs_equal : Pdf_instr.Runner.run -> Pdf_instr.Runner.run -> bool
 (** Full observational equality of two executions: input, verdict,

@@ -81,6 +81,7 @@ let crash_bound = 256
 type result = {
   valid_inputs : string list;
   valid_coverage : Coverage.t;
+  hits : Pdf_instr.Hits.t;
   engine : string;
   executions : int;
   candidates_created : int;
@@ -130,6 +131,7 @@ module Checkpoint = struct
     ck_path_resets : int;
     ck_seen : string list;
     ck_paths : (int * int) list;
+    ck_hits : (int * int) list;  (* canonical Hits.to_list form *)
     ck_hangs : int;
     ck_crashes : ((string * int) * crash) list;  (* first-seen order *)
     ck_crash_total : int;
@@ -137,8 +139,9 @@ module Checkpoint = struct
 
   type t = payload
 
-  (* v2: [config] gained the [engine] and [batch] fields. *)
-  let version = 2
+  (* v2: [config] gained the [engine] and [batch] fields.
+     v3: the payload gained [ck_hits], the global branch hit-counts. *)
+  let version = 3
   let magic = "pfckpt"
 
   let subject_name t = t.ck_subject
@@ -154,6 +157,15 @@ module Checkpoint = struct
     Buffer.add_string b payload;
     Buffer.contents b
 
+  (* Error precedence is part of the decode contract and deliberately
+     explicit: length, then magic, then DIGEST, then version, then
+     unmarshal. The digest is verified before the version byte is
+     interpreted — the header layout (magic | version | MD5 | payload)
+     is frozen across versions precisely so this is well-defined — which
+     means corruption is never misreported as version skew: a file whose
+     bytes rotted reports "corrupted" even if the rot also hit the
+     version byte, while a clean checkpoint from another build reports a
+     genuine version mismatch. *)
   let decode s =
     let mlen = String.length magic in
     let hlen = mlen + 1 + 16 in
@@ -161,22 +173,48 @@ module Checkpoint = struct
     else if String.sub s 0 mlen <> magic then
       Error "not a pfuzzer checkpoint (bad magic)"
     else
-      let v = Char.code s.[mlen] in
-      if v <> version then
-        Error
-          (Printf.sprintf
-             "checkpoint version mismatch (file has v%d, this build reads v%d)"
-             v version)
+      let digest = String.sub s (mlen + 1) 16 in
+      let payload = String.sub s hlen (String.length s - hlen) in
+      if not (String.equal (Digest.string payload) digest) then
+        Error "checkpoint corrupted (payload digest mismatch)"
       else
-        let digest = String.sub s (mlen + 1) 16 in
-        let payload = String.sub s hlen (String.length s - hlen) in
-        if not (String.equal (Digest.string payload) digest) then
-          Error "checkpoint corrupted (payload digest mismatch)"
+        let v = Char.code s.[mlen] in
+        if v <> version then
+          Error
+            (Printf.sprintf
+               "checkpoint version mismatch (file has v%d, this build reads v%d)"
+               v version)
         else
           match (Marshal.from_string payload 0 : payload) with
           | p -> Ok p
           | exception _ ->
             Error "checkpoint payload unreadable (truncated or incompatible)"
+
+  (* The campaign-so-far as a result record — what a sync frame in a
+     distributed campaign carries. Cache accounting and wall-clock are
+     zero (a checkpoint deliberately excludes them), and [engine] is the
+     *requested* tier: a checkpoint cannot know whether the request
+     degraded, only the final per-shard result can, and final frames
+     supersede progress frames in the merge. *)
+  let partial_result t =
+    {
+      valid_inputs = List.rev t.ck_valid_rev;
+      valid_coverage = t.ck_vbr;
+      hits = Pdf_instr.Hits.of_list t.ck_hits;
+      engine = engine_to_string t.ck_config.engine;
+      executions = t.ck_executions;
+      candidates_created = t.ck_candidates_created;
+      queue_peak = t.ck_queue_peak;
+      first_valid_at = t.ck_first_valid_at;
+      dedupe_resets = t.ck_dedupe_resets;
+      path_resets = t.ck_path_resets;
+      cache = no_cache_stats;
+      crashes = List.map snd t.ck_crashes;
+      crash_total = t.ck_crash_total;
+      hangs = t.ck_hangs;
+      wall_clock_s = 0.0;
+      execs_per_sec = 0.0;
+    }
 
   let save path t = Atomic_file.write_string path (encode t)
 
@@ -217,6 +255,11 @@ type state = {
   obs : Obs.t option;
   mutable evictions_seen : int;
   mutable vbr : Coverage.t;  (* branches covered by valid inputs *)
+  (* Global branch hit-counts: how many executions reached each outcome,
+     across every verdict. The distributed sync protocol merges these
+     across shards (pointwise sum), so workers can learn what the fleet
+     has saturated. *)
+  mutable hits : Pdf_instr.Hits.t;
   mutable valid_rev : string list;
   mutable valid_count : int;
   mutable last_progress_at : int;  (* execution count when vbr last grew *)
@@ -474,6 +517,7 @@ let execute st ~prefix_len input =
          span_end st Phase.Exec t_exec;
          (run, false))
   in
+  Pdf_instr.Hits.record st.hits run.Runner.touched;
   (match st.on_execution with None -> () | Some f -> f run);
   (run, cached)
 
@@ -733,6 +777,7 @@ let make_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults ~rng config
     obs;
     evictions_seen = 0;
     vbr = Coverage.empty;
+    hits = Pdf_instr.Hits.create ();
     valid_rev = [];
     valid_count = 0;
     last_progress_at = 0;
@@ -776,6 +821,7 @@ let checkpoint_of st (current : Candidate.t) : Checkpoint.t =
     ck_path_resets = st.path_resets;
     ck_seen = Hashtbl.fold (fun k () acc -> k :: acc) st.seen_inputs [];
     ck_paths = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.path_counts [];
+    ck_hits = Pdf_instr.Hits.to_list st.hits;
     ck_hangs = st.hangs;
     ck_crashes =
       List.rev_map (fun key -> (key, Hashtbl.find st.crash_tab key))
@@ -803,6 +849,7 @@ let restore_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults
   List.iter (fun (key, cr) -> Hashtbl.replace st.crash_tab key cr) ck.ck_crashes;
   st.crash_order_rev <- List.rev_map fst ck.ck_crashes;
   st.vbr <- ck.ck_vbr;
+  st.hits <- Pdf_instr.Hits.of_list ck.ck_hits;
   st.valid_rev <- ck.ck_valid_rev;
   st.valid_count <- ck.ck_valid_count;
   st.first_valid_at <- ck.ck_first_valid_at;
@@ -900,6 +947,7 @@ let drive st ~first ~checkpoint_every ~on_checkpoint =
   {
     valid_inputs = List.rev st.valid_rev;
     valid_coverage = st.vbr;
+    hits = st.hits;
     engine = st.engine_label;
     executions = st.executions;
     candidates_created = st.candidates_created;

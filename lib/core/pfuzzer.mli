@@ -76,6 +76,10 @@ type result = {
   valid_coverage : Pdf_instr.Coverage.t;
       (** union of the full coverage of all valid inputs (the paper's
           [vBr]) *)
+  hits : Pdf_instr.Hits.t;
+      (** global branch hit-counts: how many executions (of any verdict)
+          reached each outcome. Deterministic for a fixed seed, and
+          mergeable across distributed shards by pointwise sum *)
   engine : string;
       (** the execution tier that actually ran: "compiled" or
           "interpreted" (also when a [Compiled] request degraded) *)
@@ -129,18 +133,36 @@ module Checkpoint : sig
   type t
 
   val version : int
-  (** Format version this build reads and writes (currently 2; v2 added
-      the [engine] and [batch] config fields). *)
+  (** Format version this build reads and writes (currently 3; v2 added
+      the [engine] and [batch] config fields, v3 the global branch
+      hit-counts). *)
 
   val subject_name : t -> string
   val executions : t -> int
   val config : t -> config
 
+  val partial_result : t -> result
+  (** The campaign-so-far captured by this checkpoint, as a result
+      record: valid inputs in discovery order, valid coverage, branch
+      hit-counts, crash corpus and all deterministic counters at the
+      checkpoint instant. Cache accounting and wall-clock fields are
+      zero (checkpoints deliberately exclude them), and [engine] is the
+      {e requested} tier from the config — whether the request degraded
+      is only known to the live campaign. Distributed workers serialize
+      this as their periodic sync frames. *)
+
   val encode : t -> string
 
   val decode : string -> (t, string) Stdlib.result
   (** Inverse of {!encode}; [Error] carries a one-line human-readable
-      reason (bad magic, version mismatch, digest mismatch, …). *)
+      reason. The error precedence is explicit and stable: a too-short
+      file, then bad magic, then a {b payload digest mismatch}, then a
+      {b version mismatch}, then an unreadable payload. The digest is
+      verified {e before} the version byte is interpreted (the header
+      layout is frozen across versions, so this is well-defined):
+      corruption is never misreported as version skew even when the rot
+      hits the version byte, and a clean checkpoint from another build
+      reports a genuine version mismatch. *)
 
   val save : string -> t -> unit
   (** Atomic write-to-temp-then-rename; a kill mid-save leaves the
@@ -176,8 +198,18 @@ val fuzz :
     corruption) instead of executed normally, and the campaign must keep
     going. [on_checkpoint] is called with a fresh {!Checkpoint.t} every
     [checkpoint_every] (default 1000) executions, at a loop-top instant;
-    what to do with it (typically {!Checkpoint.save}) is the caller's
-    choice. [initial_inputs] seeds the candidate queue — the §6.2
+    what to do with it (typically {!Checkpoint.save}, or serializing
+    {!Checkpoint.partial_result} as a distributed sync frame) is the
+    caller's choice.
+
+    Exception contract: subject exceptions never escape [fuzz] — they
+    are contained as [Crash] verdicts by {!Pdf_instr.Runner} and triaged
+    into [result.crashes]. This holds identically when [fuzz] runs
+    inside a distributed worker process ([Pdf_eval.Dist]); the death of
+    the worker process itself is outside this function's contract and is
+    recovered by the coordinator replaying the shard.
+
+    [initial_inputs] seeds the candidate queue — the §6.2
     hand-over point when pFuzzer continues from a lexical fuzzer's
     corpus. *)
 

@@ -1,0 +1,673 @@
+module Pfuzzer = Pdf_core.Pfuzzer
+module Rng = Pdf_util.Rng
+module Atomic_file = Pdf_util.Atomic_file
+module Subject = Pdf_subjects.Subject
+module Observer = Pdf_obs.Observer
+module Event = Pdf_obs.Event
+module Trace = Pdf_obs.Trace
+
+(* {1 Shard plan} *)
+
+type shard = { shard_id : int; shard_seed : int; shard_budget : int }
+type plan = { base : Pfuzzer.config; shards : shard list }
+
+let plan ?(shards = 4) (config : Pfuzzer.config) =
+  if shards < 1 then invalid_arg "Dist.plan: shards must be positive";
+  let s = max 1 (min shards config.max_executions) in
+  let rng = Rng.make config.seed in
+  let base = config.max_executions / s in
+  let extra = config.max_executions mod s in
+  (* Explicit recursion: each seed is the next SplitMix64 draw, so the
+     draws must happen in shard order. *)
+  let rec build i acc =
+    if i = s then List.rev acc
+    else
+      let seed = Int64.to_int (Rng.bits64 rng) land max_int in
+      let budget = base + if i < extra then 1 else 0 in
+      build (i + 1) ({ shard_id = i; shard_seed = seed; shard_budget = budget } :: acc)
+  in
+  { base = config; shards = build 0 [] }
+
+let shard_config p sh =
+  { p.base with Pfuzzer.seed = sh.shard_seed; max_executions = sh.shard_budget }
+
+let shard_offsets p =
+  let n = List.length p.shards in
+  let offsets = Array.make n 0 in
+  let acc = ref 0 in
+  List.iter
+    (fun sh ->
+      offsets.(sh.shard_id) <- !acc;
+      acc := !acc + sh.shard_budget)
+    p.shards;
+  offsets
+
+(* Timing is scheduling-dependent; everything a frame carries must be a
+   pure function of the shard, so final results are scrubbed before
+   they are encoded. *)
+let scrub (r : Pfuzzer.result) = { r with wall_clock_s = 0.0; execs_per_sec = 0.0 }
+
+(* {1 Sync frames} *)
+
+module Frame = struct
+  type t = { shard : int; seq : int; final : bool; result : Pfuzzer.result }
+
+  let magic = "pfsync"
+  let version = 1
+
+  (* Frames cross a pipe, not a filesystem: anything claiming to be
+     larger than this is a corrupted length prefix, not a real frame. *)
+  let max_body = 1 lsl 28
+
+  let encode_body t =
+    let payload = Marshal.to_string t [] in
+    let b = Buffer.create (String.length payload + 32) in
+    Buffer.add_string b magic;
+    Buffer.add_char b (Char.chr version);
+    Buffer.add_string b (Digest.string payload);
+    Buffer.add_string b payload;
+    Buffer.contents b
+
+  let encode t =
+    let body = encode_body t in
+    let n = String.length body in
+    let b = Bytes.create (4 + n) in
+    Bytes.set_int32_be b 0 (Int32.of_int n);
+    Bytes.blit_string body 0 b 4 n;
+    Bytes.unsafe_to_string b
+
+  (* Same precedence contract as [Pfuzzer.Checkpoint.decode]: length,
+     magic, digest, version, unmarshal — digest before version, so
+     corruption is never misreported as version skew. *)
+  let decode_body s =
+    let mlen = String.length magic in
+    let hlen = mlen + 1 + 16 in
+    if String.length s < hlen then Error "sync frame too short to be valid"
+    else if String.sub s 0 mlen <> magic then
+      Error "not a pfuzzer sync frame (bad magic)"
+    else
+      let digest = String.sub s (mlen + 1) 16 in
+      let payload = String.sub s hlen (String.length s - hlen) in
+      if not (String.equal (Digest.string payload) digest) then
+        Error "sync frame corrupted (payload digest mismatch)"
+      else
+        let v = Char.code s.[mlen] in
+        if v <> version then
+          Error
+            (Printf.sprintf
+               "sync frame version mismatch (frame has v%d, this build reads v%d)"
+               v version)
+        else
+          match (Marshal.from_string payload 0 : t) with
+          | f -> Ok f
+          | exception _ ->
+            Error "sync frame payload unreadable (truncated or incompatible)"
+
+  module Decoder = struct
+    type frame = t
+
+    type status = Alive | Dead
+
+    type t = {
+      mutable pending : string;
+      mutable off : int;
+      mutable status : status;
+    }
+
+    let create () = { pending = ""; off = 0; status = Alive }
+
+    let feed d chunk n =
+      match d.status with
+      | Dead -> ()
+      | Alive ->
+        let keep = String.length d.pending - d.off in
+        let b = Bytes.create (keep + n) in
+        Bytes.blit_string d.pending d.off b 0 keep;
+        Bytes.blit chunk 0 b keep n;
+        d.pending <- Bytes.unsafe_to_string b;
+        d.off <- 0
+
+    let u32 s i =
+      (Char.code s.[i] lsl 24)
+      lor (Char.code s.[i + 1] lsl 16)
+      lor (Char.code s.[i + 2] lsl 8)
+      lor Char.code s.[i + 3]
+
+    let next d : [ `Frame of frame | `Reject of string | `Await ] =
+      match d.status with
+      | Dead -> `Await
+      | Alive ->
+        let avail = String.length d.pending - d.off in
+        if avail < 4 then `Await
+        else
+          let n = u32 d.pending d.off in
+          if n > max_body then begin
+            (* A garbage length prefix leaves nothing to resynchronise
+               on: the stream is dead, its owner will be replayed. *)
+            d.status <- Dead;
+            `Reject (Printf.sprintf "sync frame length implausible (%d bytes)" n)
+          end
+          else if avail < 4 + n then `Await
+          else begin
+            let body = String.sub d.pending (d.off + 4) n in
+            d.off <- d.off + 4 + n;
+            match decode_body body with
+            | Ok f -> `Frame f
+            | Error e -> `Reject e
+          end
+
+    let finish d =
+      match d.status with
+      | Dead -> None
+      | Alive ->
+        let avail = String.length d.pending - d.off in
+        if avail = 0 then None
+        else if avail < 4 then
+          Some "truncated sync frame (incomplete length prefix)"
+        else Some "truncated sync frame (body shorter than declared length)"
+  end
+end
+
+(* {1 Merge} *)
+
+module IntMap = Map.Make (Int)
+
+module Merge = struct
+  type entry = { e_frame : Frame.t; e_bytes : string }
+  type state = entry IntMap.t
+
+  let entry f = { e_frame = f; e_bytes = Frame.encode_body f }
+
+  (* Total order on a shard's frames: progress clock, then finality,
+     then the canonical encoded bytes. The bytes tie-break makes the
+     order total on {e arbitrary} frames (the property tests feed
+     adversarial ones with colliding [seq]), which is what turns
+     per-shard max into a true semilattice join. *)
+  let cmp a b =
+    let c = compare a.e_frame.Frame.seq b.e_frame.Frame.seq in
+    if c <> 0 then c
+    else
+      let c = Bool.compare a.e_frame.Frame.final b.e_frame.Frame.final in
+      if c <> 0 then c else String.compare a.e_bytes b.e_bytes
+
+  let add_entry st e =
+    IntMap.update e.e_frame.Frame.shard
+      (function
+        | None -> Some e
+        | Some cur -> Some (if cmp e cur > 0 then e else cur))
+      st
+
+  let empty = IntMap.empty
+  let add st f = add_entry st (entry f)
+  let join a b = IntMap.fold (fun _ e acc -> add_entry acc e) b a
+  let equal a b = IntMap.equal (fun x y -> String.equal x.e_bytes y.e_bytes) a b
+  let frames st = List.map (fun (_, e) -> e.e_frame) (IntMap.bindings st)
+
+  let missing p st =
+    List.filter
+      (fun sh ->
+        match IntMap.find_opt sh.shard_id st with
+        | Some { e_frame = { Frame.final = true; _ }; _ } -> false
+        | _ -> true)
+      p.shards
+end
+
+(* {1 Result merge} *)
+
+let sum_cache (a : Pfuzzer.cache_stats) (b : Pfuzzer.cache_stats) =
+  {
+    Pfuzzer.hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    evictions = a.evictions + b.evictions;
+    chars_saved = a.chars_saved + b.chars_saved;
+    rescues = a.rescues + b.rescues;
+  }
+
+let merge_results p (results : Pfuzzer.result list) =
+  let n = List.length p.shards in
+  if List.length results <> n then
+    invalid_arg "Dist.merge_results: one result per plan shard required";
+  let offsets = shard_offsets p in
+  let results = Array.of_list results in
+  (* Valid inputs: shard-order concatenation, first occurrence wins. *)
+  let seen = Hashtbl.create 64 in
+  let valid_rev = ref [] in
+  Array.iter
+    (fun (r : Pfuzzer.result) ->
+      List.iter
+        (fun input ->
+          if not (Hashtbl.mem seen input) then begin
+            Hashtbl.add seen input ();
+            valid_rev := input :: !valid_rev
+          end)
+        r.valid_inputs)
+    results;
+  (* Crashes: re-keyed by identity; the first sighting in shard order is
+     also the earliest on the global clock (shard ranges are disjoint
+     and increasing), so it keeps the witness input and [first_at]. *)
+  let crash_tbl : (string * int, Pfuzzer.crash) Hashtbl.t = Hashtbl.create 16 in
+  let crash_order = ref [] in
+  Array.iteri
+    (fun i (r : Pfuzzer.result) ->
+      List.iter
+        (fun (c : Pfuzzer.crash) ->
+          let key = (c.exn, c.site) in
+          match Hashtbl.find_opt crash_tbl key with
+          | None ->
+            Hashtbl.add crash_tbl key { c with first_at = offsets.(i) + c.first_at };
+            crash_order := key :: !crash_order
+          | Some prev ->
+            Hashtbl.replace crash_tbl key { prev with count = prev.count + c.count })
+        r.crashes)
+    results;
+  let fold f init = Array.fold_left f init results in
+  let first_valid_at =
+    let best = ref None in
+    Array.iteri
+      (fun i (r : Pfuzzer.result) ->
+        match r.first_valid_at with
+        | None -> ()
+        | Some at ->
+          let g = offsets.(i) + at in
+          (match !best with Some b when b <= g -> () | _ -> best := Some g))
+      results;
+    !best
+  in
+  {
+    Pfuzzer.valid_inputs = List.rev !valid_rev;
+    valid_coverage =
+      fold
+        (fun acc (r : Pfuzzer.result) ->
+          Pdf_instr.Coverage.union acc r.valid_coverage)
+        Pdf_instr.Coverage.empty;
+    hits =
+      fold
+        (fun acc (r : Pfuzzer.result) -> Pdf_instr.Hits.merge acc r.hits)
+        (Pdf_instr.Hits.create ());
+    engine = results.(0).engine;
+    executions = fold (fun acc (r : Pfuzzer.result) -> acc + r.executions) 0;
+    candidates_created =
+      fold (fun acc (r : Pfuzzer.result) -> acc + r.candidates_created) 0;
+    queue_peak = fold (fun acc (r : Pfuzzer.result) -> max acc r.queue_peak) 0;
+    first_valid_at;
+    dedupe_resets = fold (fun acc (r : Pfuzzer.result) -> acc + r.dedupe_resets) 0;
+    path_resets = fold (fun acc (r : Pfuzzer.result) -> acc + r.path_resets) 0;
+    cache =
+      fold
+        (fun acc (r : Pfuzzer.result) -> sum_cache acc r.cache)
+        Pfuzzer.no_cache_stats;
+    crashes =
+      List.map (fun key -> Hashtbl.find crash_tbl key) (List.rev !crash_order);
+    crash_total = fold (fun acc (r : Pfuzzer.result) -> acc + r.crash_total) 0;
+    hangs = fold (fun acc (r : Pfuzzer.result) -> acc + r.hangs) 0;
+    wall_clock_s = 0.0;
+    execs_per_sec = 0.0;
+  }
+
+(* {1 Shard execution (shared by workers and the reference)} *)
+
+let run_shard ?obs ?frame_every ?send p subject sh =
+  let cfg = shard_config p sh in
+  let on_checkpoint =
+    Option.map
+      (fun send ck ->
+        send
+          {
+            Frame.shard = sh.shard_id;
+            seq = Pfuzzer.Checkpoint.executions ck;
+            final = false;
+            result = Pfuzzer.Checkpoint.partial_result ck;
+          })
+      send
+  in
+  Pfuzzer.fuzz ?obs ?checkpoint_every:frame_every ?on_checkpoint cfg subject
+
+let reference ?shards config subject =
+  let p = plan ?shards config in
+  merge_results p (List.map (fun sh -> scrub (run_shard p subject sh)) p.shards)
+
+(* In-process re-enactment of an N-worker campaign: same shard plan,
+   same round-robin assignment, and the full wire path (encode, chunked
+   decode, order-insensitive merge) — only the fork is missing. This is
+   the fallback when the process has already spawned domains, which
+   OCaml 5 forbids mixing with [Unix.fork]. *)
+let simulate_campaign ?shards ?(frame_every = 500) ~workers config subject =
+  let p = plan ?shards config in
+  let nspawn = min (max 1 workers) (List.length p.shards) in
+  let stream w_id =
+    let buf = Buffer.create 4096 in
+    let send f = Buffer.add_string buf (Frame.encode f) in
+    List.iter
+      (fun sh ->
+        if sh.shard_id mod nspawn = w_id then begin
+          let result = run_shard ~frame_every ~send p subject sh in
+          send
+            {
+              Frame.shard = sh.shard_id;
+              seq = sh.shard_budget + 1;
+              final = true;
+              result = scrub result;
+            }
+        end)
+      p.shards;
+    Buffer.contents buf
+  in
+  let streams = Array.init nspawn stream in
+  let pos = Array.make nspawn 0 in
+  let decs = Array.init nspawn (fun _ -> Frame.Decoder.create ()) in
+  let st = ref Merge.empty in
+  (* Interleave the worker streams in odd-sized chunks so frames arrive
+     split across reads, as they do from a real pipe. *)
+  let chunk = 4093 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iteri
+      (fun w s ->
+        let len = String.length s - pos.(w) in
+        if len > 0 then begin
+          progress := true;
+          let n = min chunk len in
+          Frame.Decoder.feed decs.(w)
+            (Bytes.of_string (String.sub s pos.(w) n))
+            n;
+          pos.(w) <- pos.(w) + n;
+          let rec drain () =
+            match Frame.Decoder.next decs.(w) with
+            | `Frame f ->
+              st := Merge.add !st f;
+              drain ()
+            | `Reject reason -> failwith ("Dist.simulate_campaign: " ^ reason)
+            | `Await -> ()
+          in
+          drain ()
+        end)
+      streams
+  done;
+  let finals =
+    List.map
+      (fun (f : Frame.t) ->
+        assert f.final;
+        f.result)
+      (Merge.frames !st)
+  in
+  merge_results p finals
+
+(* {1 Worker processes} *)
+
+let rec write_all fd b off len =
+  if len > 0 then
+    match Unix.write fd b off len with
+    | n -> write_all fd b (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b off len
+
+let shard_trace_path dir sh = Filename.concat dir (Printf.sprintf "shard%04d.jsonl" sh.shard_id)
+
+(* Runs inside the forked child: execute the assigned shards in
+   ascending order, streaming frames to [fd]. Per-shard telemetry is
+   buffered in-process and dropped into [trace_dir] at shard end, so
+   the coordinator can concatenate the streams in shard order. *)
+let worker_main ~fd ~frame_every ~trace_dir p subject shards =
+  List.iter
+    (fun sh ->
+      let buffered =
+        Option.map (fun dir -> (dir, Trace.buffer ())) trace_dir
+      in
+      let obs =
+        Option.map (fun (_, (sink, _)) -> Observer.create ~sink ()) buffered
+      in
+      let send f =
+        let s = Frame.encode f in
+        write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+      in
+      let result = run_shard ?obs ~frame_every ~send p subject sh in
+      Option.iter
+        (fun (dir, (_, contents)) ->
+          Atomic_file.write_string (shard_trace_path dir sh) (contents ()))
+        buffered;
+      send
+        {
+          Frame.shard = sh.shard_id;
+          seq = sh.shard_budget + 1;
+          final = true;
+          result = scrub result;
+        })
+    shards
+
+(* {1 The coordinator} *)
+
+type outcome = {
+  result : Pfuzzer.result;
+  o_plan : plan;
+  workers : int;
+  frames_accepted : int;
+  frames_rejected : (int * string) list;
+  replays : int;
+  worker_status : (int * string) list;
+  shard_traces : string list;
+  wall_clock_s : float;
+}
+
+type wrec = {
+  w_id : int;
+  w_pid : int;
+  w_fd : Unix.file_descr;
+  w_dec : Frame.Decoder.t;
+  w_shards : shard list;
+  mutable w_killed : bool;
+}
+
+let status_string = function
+  | Unix.WEXITED c -> Printf.sprintf "exit:%d" c
+  | Unix.WSIGNALED s ->
+    (* OCaml numbers signals internally; report the conventional POSIX
+       number for the ones a campaign can realistically meet. *)
+    let posix =
+      if s = Sys.sigkill then 9
+      else if s = Sys.sigterm then 15
+      else if s = Sys.sigint then 2
+      else if s = Sys.sigsegv then 11
+      else if s = Sys.sigpipe then 13
+      else abs s
+    in
+    Printf.sprintf "signal:%d" posix
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped:%d" s
+
+let rec waitpid_eintr pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_eintr pid
+
+let rec read_eintr fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_eintr fd buf
+
+let run_campaign ?(workers = 2) ?shards ?(frame_every = 500) ?(retries = 2)
+    ?(trace = false) ?obs ?kill_worker config subject =
+  let t0 = Unix.gettimeofday () in
+  let p = plan ?shards config in
+  let emit ev =
+    match obs with Some o -> Observer.emit o ~exec:0 ev | None -> ()
+  in
+  List.iter
+    (fun sh ->
+      emit (Event.Shard { shard = sh.shard_id; seed = sh.shard_seed; budget = sh.shard_budget }))
+    p.shards;
+  let trace_dir = if trace then Some (Filename.temp_dir "pfdist" "") else None in
+  let accepted = ref 0 in
+  let rejected = ref [] in
+  let statuses = ref [] in
+  let replays = ref 0 in
+  let spawn ~extra_close w_id shards =
+    let r, w = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+      (* Child: sees only its own write end. [_exit], not [exit] — the
+         parent's at_exit handlers and channel buffers are not ours to
+         run or flush. *)
+      (try
+         Unix.close r;
+         List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) extra_close;
+         worker_main ~fd:w ~frame_every ~trace_dir p subject shards;
+         Unix.close w;
+         Unix._exit 0
+       with _ -> Unix._exit 3)
+    | pid ->
+      Unix.close w;
+      emit (Event.Worker_spawn { worker = w_id; pid; shards = List.length shards });
+      {
+        w_id;
+        w_pid = pid;
+        w_fd = r;
+        w_dec = Frame.Decoder.create ();
+        w_shards = shards;
+        w_killed = false;
+      }
+  in
+  let on_frame w (f : Frame.t) =
+    incr accepted;
+    emit
+      (Event.Worker_frame
+         { worker = w.w_id; shard = f.shard; seq = f.seq; final = f.final });
+    if (not w.w_killed) && kill_worker = Some w.w_id then begin
+      w.w_killed <- true;
+      Unix.kill w.w_pid Sys.sigkill
+    end
+  in
+  let on_reject w reason = rejected := (w.w_id, reason) :: !rejected in
+  let drain st w =
+    let rec go st =
+      match Frame.Decoder.next w.w_dec with
+      | `Frame f ->
+        let st = Merge.add st f in
+        on_frame w f;
+        go st
+      | `Reject reason ->
+        on_reject w reason;
+        go st
+      | `Await -> st
+    in
+    go st
+  in
+  let buf = Bytes.create 65536 in
+  (* Read every live pipe until all workers reach EOF; frames arrive in
+     whatever order the kernel delivers them, which is exactly what the
+     order-insensitive merge absorbs. *)
+  let rec supervise st live =
+    match live with
+    | [] -> st
+    | _ -> (
+      match Unix.select (List.map (fun w -> w.w_fd) live) [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> supervise st live
+      | ready, _, _ ->
+        let st = ref st in
+        let live =
+          List.filter
+            (fun w ->
+              if not (List.mem w.w_fd ready) then true
+              else begin
+                let n = read_eintr w.w_fd buf in
+                if n > 0 then begin
+                  Frame.Decoder.feed w.w_dec buf n;
+                  st := drain !st w;
+                  true
+                end
+                else begin
+                  (match Frame.Decoder.finish w.w_dec with
+                   | Some reason -> on_reject w reason
+                   | None -> ());
+                  Unix.close w.w_fd;
+                  let status = status_string (waitpid_eintr w.w_pid) in
+                  statuses := (w.w_id, status) :: !statuses;
+                  let missing =
+                    Merge.missing { p with shards = w.w_shards } !st
+                  in
+                  emit
+                    (Event.Worker_exit
+                       { worker = w.w_id; status; missing = List.length missing });
+                  false
+                end
+              end)
+            live
+        in
+        supervise !st live)
+  in
+  (* Initial fleet: shards dealt round-robin across the worker count. *)
+  let nworkers = max 1 workers in
+  let nspawn = min nworkers (List.length p.shards) in
+  let assignment w_id =
+    List.filter (fun sh -> sh.shard_id mod nspawn = w_id) p.shards
+  in
+  let fleet = ref [] in
+  for w_id = 0 to nspawn - 1 do
+    let extra_close = List.map (fun w -> w.w_fd) !fleet in
+    fleet := spawn ~extra_close w_id (assignment w_id) :: !fleet
+  done;
+  let st = ref (supervise Merge.empty (List.rev !fleet)) in
+  (* Replay rounds: shards whose final frame never arrived get a fresh
+     worker, [retries] times — the process-level analogue of
+     [Parallel.map_retry]'s bounded sequential retries. *)
+  let next_id = ref nspawn in
+  let attempt = ref 0 in
+  let rec replay () =
+    match Merge.missing p !st with
+    | [] -> ()
+    | miss ->
+      incr attempt;
+      if !attempt > retries then
+        failwith
+          (Printf.sprintf
+             "dist: shard(s) %s produced no final frame after %d replay round(s)"
+             (String.concat ", "
+                (List.map (fun sh -> string_of_int sh.shard_id) miss))
+             retries);
+      List.iter
+        (fun sh ->
+          incr replays;
+          emit
+            (Event.Retry
+               {
+                 what = "shard";
+                 attempt = !attempt;
+                 detail = Printf.sprintf "shard %d replayed after worker death" sh.shard_id;
+               }))
+        miss;
+      let w = spawn ~extra_close:[] !next_id miss in
+      incr next_id;
+      st := supervise !st [ w ];
+      replay ()
+  in
+  replay ();
+  let finals =
+    List.map
+      (fun (f : Frame.t) ->
+        assert f.final;
+        f.result)
+      (Merge.frames !st)
+  in
+  let result = merge_results p finals in
+  let shard_traces =
+    match trace_dir with
+    | None -> []
+    | Some dir ->
+      let streams =
+        List.map (fun sh -> Atomic_file.read_string (shard_trace_path dir sh)) p.shards
+      in
+      List.iter
+        (fun sh -> try Sys.remove (shard_trace_path dir sh) with Sys_error _ -> ())
+        p.shards;
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+      streams
+  in
+  {
+    result;
+    o_plan = p;
+    workers = nworkers;
+    frames_accepted = !accepted;
+    frames_rejected = List.rev !rejected;
+    replays = !replays;
+    worker_status = List.rev !statuses;
+    shard_traces;
+    wall_clock_s = Unix.gettimeofday () -. t0;
+  }

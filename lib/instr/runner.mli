@@ -61,8 +61,14 @@ val exec :
     [Crash] with the observations accumulated up to the raise. A
     misbehaving subject can therefore never abort a campaign; crashes
     are ordinary verdicts that the fuzzer triages and keeps fuzzing
-    past. [track_trace] (default false) fills the [trace] field; see
-    {!Ctx.make}. *)
+    past. The same containment holds inside a distributed worker
+    process: a subject exception becomes a [Crash] in that shard's
+    result, exactly as it would in-process. What this contract does
+    {e not} cover is the worker process itself dying (a signal, an
+    [exit], OOM) — that is handled one level up by the coordinator,
+    which replays the whole shard; determinism makes the replay
+    indistinguishable from a run that never died. [track_trace]
+    (default false) fills the [trace] field; see {!Ctx.make}. *)
 
 val accepted : run -> bool
 

@@ -44,6 +44,26 @@ let test_bitmap_count () =
   Bitmap.merge ~into:virgin (Bitmap.sparse_of_trace b [| 1; 2; 3 |]);
   Alcotest.(check bool) "populated" true (Bitmap.count_nonzero virgin > 0)
 
+let test_bitmap_union () =
+  let b = Bitmap.builder () in
+  let m1 = Bitmap.create () and m2 = Bitmap.create () in
+  let s1 = Bitmap.sparse_of_trace b [| 1; 2; 3 |] in
+  let s2 = Bitmap.sparse_of_trace b [| 3; 4; 5 |] in
+  Bitmap.merge ~into:m1 s1;
+  Bitmap.merge ~into:m2 s2;
+  let u = Bitmap.union m1 m2 in
+  Alcotest.(check bool) "commutative" true
+    (Bitmap.equal u (Bitmap.union m2 m1));
+  Alcotest.(check bool) "idempotent" true
+    (Bitmap.equal (Bitmap.union m1 m1) m1);
+  Alcotest.(check bool) "empty map is the identity" true
+    (Bitmap.equal (Bitmap.union m1 (Bitmap.create ())) m1);
+  (* The union subsumes both inputs: neither run lights new bits. *)
+  Alcotest.(check bool) "left input subsumed" false (Bitmap.new_bits ~virgin:u s1);
+  Alcotest.(check bool) "right input subsumed" false (Bitmap.new_bits ~virgin:u s2);
+  Alcotest.(check bool) "union at least as populated" true
+    (Bitmap.count_nonzero u >= max (Bitmap.count_nonzero m1) (Bitmap.count_nonzero m2))
+
 let prop_sparse_edge_count =
   QCheck.Test.make ~name:"one edge per trace step" ~count:200
     QCheck.(small_list small_nat)
@@ -149,6 +169,8 @@ let () =
           Alcotest.test_case "hit buckets" `Quick test_bitmap_hit_buckets;
           Alcotest.test_case "builder reuse" `Quick test_bitmap_builder_reuse;
           Alcotest.test_case "count nonzero" `Quick test_bitmap_count;
+          Alcotest.test_case "union is a distributed-merge join" `Quick
+            test_bitmap_union;
           qtest prop_sparse_edge_count;
         ] );
       ( "mutator",

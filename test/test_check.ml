@@ -173,8 +173,8 @@ let test_invariants_smoke () =
     (fun (s : Subject.t) ->
       let r = Invariants.run ~execs:150 ~seed:5 s in
       Alcotest.(check int)
-        (Printf.sprintf "%s: nine invariants evaluated" s.name)
-        9
+        (Printf.sprintf "%s: ten invariants evaluated" s.name)
+        10
         (List.length r.checks);
       if not (Invariants.ok r) then
         Alcotest.failf "%s" (Format.asprintf "%a" Invariants.pp_report r))

@@ -337,6 +337,36 @@ let test_checkpoint_rejects_damage () =
     (String.sub enc 0 (String.length enc - 5))
     "digest mismatch"
 
+(* The decode error precedence is explicit: the payload digest is
+   verified before the version byte is interpreted, so a file that is
+   both corrupted and version-skewed reports corruption — rot is never
+   misreported as skew — while a clean file from another build reports
+   the genuine version mismatch. Both orders of damage are pinned. *)
+let test_checkpoint_digest_before_version () =
+  let _, ck, _ = capture_checkpoint "paren" in
+  let enc = Pfuzzer.Checkpoint.encode ck in
+  (* Skew alone: digest intact, version reported. *)
+  let skewed = Bytes.of_string enc in
+  Bytes.set skewed 6 (Char.chr (Char.code enc.[6] + 1));
+  expect_decode_error "skew only" (Bytes.to_string skewed) "version mismatch";
+  (* Corruption alone: digest reported. *)
+  let rotted = Bytes.of_string enc in
+  Bytes.set rotted 40 (Char.chr (Char.code enc.[40] lxor 0xff));
+  expect_decode_error "rot only" (Bytes.to_string rotted) "digest mismatch";
+  (* Corruption applied first, then skew: digest wins. *)
+  let rot_then_skew = Bytes.of_string enc in
+  Bytes.set rot_then_skew 40 (Char.chr (Char.code enc.[40] lxor 0xff));
+  Bytes.set rot_then_skew 6 (Char.chr (Char.code enc.[6] + 1));
+  expect_decode_error "rot then skew" (Bytes.to_string rot_then_skew)
+    "digest mismatch";
+  (* Skew applied first, then corruption: same verdict — the order the
+     damage happened in cannot matter, only the precedence does. *)
+  let skew_then_rot = Bytes.of_string enc in
+  Bytes.set skew_then_rot 6 (Char.chr (Char.code enc.[6] + 1));
+  Bytes.set skew_then_rot 40 (Char.chr (Char.code enc.[40] lxor 0xff));
+  expect_decode_error "skew then rot" (Bytes.to_string skew_then_rot)
+    "digest mismatch"
+
 let test_checkpoint_file_roundtrip () =
   let _, ck, _ = capture_checkpoint "csv" in
   let path = Filename.temp_file "pfuzzer_ck" ".bin" in
@@ -609,6 +639,8 @@ let () =
             test_checkpoint_roundtrip;
           Alcotest.test_case "checkpoint rejects damage" `Quick
             test_checkpoint_rejects_damage;
+          Alcotest.test_case "digest mismatch outranks version skew" `Quick
+            test_checkpoint_digest_before_version;
           Alcotest.test_case "checkpoint file round-trip" `Quick
             test_checkpoint_file_roundtrip;
           Alcotest.test_case "resume equivalence on every subject" `Slow

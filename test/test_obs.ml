@@ -98,6 +98,17 @@ let golden =
         (Event.Run_done { valid = 1; cov = 12; wall_ns = 400; execs_per_sec = 50.5 }),
       {|{"ev":"run_done","t":90,"n":5,"valid":1,"cov":12,"wall_ns":400,"execs_per_sec":50.5}|}
     );
+    ( stamp 91 0 (Event.Shard { shard = 2; seed = 77; budget = 500 }),
+      {|{"ev":"shard","t":91,"n":0,"shard":2,"seed":77,"budget":500}|} );
+    ( stamp 92 0 (Event.Worker_spawn { worker = 1; pid = 4242; shards = 2 }),
+      {|{"ev":"worker_spawn","t":92,"n":0,"worker":1,"pid":4242,"shards":2}|} );
+    ( stamp 93 0
+        (Event.Worker_frame { worker = 1; shard = 2; seq = 250; final = false }),
+      {|{"ev":"worker_frame","t":93,"n":0,"worker":1,"shard":2,"seq":250,"final":false}|}
+    );
+    ( stamp 94 0 (Event.Worker_exit { worker = 1; status = "signal:9"; missing = 1 }),
+      {|{"ev":"worker_exit","t":94,"n":0,"worker":1,"status":"signal:9","missing":1}|}
+    );
   ]
 
 let test_golden_lines () =
