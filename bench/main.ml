@@ -11,7 +11,7 @@
    Sections: table-1 table-2 table-3 table-4 figure-2 figure-3 headline
              ablation-dyck ablation-heuristic ablation-grammar
              ablation-tables ablation-token-taints ablation-semantics
-             pipeline micro incremental compiled obs dist
+             pipeline micro incremental compiled obs dist loop
 
    --out FILE dumps the machine-readable results of the sections that
    produce them (micro, incremental, obs) as JSON — the CI bench smoke
@@ -40,6 +40,7 @@ type options = {
   quick : bool;
   out : string option;
   trace : string option;
+  minor_heap : int;  (* words; 0 keeps the runtime default *)
 }
 
 let valid_sections =
@@ -47,12 +48,12 @@ let valid_sections =
     "table-1"; "table-2"; "table-3"; "table-4"; "figure-2"; "figure-3";
     "headline"; "ablation-dyck"; "ablation-heuristic"; "ablation-grammar";
     "ablation-tables"; "ablation-token-taints"; "ablation-semantics";
-    "pipeline"; "micro"; "incremental"; "compiled"; "obs"; "dist";
+    "pipeline"; "micro"; "incremental"; "compiled"; "obs"; "dist"; "loop";
   ]
 
 let usage_line =
   "usage: main.exe [--quick] [--budget N] [--seeds S1,S2,...] [--jobs N|auto] \
-   [--out FILE] [--trace FILE] [SECTION...]\n\
+   [--out FILE] [--trace FILE] [--minor-heap WORDS] [SECTION...]\n\
    sections: " ^ String.concat " " valid_sections
 
 let die fmt =
@@ -76,6 +77,7 @@ let parse_args () =
   let quick = ref false in
   let out = ref None in
   let trace = ref None in
+  let minor_heap = ref 0 in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -103,7 +105,12 @@ let parse_args () =
     | "--trace" :: v :: rest ->
       trace := Some v;
       go rest
-    | [ ("--budget" | "--seeds" | "--jobs" | "--out" | "--trace") ] ->
+    | "--minor-heap" :: v :: rest ->
+      minor_heap := int_arg "minor-heap" v;
+      if !minor_heap < 0 then
+        die "minor-heap must be non-negative, got %d" !minor_heap;
+      go rest
+    | [ ("--budget" | "--seeds" | "--jobs" | "--out" | "--trace" | "--minor-heap") ] ->
       die "missing value for the last option"
     | opt :: _ when String.length opt > 0 && opt.[0] = '-' ->
       die "unknown option %s" opt
@@ -122,6 +129,7 @@ let parse_args () =
     quick = !quick;
     out = !out;
     trace = !trace;
+    minor_heap = !minor_heap;
   }
 
 (* Machine-readable output: sections that measure something append a JSON
@@ -908,6 +916,116 @@ let compiled_bench options =
                  name interp comp sp imin cmin ci cc)
              measured)))
 
+(* {1 Search-loop overhead: campaign cost beyond raw execution}
+
+   The campaign/exec gap: a fuzzing campaign spends campaign_ns per
+   execution, a bare execution loop over a fixed corpus spends exec_ns;
+   the difference is pure search-loop overhead — candidate generation,
+   dedupe, scoring, queue and cache maintenance. This section measures
+   that difference per subject, plus minor-heap allocation per campaign
+   execution, and is written against stable APIs only so the identical
+   source can be compiled at an older revision for before/after
+   comparisons (BENCH_loop.json). Both sides run the interpreted engine:
+   the overhead under measurement is engine-independent, and pinning the
+   engine keeps the raw loop and the campaign comparable across
+   revisions regardless of per-subject engine preferences. *)
+
+let loop_bench options =
+  Render.section ppf
+    (Printf.sprintf "loop: search-loop overhead (%s profile)"
+       Build_profile.profile);
+  let rounds = if options.quick then 3 else 5 in
+  let slice = if options.quick then 3_000 else 30_000 in
+  let campaign_execs = if options.quick then 2_000 else 20_000 in
+  let subjects = [ "expr"; "paren"; "ini"; "csv"; "json" ] in
+  let measured =
+    List.map
+      (fun name ->
+        let subject = Catalog.find name in
+        let machine =
+          match subject.Subject.machine with
+          | Some m -> m
+          | None -> failwith (name ^ " has no machine-form parser")
+        in
+        let inputs = compiled_corpus name in
+        let run_one input =
+          ignore (Subject.exec_journaled subject machine input)
+        in
+        (* Raw execution cost: the interpreted walker over the fixed
+           corpus, best of [rounds] slices. *)
+        let execs_per_slice = slice * List.length inputs in
+        let time_slice () =
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to slice do
+            List.iter run_one inputs
+          done;
+          (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int execs_per_slice
+        in
+        List.iter run_one inputs;
+        (* warmup *)
+        let exec_ns =
+          List.fold_left min infinity (List.init rounds (fun _ -> time_slice ()))
+        in
+        (* Whole-campaign cost and allocation rate, same engine. *)
+        let cfg =
+          {
+            Pfuzzer.default_config with
+            max_executions = campaign_execs;
+            engine = Pfuzzer.Interpreted;
+          }
+        in
+        ignore (Pfuzzer.fuzz { cfg with max_executions = 2_000 } subject);
+        (* warmup *)
+        let samples =
+          List.init rounds (fun _ ->
+              let w0 = Gc.minor_words () in
+              let t0 = Unix.gettimeofday () in
+              let (_ : Pfuzzer.result) = Pfuzzer.fuzz cfg subject in
+              let dt = Unix.gettimeofday () -. t0 in
+              let dw = Gc.minor_words () -. w0 in
+              ( dt *. 1e9 /. float_of_int campaign_execs,
+                dw /. float_of_int campaign_execs ))
+        in
+        let campaign_ns = median (List.map fst samples) in
+        let minor_words = median (List.map snd samples) in
+        (name, campaign_ns, exec_ns, campaign_ns -. exec_ns, minor_words))
+      subjects
+  in
+  Render.table ppf
+    ~title:
+      (Printf.sprintf
+         "campaign vs raw execution, ns/exec (%d campaign execs, %d-exec raw \
+          slices, %d rounds)"
+         campaign_execs slice rounds)
+    ~header:
+      [ "subject"; "campaign"; "raw exec"; "overhead"; "minor words/exec" ]
+    (List.map
+       (fun (name, c, e, o, w) ->
+         [
+           name;
+           Printf.sprintf "%.0f" c;
+           Printf.sprintf "%.0f" e;
+           Printf.sprintf "%.0f" o;
+           Printf.sprintf "%.0f" w;
+         ])
+       measured);
+  add_json "loop"
+    (Printf.sprintf
+       "{\n    \"profile\": %S,\n    \"engine\": \"interpreted\",\n    \
+        \"campaign_execs\": %d,\n    \"raw_slice_execs\": %d,\n    \
+        \"rounds\": %d,\n    \"minor_heap_words\": %d,\n    \"rows\": [\n%s\n    ]\n  }"
+       Build_profile.profile campaign_execs slice rounds
+       Gc.((get ()).minor_heap_size)
+       (String.concat ",\n"
+          (List.map
+             (fun (name, c, e, o, w) ->
+               Printf.sprintf
+                 "      { \"name\": %S, \"campaign_ns_per_exec\": %.0f, \
+                  \"exec_ns_per_exec\": %.0f, \"overhead_ns_per_exec\": %.0f, \
+                  \"minor_words_per_exec\": %.0f }"
+                 name c e o w)
+             measured)))
+
 (* {1 Telemetry overhead: the fuzzer with the observer off, on, and fully
    traced}
 
@@ -1073,6 +1191,8 @@ let dist_bench options =
 
 let () =
   let options = parse_args () in
+  if options.minor_heap > 0 then
+    Gc.set { (Gc.get ()) with Gc.minor_heap_size = options.minor_heap };
   (* dist forks worker processes; OCaml 5 forbids fork once any domain
      has been spawned, so it must precede the evaluation-grid sections. *)
   if wants options "dist" then dist_bench options;
@@ -1093,6 +1213,7 @@ let () =
   if wants options "micro" then micro options;
   if wants options "incremental" then incremental options;
   if wants options "compiled" then compiled_bench options;
+  if wants options "loop" then loop_bench options;
   if wants options "obs" then obs_bench options;
   write_json options;
   Format.pp_print_flush ppf ()

@@ -172,10 +172,21 @@ let engine_conv =
       fun ppf e ->
         Format.pp_print_string ppf (Pdf_core.Pfuzzer.engine_to_string e) )
 
+let minor_heap_arg =
+  Arg.(
+    value
+    & opt (nonneg_int "minor heap size") 0
+    & info [ "minor-heap" ] ~docv:"WORDS"
+        ~doc:
+          "Minor-heap size in words for this campaign. 0 (default) derives a \
+           size from the campaign's working set (32 words per queue slot, \
+           clamped to [256k, 4M] words). Purely GC pacing: results are \
+           bit-identical for every value.")
+
 let fuzz_cmd =
   let run subject_name tool_name seed executions quiet no_incremental engine
       batch trace trace_chrome stats_interval checkpoint checkpoint_every
-      resume crashes_out die_after =
+      resume crashes_out die_after minor_heap =
     match find_subject subject_name with
     | Error e -> Error e
     | Ok subject ->
@@ -225,6 +236,11 @@ let fuzz_cmd =
                  end)
            end
          in
+         Pdf_util.Gc_tune.set_minor_heap
+           (if minor_heap > 0 then minor_heap
+            else
+              Pdf_util.Gc_tune.default_minor_words
+                ~queue_bound:Pdf_core.Pfuzzer.default_config.queue_bound);
          let outcome =
            with_observer ~trace ~trace_chrome ~stats_interval (fun obs ->
                Pdf_eval.Tool.run ?obs ?on_checkpoint ?resume_from ?on_execution
@@ -377,7 +393,7 @@ let fuzz_cmd =
         (const run $ subject_arg $ tool_arg $ seed_arg $ executions_arg 20_000
          $ quiet $ no_incremental $ engine $ batch $ trace $ trace_chrome
          $ stats_interval $ checkpoint $ checkpoint_every $ resume
-         $ crashes_out $ die_after))
+         $ crashes_out $ die_after $ minor_heap_arg))
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz one subject with one tool.") term
 
@@ -385,13 +401,17 @@ let fuzz_cmd =
 
 let campaign_cmd =
   let run subject_name seed executions workers shards frame_every retries
-      kill_worker trace out quiet =
+      kill_worker trace out quiet minor_heap =
     match find_subject subject_name with
     | Error e -> Error e
     | Ok subject ->
       let config =
         { Pdf_core.Pfuzzer.default_config with seed; max_executions = executions }
       in
+      (* Workers inherit the coordinator's GC sizing through fork. *)
+      Pdf_util.Gc_tune.set_minor_heap
+        (if minor_heap > 0 then minor_heap
+         else Pdf_util.Gc_tune.default_minor_words ~queue_bound:config.queue_bound);
       let staged = Option.map Pdf_util.Atomic_file.stage trace in
       let sink =
         Option.map
@@ -566,7 +586,8 @@ let campaign_cmd =
     Term.(
       term_result
         (const run $ subject_arg $ seed_arg $ executions_arg 20_000 $ workers
-         $ shards $ frame_every $ retries $ kill_worker $ trace $ out $ quiet))
+         $ shards $ frame_every $ retries $ kill_worker $ trace $ out $ quiet
+         $ minor_heap_arg))
   in
   Cmd.v
     (Cmd.info "campaign"

@@ -75,6 +75,7 @@ let subject =
     parse;
     machine = None;
     compiled = None;
+    compiled_preferred = false;
     fuel = 10_000;
     tokens = [];
     tokenize = (fun _ -> []);

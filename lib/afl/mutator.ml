@@ -4,24 +4,35 @@ let interesting_bytes =
   [ '\000'; '\001'; '\016'; '\032'; '\064'; '\100'; '\127'; '\128'; '\255';
     ' '; '\n'; '0'; '9'; 'a'; 'z'; 'A'; 'Z' ]
 
+(* One copy per variant: mutate a private [Bytes] copy of the input and
+   freeze it. The buffer never escapes [f] mutable, so the unsafe freeze
+   is sound — the old [Bytes.of_string]/[Bytes.to_string] round trip
+   copied every variant twice. *)
+let with_copy input f =
+  let b = Bytes.of_string input in
+  f b;
+  Bytes.unsafe_to_string b
+
 let flip_bits input width =
   let n = String.length input * 8 in
   let variants = ref [] in
   for bit = 0 to n - width do
-    let b = Bytes.of_string input in
-    for k = bit to bit + width - 1 do
-      let byte = k / 8 and off = k mod 8 in
-      Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl off)))
-    done;
-    variants := Bytes.to_string b :: !variants
+    let v =
+      with_copy input (fun b ->
+          for k = bit to bit + width - 1 do
+            let byte = k / 8 and off = k mod 8 in
+            Bytes.set b byte
+              (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl off)))
+          done)
+    in
+    variants := v :: !variants
   done;
   List.rev !variants
 
 let flip_bytes input =
   List.init (String.length input) (fun i ->
-      let b = Bytes.of_string input in
-      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
-      Bytes.to_string b)
+      with_copy input (fun b ->
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF))))
 
 let arith input =
   let variants = ref [] in
@@ -30,9 +41,11 @@ let arith input =
       let base = Char.code c in
       List.iter
         (fun delta ->
-          let b = Bytes.of_string input in
-          Bytes.set b i (Char.chr ((base + delta) land 0xFF));
-          variants := Bytes.to_string b :: !variants)
+          let v =
+            with_copy input (fun b ->
+                Bytes.set b i (Char.chr ((base + delta) land 0xFF)))
+          in
+          variants := v :: !variants)
         [ 1; -1; 2; -2; 4; -4; 8; -8; 16; -16 ])
     input;
   List.rev !variants
@@ -44,11 +57,8 @@ let interesting input =
       List.iter
         (fun c ->
           (* Skip no-op substitutions, as AFL's could_be_interest does. *)
-          if c <> current then begin
-            let b = Bytes.of_string input in
-            Bytes.set b i c;
-            variants := Bytes.to_string b :: !variants
-          end)
+          if c <> current then
+            variants := with_copy input (fun b -> Bytes.set b i c) :: !variants)
         interesting_bytes)
     input;
   List.rev !variants
@@ -64,29 +74,25 @@ let havoc_op rng input =
   match Rng.int rng 7 with
   | 0 when len > 0 ->
     (* flip one bit *)
-    let b = Bytes.of_string input in
-    let i = Rng.int rng len in
-    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
-    Bytes.to_string b
+    with_copy input (fun b ->
+        let i = Rng.int rng len in
+        Bytes.set b i
+          (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8))))
   | 1 when len > 0 ->
     (* random byte *)
-    let b = Bytes.of_string input in
-    Bytes.set b (Rng.int rng len) (Rng.char rng);
-    Bytes.to_string b
+    with_copy input (fun b -> Bytes.set b (Rng.int rng len) (Rng.char rng))
   | 2 when len > 0 ->
     (* arithmetic *)
-    let b = Bytes.of_string input in
-    let i = Rng.int rng len in
-    let delta = Rng.int rng 35 + 1 in
-    let delta = if Rng.bool rng then delta else -delta in
-    Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + delta) land 0xFF));
-    Bytes.to_string b
+    with_copy input (fun b ->
+        let i = Rng.int rng len in
+        let delta = Rng.int rng 35 + 1 in
+        let delta = if Rng.bool rng then delta else -delta in
+        Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + delta) land 0xFF)))
   | 3 when len > 0 ->
     (* interesting byte *)
-    let b = Bytes.of_string input in
-    Bytes.set b (Rng.int rng len)
-      (Rng.choose rng (Array.of_list interesting_bytes));
-    Bytes.to_string b
+    with_copy input (fun b ->
+        Bytes.set b (Rng.int rng len)
+          (Rng.choose rng (Array.of_list interesting_bytes)))
   | 4 when len > 0 ->
     (* delete a byte *)
     let i = Rng.int rng len in

@@ -22,8 +22,15 @@ let all =
     ("bfs", Bfs);
   ]
 
-let score variant ~vbr (c : Candidate.t) =
-  let new_cov = float_of_int (Coverage.new_against c.parent_coverage ~baseline:vbr) in
+(* [score] split on its one coverage-dependent input: [new_cov] is the
+   count of parent-coverage outcomes not yet in vBr, and everything else
+   is a pure function of the candidate. The fuzzer caches [new_cov] per
+   queued candidate and re-scores through this entry point, so an
+   incremental re-rank reproduces [score]'s floats bit-for-bit — the
+   arithmetic below is the single definition both paths share, and
+   float addition order matters for that identity. *)
+let score_with_cov variant ~new_cov (c : Candidate.t) =
+  let new_cov = float_of_int new_cov in
   let len = float_of_int (String.length c.data) in
   let repl = float_of_int (String.length c.repl) in
   let parents = float_of_int c.parents in
@@ -38,3 +45,8 @@ let score variant ~vbr (c : Candidate.t) =
   | Coverage_only -> new_cov
   | Dfs -> len
   | Bfs -> -.len
+
+let score variant ~vbr (c : Candidate.t) =
+  score_with_cov variant
+    ~new_cov:(Coverage.new_against c.parent_coverage ~baseline:vbr)
+    c

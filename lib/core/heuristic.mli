@@ -25,3 +25,10 @@ val all : (string * variant) list
 val score : variant -> vbr:Pdf_instr.Coverage.t -> Candidate.t -> float
 (** Priority of a candidate against the current valid-branch set; higher
     runs earlier. *)
+
+val score_with_cov : variant -> new_cov:int -> Candidate.t -> float
+(** [score] with the coverage-dependent input supplied directly:
+    [new_cov] must equal [Coverage.new_against c.parent_coverage
+    ~baseline:vbr]. This is the entry point the incremental queue
+    re-rank uses with its cached per-candidate counts; the arithmetic is
+    shared with {!score}, so the resulting float is bit-identical. *)

@@ -1,5 +1,6 @@
 module Rng = Pdf_util.Rng
 module Pqueue = Pdf_util.Pqueue
+module Fnv = Pdf_util.Fnv
 module Atomic_file = Pdf_util.Atomic_file
 module Coverage = Pdf_instr.Coverage
 module Runner = Pdf_instr.Runner
@@ -166,16 +167,29 @@ module Checkpoint = struct
      bytes rotted reports "corrupted" even if the rot also hit the
      version byte, while a clean checkpoint from another build reports a
      genuine version mismatch. *)
+  (* [range_equal a apos b bpos len]: are the two ranges byte-equal?
+     The header checks below run in place over the encoded string — a
+     decode allocates nothing besides the unmarshalled payload
+     ([Digest.substring] hashes the payload range directly and
+     [Marshal.from_string] reads at an offset, so neither the magic, the
+     digest, nor the payload is ever copied out first). *)
+  let range_equal a apos b bpos len =
+    let rec go i =
+      i >= len
+      || (String.unsafe_get a (apos + i) = String.unsafe_get b (bpos + i)
+          && go (i + 1))
+    in
+    go 0
+
   let decode s =
     let mlen = String.length magic in
     let hlen = mlen + 1 + 16 in
     if String.length s < hlen then Error "checkpoint file too short to be valid"
-    else if String.sub s 0 mlen <> magic then
+    else if not (range_equal s 0 magic 0 mlen) then
       Error "not a pfuzzer checkpoint (bad magic)"
     else
-      let digest = String.sub s (mlen + 1) 16 in
-      let payload = String.sub s hlen (String.length s - hlen) in
-      if not (String.equal (Digest.string payload) digest) then
+      let computed = Digest.substring s hlen (String.length s - hlen) in
+      if not (range_equal s (mlen + 1) computed 0 16) then
         Error "checkpoint corrupted (payload digest mismatch)"
       else
         let v = Char.code s.[mlen] in
@@ -185,7 +199,7 @@ module Checkpoint = struct
                "checkpoint version mismatch (file has v%d, this build reads v%d)"
                v version)
         else
-          match (Marshal.from_string payload 0 : payload) with
+          match (Marshal.from_string s hlen : payload) with
           | p -> Ok p
           | exception _ ->
             Error "checkpoint payload unreadable (truncated or incompatible)"
@@ -222,6 +236,210 @@ module Checkpoint = struct
     match Atomic_file.read_string path with
     | s -> decode s
     | exception Sys_error msg -> Error msg
+end
+
+(* {1 Candidate dedupe, hash-before-allocate}
+
+   Membership of a would-be child [input[0..index) ^ repl] is decided by
+   hashing the parts in place ({!Pdf_util.Fnv}) and verifying stored
+   strings with in-place comparison, so a duplicate child is rejected
+   without the child string ever existing. *)
+
+(* Does [s.[pos ..]] start with [repl]? Bounds are the caller's: [s] is
+   known to be long enough. *)
+(* These comparisons run for every proposed child (the parent-equality
+   gate and dedupe probes), so they are [while] loops over register-able
+   refs — a captured-variable [let rec] would cost a closure allocation
+   per call. *)
+let ends_with_at s pos repl =
+  let rl = String.length repl in
+  let i = ref 0 in
+  while
+    !i < rl && String.unsafe_get s (pos + !i) = String.unsafe_get repl !i
+  do
+    incr i
+  done;
+  !i >= rl
+
+(* Does [s] (of length [index + length repl], checked by the caller)
+   equal [input[0..index) ^ repl]? *)
+let matches_concat s input index repl =
+  let i = ref 0 in
+  while !i < index && String.unsafe_get s !i = String.unsafe_get input !i do
+    incr i
+  done;
+  !i >= index && ends_with_at s index repl
+
+(* The dedupe set: open-addressed linear probing over parallel
+   (hash, string) arrays. A generic [Hashtbl] here costs a generic-hash
+   call plus a bucket-cons allocation per insert and shows up directly
+   in candidate-generation time; this table allocates nothing per
+   operation (the arrays double rarely, and entries are never deleted —
+   the campaign resets the whole generation instead, see
+   [seen_inputs_cap]). FNV hashes are non-negative, so [-1] marks an
+   empty slot. *)
+module Seen = struct
+  type t = {
+    mutable hashes : int array;  (* -1 = empty slot *)
+    mutable vals : string array;
+    mutable mask : int;  (* Array.length hashes - 1; length a power of 2 *)
+    mutable count : int;
+  }
+
+  let create () =
+    {
+      hashes = Array.make 1024 (-1);
+      vals = Array.make 1024 "";
+      mask = 1023;
+      count = 0;
+    }
+
+  let count t = t.count
+
+  (* Is a string equal to [input[0..index) ^ repl] present? [h] must be
+     the FNV hash of that concatenation. *)
+  (* The probe loops are [while]s over a mutable slot index rather than
+     local recursive functions: the compiler turns these non-escaping
+     refs into registers, whereas a captured-variable [let rec] costs a
+     closure allocation per call — on the hottest path in the fuzzer. *)
+  let mem_parts t h input index repl =
+    let n = index + String.length repl in
+    let mask = t.mask in
+    let hashes = t.hashes and vals = t.vals in
+    let i = ref (h land mask) in
+    let res = ref false in
+    let probing = ref true in
+    while !probing do
+      let hi = Array.unsafe_get hashes !i in
+      if hi = -1 then probing := false
+      else if
+        hi = h
+        &&
+        let s = Array.unsafe_get vals !i in
+        String.length s = n && matches_concat s input index repl
+      then begin
+        res := true;
+        probing := false
+      end
+      else i := (!i + 1) land mask
+    done;
+    !res
+
+  let insert_raw t h v =
+    let mask = t.mask in
+    let hashes = t.hashes in
+    let i = ref (h land mask) in
+    while Array.unsafe_get hashes !i >= 0 do
+      i := (!i + 1) land mask
+    done;
+    hashes.(!i) <- h;
+    t.vals.(!i) <- v
+
+  let grow t =
+    let old_h = t.hashes and old_v = t.vals in
+    let n = 2 * Array.length old_h in
+    t.hashes <- Array.make n (-1);
+    t.vals <- Array.make n "";
+    t.mask <- n - 1;
+    Array.iteri (fun i h -> if h >= 0 then insert_raw t h old_v.(i)) old_h
+
+  (* The caller has already checked membership; duplicates are its
+     problem. Load factor stays below 1/2. *)
+  let add t h v =
+    if 2 * (t.count + 1) > Array.length t.hashes then grow t;
+    insert_raw t h v;
+    t.count <- t.count + 1
+
+  (* Generational reset: clear in place, keeping the grown capacity.
+     Values must be cleared too or the dead generation's strings stay
+     reachable. *)
+  let reset t =
+    Array.fill t.hashes 0 (Array.length t.hashes) (-1);
+    Array.fill t.vals 0 (Array.length t.vals) "";
+    t.count <- 0
+
+  let fold f t acc =
+    let acc = ref acc in
+    for i = 0 to Array.length t.hashes - 1 do
+      if Array.unsafe_get t.hashes i >= 0 then acc := f t.vals.(i) !acc
+    done;
+    !acc
+end
+
+(* Path-novelty counts, same open-addressed scheme with int values. The
+   key is already a path hash ({!Runner.path_hash}), so the table maps
+   hash -> count exactly as the [Hashtbl] it replaces did (hash
+   collisions conflate paths in both). *)
+module Paths = struct
+  type t = {
+    mutable hashes : int array;  (* -1 = empty slot *)
+    mutable counts : int array;
+    mutable mask : int;
+    mutable count : int;  (* distinct keys stored *)
+  }
+
+  let create () =
+    {
+      hashes = Array.make 1024 (-1);
+      counts = Array.make 1024 0;
+      mask = 1023;
+      count = 0;
+    }
+
+  let count t = t.count
+
+  (* Slot of key [h], or [-1] when absent. *)
+  let find_slot t h =
+    let mask = t.mask in
+    let hashes = t.hashes in
+    let i = ref (h land mask) in
+    let res = ref (-2) in
+    while !res = -2 do
+      let hi = Array.unsafe_get hashes !i in
+      if hi = -1 then res := -1
+      else if hi = h then res := !i
+      else i := (!i + 1) land mask
+    done;
+    !res
+
+  let get_count t slot = t.counts.(slot)
+  let bump t slot = t.counts.(slot) <- t.counts.(slot) + 1
+
+  let insert_raw t h c =
+    let mask = t.mask in
+    let hashes = t.hashes in
+    let i = ref (h land mask) in
+    while Array.unsafe_get hashes !i >= 0 do
+      i := (!i + 1) land mask
+    done;
+    hashes.(!i) <- h;
+    t.counts.(!i) <- c
+
+  let grow t =
+    let old_h = t.hashes and old_c = t.counts in
+    let n = 2 * Array.length old_h in
+    t.hashes <- Array.make n (-1);
+    t.counts <- Array.make n 0;
+    t.mask <- n - 1;
+    Array.iteri (fun i h -> if h >= 0 then insert_raw t h old_c.(i)) old_h
+
+  let add t h c =
+    if 2 * (t.count + 1) > Array.length t.hashes then grow t;
+    insert_raw t h c;
+    t.count <- t.count + 1
+
+  let reset t =
+    Array.fill t.hashes 0 (Array.length t.hashes) (-1);
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    t.count <- 0
+
+  let fold f t acc =
+    let acc = ref acc in
+    for i = 0 to Array.length t.hashes - 1 do
+      if Array.unsafe_get t.hashes i >= 0 then
+        acc := f t.hashes.(i) t.counts.(i) !acc
+    done;
+    !acc
 end
 
 type state = {
@@ -269,8 +487,13 @@ type state = {
   mutable first_valid_at : int option;
   mutable dedupe_resets : int;
   mutable path_resets : int;
-  path_counts : (int, int) Hashtbl.t;
-  seen_inputs : (string, unit) Hashtbl.t;
+  path_counts : Paths.t;
+  (* Candidate dedupe, keyed by content hash with stored strings
+     verified by in-place comparison. Hash-keying is what lets
+     [add_inputs] test "was prefix^repl already queued?" before the
+     child string exists: hash the prefix once per run, extend it over
+     each replacement, and only allocate on a genuinely fresh child. *)
+  seen_inputs : Seen.t;
   (* Crash triage: bounded dedup table keyed on (exn, site) plus the
      first-seen order, so the corpus lists crashes in discovery order. *)
   crash_tab : (string * int, crash) Hashtbl.t;
@@ -296,8 +519,10 @@ let seen_inputs_cap config = 4 * config.queue_bound
    growth. *)
 let path_counts_cap = seen_inputs_cap
 
-let emit st event =
-  match st.on_queue_event with None -> () | Some f -> f (event ())
+(* Queue-event sites must match on [on_queue_event] *before* building
+   the event (and before even capturing its pieces in a closure): pushes
+   run several times per execution, and a closure per push is real
+   allocation traffic when nobody is listening. *)
 
 (* Queue snapshot for the observer, in insertion order. Only built when
    an observer is installed (see [emit]'s laziness). *)
@@ -353,10 +578,12 @@ exception Budget_exhausted
 let remember_snapshots cache journal (run : Runner.run) =
   let store pos =
     if pos > 0 && pos <= String.length run.input then begin
-      let prefix = String.sub run.input 0 pos in
-      if not (Runner.Cache.mem cache prefix) then
+      (* The presence probe hashes the prefix in place; the prefix
+         string is only materialised for a genuine store (a miss),
+         which the steady state almost never takes. *)
+      if not (Runner.Cache.mem_prefix cache run.input ~len:pos) then
         match Runner.snapshot_at journal pos with
-        | Some snap -> Runner.Cache.store cache prefix snap
+        | Some snap -> Runner.Cache.store cache (String.sub run.input 0 pos) snap
         | None -> ()
     end
   in
@@ -458,7 +685,7 @@ let execute st ~prefix_len input =
          let t_cache = span_begin st in
          let consulted = prefix_len > 0 && prefix_len <= String.length input in
          let snap =
-           if consulted then Runner.Cache.find cache (String.sub input 0 prefix_len)
+           if consulted then Runner.Cache.find_prefix cache input ~len:prefix_len
            else None
          in
          span_end st Phase.Cache t_cache;
@@ -482,7 +709,7 @@ let execute st ~prefix_len input =
                 with zero observable difference. *)
              match r.Runner.verdict with
              | Runner.Crash _ ->
-               Runner.Cache.remove cache (String.sub input 0 prefix_len);
+               Runner.Cache.remove_prefix cache input ~len:prefix_len;
                st.cache_rescues <- st.cache_rescues + 1;
                (match tsink st with
                 | None -> ()
@@ -525,95 +752,159 @@ let execute st ~prefix_len input =
    before (the novelty signal of §3.2). *)
 let note_path st run =
   let h = Runner.path_hash run in
-  match Hashtbl.find_opt st.path_counts h with
-  | Some count ->
-    Hashtbl.replace st.path_counts h (count + 1);
+  let slot = Paths.find_slot st.path_counts h in
+  if slot >= 0 then begin
+    let count = Paths.get_count st.path_counts slot in
+    Paths.bump st.path_counts slot;
     count
-  | None ->
-    if Hashtbl.length st.path_counts >= path_counts_cap st.config then begin
-      Hashtbl.reset st.path_counts;
+  end
+  else begin
+    if Paths.count st.path_counts >= path_counts_cap st.config then begin
+      Paths.reset st.path_counts;
       st.path_resets <- st.path_resets + 1;
       match tsink st with
       | None -> ()
       | Some o -> Obs.emit o ~exec:st.executions (Event.Reset { table = "path" })
     end;
-    Hashtbl.replace st.path_counts h 1;
+    Paths.add st.path_counts h 1;
     0
+  end
 
-let push_candidate st (candidate : Candidate.t) =
-  let fresh =
-    (not st.config.dedupe) || not (Hashtbl.mem st.seen_inputs candidate.data)
+(* Is [input[0..index) ^ repl] already in the dedupe table? [h] must be
+   the FNV hash of that concatenation. *)
+let seen_mem st h input index repl =
+  Seen.mem_parts st.seen_inputs h input index repl
+
+let seen_add st h data =
+  if Seen.count st.seen_inputs >= seen_inputs_cap st.config then begin
+    Seen.reset st.seen_inputs;
+    st.dedupe_resets <- st.dedupe_resets + 1;
+    match tsink st with
+    | None -> ()
+    | Some o -> Obs.emit o ~exec:st.executions (Event.Reset { table = "dedupe" })
+  end;
+  Seen.add st.seen_inputs h data
+
+(* [String.sub input 0 index ^ repl] in a single allocation. *)
+let concat_blit input index repl =
+  let rl = String.length repl in
+  let b = Bytes.create (index + rl) in
+  Bytes.blit_string input 0 b 0 index;
+  Bytes.blit_string repl 0 b index rl;
+  Bytes.unsafe_to_string b
+
+(* Score and enqueue a candidate that already passed the dedupe and
+   length gates. The queue entry carries the candidate's new-coverage
+   count as aux scratch, letting a later valid input re-rank the queue
+   incrementally (see [valid_input]). *)
+let enqueue st (candidate : Candidate.t) =
+  st.candidates_created <- st.candidates_created + 1;
+  let t_score = span_begin st in
+  let new_cov =
+    Coverage.new_against candidate.parent_coverage ~baseline:st.vbr
   in
-  if fresh && String.length candidate.data <= st.config.max_input_len then begin
-    if st.config.dedupe then begin
-      if Hashtbl.length st.seen_inputs >= seen_inputs_cap st.config then begin
-        Hashtbl.reset st.seen_inputs;
-        st.dedupe_resets <- st.dedupe_resets + 1;
-        match tsink st with
-        | None -> ()
-        | Some o -> Obs.emit o ~exec:st.executions (Event.Reset { table = "dedupe" })
-      end;
-      Hashtbl.replace st.seen_inputs candidate.data ()
-    end;
-    st.candidates_created <- st.candidates_created + 1;
-    let t_score = span_begin st in
-    let prio = Heuristic.score st.config.heuristic ~vbr:st.vbr candidate in
-    let t_queue = span_next st Phase.Score t_score in
-    Pqueue.push st.queue prio candidate;
-    span_end st Phase.Queue t_queue;
-    emit st (fun () -> Pushed (prio, candidate.data));
-    (match tsink st with
+  let prio = Heuristic.score_with_cov st.config.heuristic ~new_cov candidate in
+  let t_queue = span_next st Phase.Score t_score in
+  Pqueue.push ~aux:new_cov st.queue prio candidate;
+  span_end st Phase.Queue t_queue;
+  (match st.on_queue_event with
+   | None -> ()
+   | Some f -> f (Pushed (prio, candidate.data)));
+  (match tsink st with
+   | None -> ()
+   | Some o ->
+     Obs.emit o ~exec:st.executions
+       (Event.Queue_push
+          { prio; len = String.length candidate.data; depth = Pqueue.length st.queue }));
+  (* Truncate with hysteresis: a full drop sorts the heap, so only do
+     it after the queue has doubled past its bound. *)
+  if Pqueue.length st.queue > 2 * st.config.queue_bound then begin
+    let before = Pqueue.length st.queue in
+    let t_trunc = span_begin st in
+    Pqueue.drop_worst st.queue st.config.queue_bound;
+    span_end st Phase.Queue t_trunc;
+    (match st.on_queue_event with
      | None -> ()
-     | Some o ->
-       Obs.emit o ~exec:st.executions
-         (Event.Queue_push
-            { prio; len = String.length candidate.data; depth = Pqueue.length st.queue }));
-    (* Truncate with hysteresis: a full drop sorts the heap, so only do
-       it after the queue has doubled past its bound. *)
-    if Pqueue.length st.queue > 2 * st.config.queue_bound then begin
-      let before = Pqueue.length st.queue in
-      let t_trunc = span_begin st in
-      Pqueue.drop_worst st.queue st.config.queue_bound;
-      span_end st Phase.Queue t_trunc;
-      emit st (fun () -> Truncated (observed_snapshot st));
-      match tsink st with
-      | None -> ()
-      | Some o ->
-        let depth = Pqueue.length st.queue in
-        Obs.emit o ~exec:st.executions
-          (Event.Queue_trunc { dropped = before - depth; depth })
-    end;
-    st.queue_peak <- max st.queue_peak (Pqueue.length st.queue)
+     | Some f -> f (Truncated (observed_snapshot st)));
+    match tsink st with
+    | None -> ()
+    | Some o ->
+      let depth = Pqueue.length st.queue in
+      Obs.emit o ~exec:st.executions
+        (Event.Queue_trunc { dropped = before - depth; depth })
+  end;
+  st.queue_peak <- max st.queue_peak (Pqueue.length st.queue)
+
+(* Entry point for already-materialised candidates (seed inputs). *)
+let push_candidate st (candidate : Candidate.t) =
+  let data = candidate.Candidate.data in
+  let h = if st.config.dedupe then Fnv.string data else 0 in
+  let fresh =
+    (not st.config.dedupe) || not (seen_mem st h data (String.length data) "")
+  in
+  if fresh && String.length data <= st.config.max_input_len then begin
+    if st.config.dedupe then seen_add st h data;
+    enqueue st candidate
   end
 
 (* Algorithm 1, [addInputs]: one child per comparison made against the
-   last compared input position, splicing in the expected character(s). *)
+   last compared input position, splicing in the expected character(s).
+   The loop is allocation-disciplined: the parent prefix is hashed once
+   in place, each replacement extends that hash, and the dedupe table is
+   probed before anything is built — a rejected duplicate allocates no
+   string at all. Only a genuinely fresh child is materialised, with a
+   single [Bytes] blit. Dedupe and construction time lands in the [Gen]
+   phase span; scoring and queue maintenance stay in [Score]/[Queue]
+   inside [enqueue]. *)
 let add_inputs st ~(parent : Candidate.t) (run : Runner.run) =
   match Runner.substitution_index run with
   | None -> ()
   | Some index ->
-    let parent_coverage = Runner.coverage_up_to_last_index run in
+    let t_gen = ref (span_begin st) in
+    (* One substitution-index computation feeds every derived fact —
+       the [~index] variants skip the per-call comparison-log rescan. *)
+    let parent_coverage = Runner.coverage_up_to run ~index in
+    let comps = Runner.comparisons_at run ~index in
     let avg_stack = Runner.avg_stack_of_last_two run in
     let path_count = note_path st run in
-    let prefix = String.sub run.input 0 (min index (String.length run.input)) in
-    let comps = Runner.comparisons_at_last_index run in
+    let input = run.input in
+    let index = min index (String.length input) in
+    let prefix_hash = Fnv.prefix input index in
     List.iter
       (fun (comp : Comparison.t) ->
         List.iter
           (fun repl ->
-            let data = prefix ^ repl in
-            if data <> run.input then
-              push_candidate st
-                {
-                  Candidate.data;
-                  repl;
-                  parents = parent.parents + 1;
-                  parent_coverage;
-                  avg_stack;
-                  path_count;
-                })
+            let len = index + String.length repl in
+            (* A child equal to the parent input would only re-queue it;
+               equal length plus a matching splice means equal strings
+               (the prefix is shared by construction). *)
+            let is_parent =
+              len = String.length input && ends_with_at input index repl
+            in
+            if (not is_parent) && len <= st.config.max_input_len then begin
+              let h =
+                if st.config.dedupe then Fnv.continue prefix_hash repl else 0
+              in
+              if not (st.config.dedupe && seen_mem st h input index repl)
+              then begin
+                let data = concat_blit input index repl in
+                if st.config.dedupe then seen_add st h data;
+                span_end st Phase.Gen !t_gen;
+                enqueue st
+                  {
+                    Candidate.data;
+                    repl;
+                    parents = parent.parents + 1;
+                    parent_coverage;
+                    avg_stack;
+                    path_count;
+                  };
+                t_gen := span_begin st
+              end
+            end)
           (Comparison.replacements st.rng comp))
-      comps
+      comps;
+    span_end st Phase.Gen !t_gen
 
 (* Algorithm 1, [validInp]: report, extend vBr, re-rank the queue. *)
 let valid_input st ~(parent : Candidate.t) (run : Runner.run) =
@@ -621,6 +912,9 @@ let valid_input st ~(parent : Candidate.t) (run : Runner.run) =
   st.valid_count <- st.valid_count + 1;
   if st.first_valid_at = None then st.first_valid_at <- Some st.executions;
   st.on_valid run.input;
+  (* The freshly covered outcomes relative to the old vBr — the only
+     part of any queued candidate's score that this input can change. *)
+  let delta = Coverage.diff run.coverage st.vbr in
   st.vbr <- Coverage.union st.vbr run.coverage;
   st.last_progress_at <- st.executions;
   (match tsink st with
@@ -629,13 +923,24 @@ let valid_input st ~(parent : Candidate.t) (run : Runner.run) =
      Obs.emit o ~exec:st.executions
        (Event.Valid
           { input = run.input; cov = Coverage.cardinal st.vbr; count = st.valid_count }));
-  (* The rerank is dominated by re-scoring every pending candidate, so
-     it lands in the Score phase. *)
+  (* Incremental re-rank: a candidate's score depends on vBr only
+     through [new_cov = |parent_coverage \ vBr|], and vBr just grew by
+     [delta] (disjoint from the old vBr by construction), so the updated
+     count is the cached one minus [|parent_coverage ∩ delta|].
+     Candidates that miss the delta keep bit-identical priorities and
+     are skipped; the rest re-score through the same arithmetic a full
+     rerank would use. The re-scoring lands in the Score phase. *)
   let t_rerank = span_begin st in
-  Pqueue.rerank st.queue (fun candidate ->
-      Heuristic.score st.config.heuristic ~vbr:st.vbr candidate);
+  Pqueue.update st.queue (fun (candidate : Candidate.t) ~aux ->
+      let d = Coverage.inter_cardinal candidate.parent_coverage delta in
+      if d = 0 then None
+      else
+        let new_cov = aux - d in
+        Some (Heuristic.score_with_cov st.config.heuristic ~new_cov candidate, new_cov));
   span_end st Phase.Score t_rerank;
-  emit st (fun () -> Reranked (observed_snapshot st));
+  (match st.on_queue_event with
+   | None -> ()
+   | Some f -> f (Reranked (observed_snapshot st)));
   (match tsink st with
    | None -> ()
    | Some o ->
@@ -749,8 +1054,8 @@ let make_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults ~rng config
   let machine = if config.incremental then subject.Subject.machine else None in
   let staged =
     match config.engine with
-    | Compiled -> subject.Subject.compiled
-    | Interpreted -> None
+    | Compiled when subject.Subject.compiled_preferred -> subject.Subject.compiled
+    | Compiled | Interpreted -> None
   in
   {
     config;
@@ -787,8 +1092,8 @@ let make_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults ~rng config
     first_valid_at = None;
     dedupe_resets = 0;
     path_resets = 0;
-    path_counts = Hashtbl.create 1024;
-    seen_inputs = Hashtbl.create 4096;
+    path_counts = Paths.create ();
+    seen_inputs = Seen.create ();
     crash_tab = Hashtbl.create 16;
     crash_order_rev = [];
     crash_total = 0;
@@ -819,8 +1124,8 @@ let checkpoint_of st (current : Candidate.t) : Checkpoint.t =
     ck_queue_peak = st.queue_peak;
     ck_dedupe_resets = st.dedupe_resets;
     ck_path_resets = st.path_resets;
-    ck_seen = Hashtbl.fold (fun k () acc -> k :: acc) st.seen_inputs [];
-    ck_paths = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.path_counts [];
+    ck_seen = Seen.fold (fun s acc -> s :: acc) st.seen_inputs [];
+    ck_paths = Paths.fold (fun k v acc -> (k, v) :: acc) st.path_counts [];
     ck_hits = Pdf_instr.Hits.to_list st.hits;
     ck_hangs = st.hangs;
     ck_crashes =
@@ -843,12 +1148,20 @@ let restore_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults
   (* The queue snapshot is in insertion order; re-pushing in that order
      preserves the heap's priority/insertion-order total order, so the
      resumed run pops the exact sequence the original would have. *)
-  List.iter (fun (prio, c) -> Pqueue.push st.queue prio c) ck.ck_queue;
-  List.iter (fun s -> Hashtbl.replace st.seen_inputs s ()) ck.ck_seen;
-  List.iter (fun (h, n) -> Hashtbl.replace st.path_counts h n) ck.ck_paths;
+  (* vBr must be restored before the queue so each re-pushed entry's
+     cached new-coverage aux is computed against the same baseline the
+     snapshot priorities reflect. *)
+  st.vbr <- ck.ck_vbr;
+  List.iter
+    (fun (prio, (c : Candidate.t)) ->
+      Pqueue.push
+        ~aux:(Coverage.new_against c.parent_coverage ~baseline:st.vbr)
+        st.queue prio c)
+    ck.ck_queue;
+  List.iter (fun s -> Seen.add st.seen_inputs (Fnv.string s) s) ck.ck_seen;
+  List.iter (fun (h, n) -> Paths.add st.path_counts h n) ck.ck_paths;
   List.iter (fun (key, cr) -> Hashtbl.replace st.crash_tab key cr) ck.ck_crashes;
   st.crash_order_rev <- List.rev_map fst ck.ck_crashes;
-  st.vbr <- ck.ck_vbr;
   st.hits <- Pdf_instr.Hits.of_list ck.ck_hits;
   st.valid_rev <- ck.ck_valid_rev;
   st.valid_count <- ck.ck_valid_count;
@@ -873,27 +1186,41 @@ let drive st ~first ~checkpoint_every ~on_checkpoint =
        ~seed:st.config.seed ~max_executions:st.config.max_executions
        ~incremental:(st.machine <> None) ~engine:st.engine_label);
   let next_candidate () =
-    let t_pop = span_begin st in
-    let popped = Pqueue.pop_with_priority st.queue in
-    span_end st Phase.Queue t_pop;
-    match popped with
-    | Some (prio, c) ->
-      emit st (fun () -> Popped (prio, c.Candidate.data));
-      (match tsink st with
-       | None -> ()
-       | Some o ->
-         Obs.emit o ~exec:st.executions
-           (Event.Queue_pop
-              {
-                prio;
-                len = String.length c.Candidate.data;
-                depth = Pqueue.length st.queue;
-              }));
-      c
-    | None ->
-      (* Queue exhausted: restart from a fresh random character, as at
-         the beginning of the search. *)
-      seed_of_char (random_char st)
+    (* The popped priority is only ever reported to listeners; when
+       nobody is listening, take the value-only pop and skip the
+       (prio, value) pair allocation. Both paths remove the same entry. *)
+    match st.on_queue_event with
+    | None when tsink st = None ->
+      let t_pop = span_begin st in
+      let popped = Pqueue.pop st.queue in
+      span_end st Phase.Queue t_pop;
+      (match popped with
+       | Some c -> c
+       | None -> seed_of_char (random_char st))
+    | listener -> (
+      let t_pop = span_begin st in
+      let popped = Pqueue.pop_with_priority st.queue in
+      span_end st Phase.Queue t_pop;
+      match popped with
+      | Some (prio, c) ->
+        (match listener with
+         | None -> ()
+         | Some f -> f (Popped (prio, c.Candidate.data)));
+        (match tsink st with
+         | None -> ()
+         | Some o ->
+           Obs.emit o ~exec:st.executions
+             (Event.Queue_pop
+                {
+                  prio;
+                  len = String.length c.Candidate.data;
+                  depth = Pqueue.length st.queue;
+                }));
+        c
+      | None ->
+        (* Queue exhausted: restart from a fresh random character, as at
+           the beginning of the search. *)
+        seed_of_char (random_char st))
   in
   (try
      let candidate = ref first in

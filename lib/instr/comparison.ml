@@ -22,10 +22,25 @@ type t = {
 let enumerate_bound = 16
 let sample_bound = 4
 
+(* Replacement strings are overwhelmingly single characters, and
+   [replacements] runs for every comparison a rejected input logged —
+   interning the 256 singletons means proposing one never allocates the
+   string again (the list cells still do). *)
+let singleton = Array.init 256 (fun i -> String.make 1 (Char.chr i))
+
 let sample_set rng set =
   let n = Charset.cardinal set in
   if n = 0 then []
-  else if n <= enumerate_bound then List.map (String.make 1) (Charset.to_list set)
+  else if n <= enumerate_bound then begin
+    (* Enumerate ascending, built back to front from the interned
+       singletons — same list [to_list]-then-map produced, without the
+       intermediate char list or fresh strings. *)
+    let acc = ref [] in
+    for c = 255 downto 0 do
+      if Charset.mem (Char.chr c) set then acc := singleton.(c) :: !acc
+    done;
+    !acc
+  end
   else
     let rec draw acc k =
       if k = 0 then acc
@@ -33,14 +48,14 @@ let sample_set rng set =
         match Charset.pick rng set with
         | None -> acc
         | Some c ->
-          let s = String.make 1 c in
+          let s = singleton.(Char.code c) in
           if List.mem s acc then draw acc k else draw (s :: acc) (k - 1)
     in
     draw [] sample_bound
 
 let replacements rng t =
   match t.kind with
-  | Char_eq c -> [ String.make 1 c ]
+  | Char_eq c -> [ singleton.(Char.code c) ]
   | Char_range (lo, hi) -> sample_set rng (Charset.range lo hi)
   | Char_set (set, _) -> sample_set rng set
   | Str_eq { expected; offset } ->

@@ -82,14 +82,28 @@ let of_iter iter =
 
 let of_list l = of_iter (fun f -> List.iter f l)
 
+(* Direct loops rather than [of_iter]: this builds the parent-coverage
+   set once per candidate-generating execution, and the iterator version
+   pays two closure allocations per call. *)
 let of_array ?len a =
   let len =
     match len with None -> Array.length a | Some l -> min l (Array.length a)
   in
-  of_iter (fun f ->
-      for i = 0 to len - 1 do
-        f a.(i)
-      done)
+  let hi = ref (-1) in
+  for i = 0 to len - 1 do
+    let v = Array.unsafe_get a i in
+    check_oid v;
+    if v > !hi then hi := v
+  done;
+  if !hi < 0 then empty
+  else begin
+    let r = Array.make ((!hi / bits) + 1) 0 in
+    for i = 0 to len - 1 do
+      let v = Array.unsafe_get a i in
+      r.(v / bits) <- r.(v / bits) lor (1 lsl (v mod bits))
+    done;
+    r
+  end
 
 let to_list t =
   let acc = ref [] in
@@ -101,13 +115,26 @@ let to_list t =
   done;
   !acc
 
+(* [inter_cardinal] and [new_against] run once per enqueued candidate
+   (several times per execution); [for]-loop accumulators keep them free
+   of per-call allocation — both the closure-and-ref pattern of
+   [Array.iteri] and the closure a captured-variable [let rec] costs. *)
+let inter_cardinal a b =
+  let n = min (Array.length a) (Array.length b) in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + popcount (Array.unsafe_get a i land Array.unsafe_get b i)
+  done;
+  !acc
+
 let new_against c ~baseline =
   let lb = Array.length baseline in
   let acc = ref 0 in
-  Array.iteri
-    (fun i w ->
-      acc := !acc + popcount (if i < lb then w land lnot baseline.(i) else w))
-    c;
+  for i = 0 to Array.length c - 1 do
+    let w = Array.unsafe_get c i in
+    let w = if i < lb then w land lnot (Array.unsafe_get baseline i) else w in
+    acc := !acc + popcount w
+  done;
   !acc
 
 let percent c registry =

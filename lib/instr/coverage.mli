@@ -32,6 +32,12 @@ val of_iter : ((int -> unit) -> unit) -> t
 val to_list : t -> int list
 (** In increasing order. *)
 
+val inter_cardinal : t -> t -> int
+(** [inter_cardinal a b] counts outcomes present in both sets — a
+    word-parallel AND-popcount, allocation-free. The incremental queue
+    re-rank uses it to decide whether a candidate's score depends on a
+    freshly covered delta at all. *)
+
 val new_against : t -> baseline:t -> int
 (** [new_against c ~baseline] counts outcomes in [c] absent from
     [baseline] — the [size(branches \ vBr)] term of the heuristic. *)

@@ -32,13 +32,17 @@ type t = {
      fresh tainted character. *)
   mutable peeked : Tchar.t option;
   mutable peeked_at : int;
-  (* Pre-tainted input (compiled tier): when [pretaint] is on, every
-     input character is tainted up front and [peek] is a plain array
-     read — no allocation and, crucially, no mutable-store write barrier
-     on the memo fields, which profiles as one of the hottest costs of
-     the per-character loop. *)
+  (* Pre-tainted input (compiled tier): when [pretaint] is on, [peek]
+     serves boxed tainted characters out of a (byte, position) memo — no
+     allocation and, crucially, no mutable-store write barrier on the
+     memo fields, which profiles as one of the hottest costs of the
+     per-character loop. A [Tchar.t] is immutable and fully determined
+     by its position and byte, so the memo survives [rearm] untouched:
+     starting a run costs nothing, where rebuilding a pretainted copy of
+     the input used to cost O(n) allocations per execution. Rows are
+     created lazily per byte value and grown as longer inputs appear. *)
   pretaint : bool;
-  mutable pretainted : Tchar.t option array;
+  pretaint_memo : Tchar.t option array array;
 }
 
 let dummy_comparison =
@@ -51,10 +55,6 @@ let dummy_comparison =
   }
 
 let dummy_frame = Frame.Exit { pos = 0 }
-
-let pretaint_of text =
-  Array.init (String.length text) (fun i ->
-      Some (Tchar.input i (String.unsafe_get text i)))
 
 let make ~registry ?(fuel = 100_000) ?(track_comparisons = true)
     ?(track_trace = false) ?(track_frames = false) ?(pretaint = false) text =
@@ -77,7 +77,7 @@ let make ~registry ?(fuel = 100_000) ?(track_comparisons = true)
     peeked = None;
     peeked_at = -1;
     pretaint;
-    pretainted = (if pretaint then pretaint_of text else [||]);
+    pretaint_memo = (if pretaint then Array.make 256 [||] else [||]);
   }
 
 (* Reset a context for a fresh run over new input, keeping the allocated
@@ -100,8 +100,7 @@ let rearm t ~fuel text =
   t.fuel <- fuel;
   Vec.clear t.frames;
   t.peeked <- None;
-  t.peeked_at <- -1;
-  if t.pretaint then t.pretainted <- pretaint_of text
+  t.peeked_at <- -1
 
 (* {2 Snapshot marks}
 
@@ -166,7 +165,7 @@ let restore ~registry ~(mark : mark) ~cursor ~comparisons ~touched ~trace
     peeked = None;
     peeked_at = -1;
     pretaint = false;
-    pretainted = [||];
+    pretaint_memo = [||];
   }
 
 let[@inline] pos t = t.cursor
@@ -179,7 +178,23 @@ let peek t =
     t.eof_access <- true;
     None
   end
-  else if t.pretaint then Array.unsafe_get t.pretainted t.cursor
+  else if t.pretaint then begin
+    let code = Char.code (String.unsafe_get t.text t.cursor) in
+    let row = Array.unsafe_get t.pretaint_memo code in
+    if t.cursor < Array.length row then Array.unsafe_get row t.cursor
+    else begin
+      (* First time this byte value is read at a position this deep:
+         (re)build the row with headroom. Rows only ever grow, and every
+         slot of a row is filled at construction, so the hot path above
+         is two loads and a bounds test. *)
+      let cap = 2 * (t.cursor + 1) in
+      let cap = if cap < 64 then 64 else cap in
+      let ch = Char.unsafe_chr code in
+      let row = Array.init cap (fun i -> Some (Tchar.input i ch)) in
+      Array.unsafe_set t.pretaint_memo code row;
+      Array.unsafe_get row t.cursor
+    end
+  end
   else if t.peeked_at = t.cursor then t.peeked
   else begin
     (* [at_eof] above established [cursor < length text]. *)

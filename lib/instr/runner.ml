@@ -415,9 +415,20 @@ let exec_staged a (machine : Machine.recognizer) input =
   in
   package ctx input verdict
 
-(* {1 Bounded LRU prefix cache} *)
+(* {1 Bounded LRU prefix cache}
+
+   Keys are input prefixes, but the hot-path lookup is always "the first
+   [len] characters of this input" — and materialising that prefix as a
+   string per execution was two of the fuzzer's three per-exec
+   allocations. So the table is keyed by an FNV-1a hash computed over
+   the range in place ({!Pdf_util.Fnv}), with small collision buckets
+   verified by in-place character comparison against the (string, len)
+   pair. Full-string [find]/[mem]/[remove] are the prefix variants at
+   [len = length key]. *)
 
 module Cache = struct
+  module Fnv = Pdf_util.Fnv
+
   type stats = {
     mutable hits : int;
     mutable misses : int;
@@ -427,6 +438,7 @@ module Cache = struct
 
   type node = {
     key : string;
+    hash : int;  (* Fnv.string key, cached for bucket maintenance *)
     mutable snap : snapshot;
     mutable prev : node option;  (* towards most-recent *)
     mutable next : node option;  (* towards least-recent *)
@@ -434,7 +446,8 @@ module Cache = struct
 
   type t = {
     bound : int;
-    table : (string, node) Hashtbl.t;
+    table : (int, node list) Hashtbl.t;  (* hash -> collision bucket *)
+    mutable count : int;
     mutable head : node option;  (* most recently used *)
     mutable tail : node option;  (* least recently used *)
     stats : stats;
@@ -444,18 +457,46 @@ module Cache = struct
     {
       bound = max 1 bound;
       table = Hashtbl.create 256;
+      count = 0;
       head = None;
       tail = None;
       stats = { hits = 0; misses = 0; evictions = 0; chars_saved = 0 };
     }
 
   let stats t = t.stats
-  let length t = Hashtbl.length t.table
+  let length t = t.count
+
+  (* Does [node.key] equal the first [len] characters of [s]? *)
+  let key_matches node s len =
+    String.length node.key = len
+    &&
+    let k = node.key in
+    (* [while] over a ref rather than a local [let rec]: the probe runs
+       per bucket node on every lookup, and the captured-variable
+       closure would be allocated each time. *)
+    let i = ref 0 in
+    while !i < len && String.unsafe_get k !i = String.unsafe_get s !i do
+      incr i
+    done;
+    !i >= len
+
+  let rec bucket_find bucket s len =
+    match bucket with
+    | [] -> None
+    | n :: rest -> if key_matches n s len then Some n else bucket_find rest s len
+
+  let find_node t s len =
+    (* Exception-style lookup: this probe runs several times per
+       execution, and [find_opt]'s [Some] wrapper is pure garbage. *)
+    match Hashtbl.find t.table (Fnv.prefix s len) with
+    | bucket -> bucket_find bucket s len
+    | exception Not_found -> None
 
   (* No recency update, no counter traffic: this is the cheap guard the
      fuzzer uses to decide whether materialising a snapshot (an O(prefix)
      replay for compiled journals) is worth it at all. *)
-  let mem t key = Hashtbl.mem t.table key
+  let mem_prefix t s ~len = find_node t s len <> None
+  let mem t key = mem_prefix t key ~len:(String.length key)
 
   let unlink t node =
     (match node.prev with
@@ -472,48 +513,70 @@ module Cache = struct
     (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
     t.head <- Some node
 
-  let find t key =
-    match Hashtbl.find_opt t.table key with
+  let drop_from_bucket t node =
+    match Hashtbl.find_opt t.table node.hash with
+    | None -> ()
+    | Some bucket ->
+      (match List.filter (fun n -> n != node) bucket with
+       | [] -> Hashtbl.remove t.table node.hash
+       | rest -> Hashtbl.replace t.table node.hash rest);
+      t.count <- t.count - 1
+
+  let find_prefix t s ~len =
+    match find_node t s len with
     | None ->
       t.stats.misses <- t.stats.misses + 1;
       None
     | Some node ->
       t.stats.hits <- t.stats.hits + 1;
-      t.stats.chars_saved <- t.stats.chars_saved + String.length key;
+      t.stats.chars_saved <- t.stats.chars_saved + len;
       if t.head != Some node then begin
         unlink t node;
         push_front t node
       end;
       Some node.snap
 
+  let find t key = find_prefix t key ~len:(String.length key)
+
   let store t key snap =
-    if not (Hashtbl.mem t.table key) then begin
-      if Hashtbl.length t.table >= t.bound then begin
+    let len = String.length key in
+    if find_node t key len = None then begin
+      if t.count >= t.bound then begin
         match t.tail with
         | None -> ()
         | Some lru ->
           unlink t lru;
-          Hashtbl.remove t.table lru.key;
+          drop_from_bucket t lru;
           t.stats.evictions <- t.stats.evictions + 1
       end;
-      let node = { key; snap; prev = None; next = None } in
-      Hashtbl.replace t.table key node;
+      let hash = Fnv.prefix key len in
+      let node = { key; hash; snap; prev = None; next = None } in
+      let bucket =
+        match Hashtbl.find_opt t.table hash with Some b -> b | None -> []
+      in
+      Hashtbl.replace t.table hash (node :: bucket);
+      t.count <- t.count + 1;
       push_front t node
     end
 
-  let remove t key =
-    match Hashtbl.find_opt t.table key with
+  let remove_prefix t s ~len =
+    match find_node t s len with
     | None -> ()
     | Some node ->
       unlink t node;
-      Hashtbl.remove t.table key
+      drop_from_bucket t node
+
+  let remove t key = remove_prefix t key ~len:(String.length key)
 
   exception Corrupted_snapshot
 
   let corrupt_all t =
     let poisoned = Machine.Peek (fun _ _ -> raise Corrupted_snapshot) in
     Hashtbl.iter
-      (fun _ node -> node.snap <- { node.snap with s_step = poisoned })
+      (fun _ bucket ->
+        List.iter
+          (fun node -> node.snap <- { node.snap with s_step = poisoned })
+          bucket)
       t.table
 end
 
@@ -539,30 +602,42 @@ let substitution_index run =
   | Some _ as failed -> failed
   | None -> last_compared_index run
 
+(* The [~index] variants let a caller that already computed
+   {!substitution_index} reuse it — the fuzzer derives several facts per
+   run, and each [substitution_index] recomputation is a full scan of the
+   comparison log. *)
+let comparisons_at run ~index =
+  let cs = run.comparisons in
+  let acc = ref [] in
+  for i = Array.length cs - 1 downto 0 do
+    let c = Array.unsafe_get cs i in
+    if c.Comparison.index = index then acc := c :: !acc
+  done;
+  !acc
+
 let comparisons_at_last_index run =
   match substitution_index run with
   | None -> []
-  | Some idx ->
-    Array.fold_left
-      (fun acc (c : Comparison.t) -> if c.index = idx then c :: acc else acc)
-      [] run.comparisons
-    |> List.rev
+  | Some index -> comparisons_at run ~index
+
+let coverage_up_to run ~index =
+  (* [trace_pos] counts distinct outcomes covered before the event, and
+     [touched] lists outcomes in first-occurrence order — so the
+     coverage accumulated before the first comparison at the given index
+     is exactly a prefix of [touched]. No full trace required. *)
+  let cs = run.comparisons in
+  let cut = ref (Array.length run.touched) in
+  for i = 0 to Array.length cs - 1 do
+    let c = Array.unsafe_get cs i in
+    if c.Comparison.index = index && c.Comparison.trace_pos < !cut then
+      cut := c.Comparison.trace_pos
+  done;
+  Coverage.of_array ~len:(min !cut (Array.length run.touched)) run.touched
 
 let coverage_up_to_last_index run =
   match substitution_index run with
   | None -> run.coverage
-  | Some idx ->
-    (* [trace_pos] counts distinct outcomes covered before the event, and
-       [touched] lists outcomes in first-occurrence order — so the
-       coverage accumulated before the first comparison at the last index
-       is exactly a prefix of [touched]. No full trace required. *)
-    let cut =
-      Array.fold_left
-        (fun acc (c : Comparison.t) ->
-          if c.index = idx then min acc c.trace_pos else acc)
-        (Array.length run.touched) run.comparisons
-    in
-    Coverage.of_array ~len:(min cut (Array.length run.touched)) run.touched
+  | Some index -> coverage_up_to run ~index
 
 let avg_stack_of_last_two run =
   let n = Array.length run.comparisons in

@@ -202,12 +202,22 @@ module Cache : sig
   (** Lookup by exact prefix; updates recency and the hit/miss/saved
       counters. *)
 
+  val find_prefix : t -> string -> len:int -> snapshot option
+  (** [find_prefix t s ~len] is [find t (String.sub s 0 len)] without
+      allocating the substring: the prefix is hashed in place and
+      candidate entries verified by in-place comparison. This is the
+      fuzzer's per-execution lookup — the input's inherited prefix never
+      needs to exist as its own string. *)
+
   val mem : t -> string -> bool
   (** Presence check with no recency or counter side effects. Used to
       decide whether materialising a snapshot for a prefix is worth it —
       for compiled-tier journals that materialisation costs a replay of
       the prefix, so the fuzzer only pays it for prefixes not already
       cached. *)
+
+  val mem_prefix : t -> string -> len:int -> bool
+  (** Allocation-free [mem] on the first [len] characters of [s]. *)
 
   val store : t -> string -> snapshot -> unit
   (** Insert, evicting the least-recently-used entry at the bound. An
@@ -218,6 +228,11 @@ module Cache : sig
   (** Drop one entry (no-op when absent). Used by the fuzzer to
       invalidate a snapshot whose resume crashed, before falling back
       to cold execution. Does not count as an eviction. *)
+
+  val remove_prefix : t -> string -> len:int -> unit
+  (** Allocation-free [remove] keyed on the first [len] characters of
+      [s] — the rescue path's invalidation, which would otherwise be the
+      one remaining [String.sub] per crashing resume. *)
 
   exception Corrupted_snapshot
 
@@ -241,9 +256,19 @@ val substitution_index : run -> int option
     a {e failed} comparison, falling back to {!last_compared_index} when
     every comparison succeeded. Substitutions are applied here. *)
 
+val comparisons_at : run -> index:int -> Comparison.t list
+(** All comparison events touching input position [index], in trace
+    order. With [index = substitution_index run] this is
+    {!comparisons_at_last_index} without the extra index scan — for
+    callers that already computed the index. *)
+
 val comparisons_at_last_index : run -> Comparison.t list
 (** All comparison events touching {!substitution_index}, the
     substitution candidates of Algorithm 1's [addInputs]. *)
+
+val coverage_up_to : run -> index:int -> Coverage.t
+(** {!coverage_up_to_last_index} with the substitution index supplied by
+    the caller instead of recomputed. *)
 
 val coverage_up_to_last_index : run -> Coverage.t
 (** Coverage restricted to what was covered before the first comparison

@@ -3,8 +3,12 @@
 type t =
   | Exec  (** subject execution: parsing the candidate input *)
   | Cache  (** prefix-snapshot lookup, store and accounting *)
-  | Score  (** heuristic scoring, including full queue reranks *)
+  | Score  (** heuristic scoring, including queue reranks *)
   | Queue  (** priority-queue push/pop/truncate maintenance *)
+  | Gen
+      (** candidate generation: path-novelty accounting, the
+          hash-before-allocate dedupe probe and child construction in
+          [addInputs] *)
 
 val all : t list
 val count : int

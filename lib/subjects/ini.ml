@@ -251,6 +251,7 @@ let subject =
     parse;
     machine = Some machine;
     compiled = Some compiled;
+    compiled_preferred = true;
     fuel = 100_000;
     tokens;
     tokenize;

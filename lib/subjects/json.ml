@@ -448,7 +448,11 @@ let compiled : C.t =
       (fun k ->
         let body =
           C.fix (fun body ->
-              let esc = escape body in
+              (* Escapes are rare in discovered inputs; defer staging the
+                 whole escape/utf16 chain until a backslash actually
+                 appears, so the common all-literal string pays one lazy
+                 block instead of the full machinery per entry. *)
+              let esc = lazy (escape body) in
               C.next (fun c ->
                   fun ctx ->
                     match c with
@@ -456,7 +460,7 @@ let compiled : C.t =
                     | Some c ->
                       if Ctx.eq_slot ctx sl_str_close c '"' then k ctx
                       else if Ctx.eq_slot ctx sl_str_backslash c '\\' then
-                        esc ctx
+                        Lazy.force esc ctx
                       else if
                         Ctx.branch ctx b_str_control
                           (Char.code c.Tchar.ch < 0x20)
@@ -679,6 +683,10 @@ let subject =
     parse;
     machine = Some machine;
     compiled = Some compiled;
+    (* the staged json recognizer re-stages its recursive nonterminals per
+       entry and measures slower than the interpreted walker
+       (BENCH_compiled.json); keep it for equivalence checks only *)
+    compiled_preferred = false;
     fuel = 100_000;
     tokens;
     tokenize;

@@ -799,6 +799,7 @@ let subject =
     parse;
     machine = None;
     compiled = None;
+    compiled_preferred = false;
     fuel = 8_000;
     tokens;
     tokenize;

@@ -20,6 +20,13 @@ type t = {
           language, same comparison log, coverage, trace and reject
           strings — but with per-step allocation moved to staging time.
           Selected by the fuzzer's [Compiled] engine. *)
+  compiled_preferred : bool;
+      (** whether the staged form is a measured per-execution win over
+          the interpreted walker for this subject (BENCH_compiled.json).
+          When false, the fuzzer's [Compiled] engine quietly keeps the
+          interpreted tier — the staged form still exists for the
+          cross-engine equivalence checks, but [--engine compiled] is
+          never a pessimization. Results are bit-identical either way. *)
   fuel : int;  (** per-run fuel budget (interpreting subjects hang) *)
   tokens : Token.t list;
   tokenize : string -> string list;

@@ -424,6 +424,7 @@ let subject =
     parse = Plain.parse;
     machine = None;
     compiled = None;
+    compiled_preferred = false;
     fuel = 1_500;
     tokens;
     tokenize;
@@ -438,6 +439,7 @@ let subject_semantic =
     parse = Semantic.parse;
     machine = None;
     compiled = None;
+    compiled_preferred = false;
     fuel = 1_500;
     tokens;
     tokenize;
@@ -452,6 +454,7 @@ let subject_token_taints =
     parse = Token_taints.parse;
     machine = None;
     compiled = None;
+    compiled_preferred = false;
     fuel = 1_500;
     tokens;
     tokenize;

@@ -119,6 +119,7 @@ let subject ~name ~description ?(coverage = Table_elements)
     parse;
     machine = None;
     compiled = None;
+    compiled_preferred = false;
     fuel = 50_000;
     tokens;
     tokenize;

@@ -1,6 +1,21 @@
-type 'a entry = { mutable prio : float; seq : int; value : 'a }
+(* [aux] is caller-owned scratch carried with the entry — the fuzzer
+   caches each candidate's coverage-dependent score component there so a
+   re-rank can adjust priorities incrementally instead of re-deriving
+   them from the value. The queue itself never interprets it.
 
-type 'a t = { mutable heap : 'a entry array; mutable size : int; mutable next_seq : int }
+   Priorities live in a [float array] parallel to the entry array rather
+   than in the entries themselves: a float field in a mixed record is
+   boxed, so storing it there costs an allocation per push and a pointer
+   chase per comparison, and sift comparisons are the hottest thing this
+   module does. The parallel array keeps every priority unboxed. *)
+type 'a entry = { seq : int; value : 'a; mutable aux : int }
+
+type 'a t = {
+  mutable prios : float array;  (* prios.(i) is heap.(i)'s priority *)
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
 
 (* Sentinel entry filling every slot at index >= size. Vacated slots must
    not keep pointing at popped entries: the backing array would otherwise
@@ -8,27 +23,36 @@ type 'a t = { mutable heap : 'a entry array; mutable size : int; mutable next_se
    happens to be overwritten. The sentinel is a single shared record whose
    payload is [()]; it is never returned, so the unsafe cast never
    escapes. *)
-let dummy : unit entry = { prio = neg_infinity; seq = -1; value = () }
+let dummy : unit entry = { seq = -1; value = (); aux = 0 }
 let dummy_entry () : 'a entry = Obj.magic dummy
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () = { prios = [||]; heap = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-(* Max-heap order: higher priority first; on equal priority, lower seq
-   (earlier insertion) first. *)
-let before a b = a.prio > b.prio || (a.prio = b.prio && a.seq < b.seq)
+(* Max-heap order between slots: higher priority first; on equal
+   priority, lower seq (earlier insertion) first. Sequence numbers are
+   unique, so this is a total order. Callers guarantee [i], [j] are live
+   slots. *)
+let[@inline] before t i j =
+  let pi = Array.unsafe_get t.prios i and pj = Array.unsafe_get t.prios j in
+  pi > pj
+  || (pi = pj
+      && (Array.unsafe_get t.heap i).seq < (Array.unsafe_get t.heap j).seq)
 
 let swap t i j =
-  let tmp = t.heap.(i) in
+  let p = t.prios.(i) in
+  t.prios.(i) <- t.prios.(j);
+  t.prios.(j) <- p;
+  let e = t.heap.(i) in
   t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  t.heap.(j) <- e
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
+    if before t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -36,12 +60,11 @@ let rec sift_up t i =
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let best = ref i in
-  if l < t.size && before t.heap.(l) t.heap.(!best) then best := l;
-  if r < t.size && before t.heap.(r) t.heap.(!best) then best := r;
-  if !best <> i then begin
-    swap t i !best;
-    sift_down t !best
+  let best = if l < t.size && before t l i then l else i in
+  let best = if r < t.size && before t r best then r else best in
+  if best <> i then begin
+    swap t i best;
+    sift_down t best
   end
 
 let grow t =
@@ -50,34 +73,52 @@ let grow t =
     let ncap = max 16 (2 * cap) in
     let nheap = Array.make ncap (dummy_entry ()) in
     Array.blit t.heap 0 nheap 0 t.size;
-    t.heap <- nheap
+    t.heap <- nheap;
+    let nprios = Array.make ncap neg_infinity in
+    Array.blit t.prios 0 nprios 0 t.size;
+    t.prios <- nprios
   end
 
-let push t prio value =
-  let entry = { prio; seq = t.next_seq; value } in
+let push ?(aux = 0) t prio value =
+  let entry = { seq = t.next_seq; value; aux } in
   t.next_seq <- t.next_seq + 1;
   grow t;
   t.heap.(t.size) <- entry;
+  t.prios.(t.size) <- prio;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let pop_entry t =
-  if t.size = 0 then None
+(* Caller guarantees [size > 0]. *)
+let remove_top t =
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    t.prios.(0) <- t.prios.(t.size);
+    t.heap.(t.size) <- dummy_entry ();
+    t.prios.(t.size) <- neg_infinity;
+    sift_down t 0
+  end
   else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      t.heap.(t.size) <- dummy_entry ();
-      sift_down t 0
-    end
-    else t.heap.(0) <- dummy_entry ();
-    Some top
+    t.heap.(0) <- dummy_entry ();
+    t.prios.(0) <- neg_infinity
   end
 
-let pop t = Option.map (fun e -> e.value) (pop_entry t)
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let v = t.heap.(0).value in
+    remove_top t;
+    Some v
+  end
 
-let pop_with_priority t = Option.map (fun e -> (e.prio, e.value)) (pop_entry t)
+let pop_with_priority t =
+  if t.size = 0 then None
+  else begin
+    let prio = t.prios.(0) in
+    let v = t.heap.(0).value in
+    remove_top t;
+    Some (prio, v)
+  end
 
 let peek t = if t.size = 0 then None else Some t.heap.(0).value
 
@@ -93,16 +134,76 @@ let heapify t =
 
 let rerank t f =
   for i = 0 to t.size - 1 do
-    t.heap.(i).prio <- f t.heap.(i).value
+    t.prios.(i) <- f t.heap.(i).value
   done;
   heapify t
 
+(* Selective re-rank: [f value ~aux] returns [None] to leave an entry
+   untouched or [Some (prio, aux)] to update it. The heap is restored
+   only if something actually changed, so a delta that misses every
+   pending entry costs one pass and no sifting. Equivalent to [rerank]
+   whenever [f]'s [None] means "the recomputed priority equals the
+   stored one": untouched entries keep bit-identical priorities and
+   sequence numbers, so the heap pops in the same sequence a full
+   rerank would produce. *)
+let update t f =
+  let changed = ref false in
+  for i = 0 to t.size - 1 do
+    let e = t.heap.(i) in
+    match f e.value ~aux:e.aux with
+    | None -> ()
+    | Some (prio, aux) ->
+      if prio <> t.prios.(i) then changed := true;
+      t.prios.(i) <- prio;
+      e.aux <- aux
+  done;
+  if !changed then heapify t
+
+(* Selection for [drop_worst]: rearrange live slots so the [n] best
+   under the total order occupy [0..n). Median-of-three Lomuto
+   quickselect, average O(size) — replacing a full [Array.sort] whose
+   O(size log size) comparator calls dominated truncation cost. The kept
+   set is identical to what sorting kept ([before] is a total order, so
+   "the best n" is unique), and pops from the rebuilt heap are
+   layout-independent, so the change is invisible to results. *)
+let partition t lo hi =
+  let mid = lo + ((hi - lo) / 2) in
+  (* Move the median of slots (lo, mid, hi) to [hi] as the pivot. *)
+  let m =
+    if before t lo mid then
+      if before t mid hi then mid else if before t lo hi then hi else lo
+    else if before t lo hi then lo
+    else if before t mid hi then hi
+    else mid
+  in
+  if m <> hi then swap t m hi;
+  let store = ref lo in
+  for i = lo to hi - 1 do
+    if before t i hi then begin
+      if i <> !store then swap t i !store;
+      incr store
+    end
+  done;
+  if !store <> hi then swap t !store hi;
+  !store
+
+let rec select t lo hi n =
+  if lo < hi then begin
+    let p = partition t lo hi in
+    if p > n then select t lo (p - 1) n
+    else if p < n - 1 then select t (p + 1) hi n
+    (* p = n - 1 or p = n: every slot below [n] comes before every slot
+       at or beyond it — selection done. *)
+  end
+
 let drop_worst t n =
   if t.size > n then begin
-    let entries = Array.sub t.heap 0 t.size in
-    Array.sort (fun a b -> if before a b then -1 else 1) entries;
-    Array.blit entries 0 t.heap 0 n;
-    Array.fill t.heap n (t.size - n) (dummy_entry ());
+    let n = max 0 n in
+    if n > 0 then select t 0 (t.size - 1) n;
+    for i = n to t.size - 1 do
+      t.heap.(i) <- dummy_entry ();
+      t.prios.(i) <- neg_infinity
+    done;
     t.size <- n;
     heapify t
   end
@@ -110,11 +211,11 @@ let drop_worst t n =
 let to_list t =
   let acc = ref [] in
   for i = t.size - 1 downto 0 do
-    acc := (t.heap.(i).prio, t.heap.(i).value) :: !acc
+    acc := (t.prios.(i), t.heap.(i).value) :: !acc
   done;
   !acc
 
 let snapshot t =
-  let entries = Array.sub t.heap 0 t.size in
-  Array.sort (fun a b -> compare a.seq b.seq) entries;
-  Array.to_list (Array.map (fun e -> (e.prio, e.value)) entries)
+  let pairs = Array.init t.size (fun i -> (t.prios.(i), t.heap.(i))) in
+  Array.sort (fun (_, a) (_, b) -> compare a.seq b.seq) pairs;
+  Array.to_list (Array.map (fun (p, e) -> (p, e.value)) pairs)

@@ -12,8 +12,10 @@ val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
-val push : 'a t -> float -> 'a -> unit
-(** [push q prio x] inserts [x] with priority [prio]. *)
+val push : ?aux:int -> 'a t -> float -> 'a -> unit
+(** [push q prio x] inserts [x] with priority [prio]. [aux] (default 0)
+    is caller-owned scratch stored with the entry and handed back by
+    {!update} — the queue never interprets it. *)
 
 val pop : 'a t -> 'a option
 (** Removes and returns an element with maximal priority. Ties are broken
@@ -34,6 +36,15 @@ val rerank : 'a t -> ('a -> float) -> unit
 (** [rerank q f] recomputes every pending element's priority with [f] and
     restores the heap invariant — the queue re-evaluation step performed
     when a new valid input extends the covered-branch set. *)
+
+val update : 'a t -> ('a -> aux:int -> (float * int) option) -> unit
+(** Selective {!rerank}: [f] sees each entry's value and stored [aux]
+    and returns [Some (prio, aux)] to update it or [None] to leave it
+    untouched. The heap invariant is restored only when a priority
+    actually changed. Provided [None] is only returned when the
+    recomputed priority would equal the stored one, the resulting heap
+    state is bit-identical to a full [rerank] — entries keep their
+    insertion order, so tie-breaking is unaffected. *)
 
 val drop_worst : 'a t -> int -> unit
 (** [drop_worst q n] truncates the queue to at most [n] entries, discarding

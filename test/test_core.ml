@@ -524,6 +524,48 @@ let test_checkpoint_cadence_vs_batch () =
     Alcotest.(check bool) "resumed = uninterrupted despite batch skew" true
       (Pdf_check.Invariants.results_equal full resumed)
 
+(* {1 Generational resets preserve determinism}
+
+   [seen_inputs] and [path_counts] reset wholesale at 4 x queue_bound.
+   With both tables rekeyed by FNV hash the reset path is load-bearing:
+   a tiny queue bound forces many generations per campaign, and the
+   search must stay deterministic through every one — same seed, same
+   stream, and a checkpoint taken after resets have fired must restore
+   the mid-generation table contents exactly. (A tiny-cap campaign is
+   *not* compared against a default-cap one: resets re-admit previously
+   seen candidates by design, so the cap is behaviour, not tuning.) *)
+
+let test_generational_reset_determinism () =
+  let subject = Catalog.find "expr" in
+  let config =
+    { Pfuzzer.default_config with max_executions = 3000; queue_bound = 8 }
+  in
+  let ((ra, _) as a) = stream_with config subject in
+  Alcotest.(check bool) "dedupe resets fired" true (ra.Pfuzzer.dedupe_resets > 0);
+  Alcotest.(check bool) "path resets fired" true (ra.path_resets > 0);
+  check_streams_identical "tiny-cap campaign, run twice" a
+    (stream_with config subject);
+  (* Round-trip a checkpoint captured after the tables have already been
+     through at least one reset: the restored generation must contain
+     exactly the entries live at capture time, or the resumed half of the
+     campaign diverges. *)
+  let captured = ref None in
+  let full =
+    Pfuzzer.fuzz ~checkpoint_every:500
+      ~on_checkpoint:(fun ck ->
+        let partial = Pfuzzer.Checkpoint.partial_result ck in
+        if !captured = None && partial.Pfuzzer.dedupe_resets > 0 then
+          captured := Some ck)
+      config subject
+  in
+  match !captured with
+  | None -> Alcotest.fail "no checkpoint captured after a dedupe reset"
+  | Some ck ->
+    let resumed = Pfuzzer.resume_from ck subject in
+    Alcotest.(check bool) "resume across a reset generation = uninterrupted"
+      true
+      (Pdf_check.Invariants.results_equal full resumed)
+
 let test_crash_mid_batch () =
   (* Faults that fire in the middle of a batch are contained like any
      other crash: the batch keeps draining and the budget is honoured. *)
@@ -619,6 +661,8 @@ let () =
             test_incremental_equivalence;
           Alcotest.test_case "cache stats sanity" `Quick test_cache_stats_sanity;
           Alcotest.test_case "path counts capped" `Quick test_path_counts_capped;
+          Alcotest.test_case "generational resets stay deterministic" `Quick
+            test_generational_reset_determinism;
         ] );
       ( "engine",
         [

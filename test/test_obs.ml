@@ -197,7 +197,7 @@ let test_observer_spans () =
   check
     Alcotest.(list (pair string int))
     "phase totals"
-    [ ("exec", 10); ("cache", 10); ("score", 0); ("queue", 10) ]
+    [ ("exec", 10); ("cache", 10); ("score", 0); ("queue", 10); ("gen", 0) ]
     (Observer.phase_totals obs)
 
 (* {1 The live status line} *)
@@ -353,6 +353,38 @@ let test_disabled_path_allocation () =
     Alcotest.failf "disabled-path allocation: %.0f minor words/exec (budget 1500)"
       per_exec
 
+(* {1 The candidate-generation span is free when telemetry is off}
+
+   The [Gen] span brackets dedupe probing and child construction — the
+   hottest code in the fuzzer. With no observer installed each of its
+   sites must compile down to one branch, exactly like the other phase
+   spans (well under the 2% overhead the phase machinery is allowed):
+   no clock read, no event record, and — the part a timer on this noisy
+   box can actually enforce deterministically — not one word of
+   allocation. The budget has ~35% headroom over the measured disabled
+   path (expr, interpreted engine: ~580 minor words/exec, all of it the
+   campaign's own working set); if it trips, a span site started paying
+   for telemetry nobody asked for. *)
+
+let test_disabled_gen_span_allocation () =
+  let subject = Catalog.find "expr" in
+  let config =
+    {
+      Pfuzzer.default_config with
+      max_executions = 2000;
+      engine = Pfuzzer.Interpreted;
+    }
+  in
+  ignore (Pfuzzer.fuzz config subject) (* warm up *);
+  let w0 = Gc.minor_words () in
+  let result = Pfuzzer.fuzz config subject in
+  let w1 = Gc.minor_words () in
+  let per_exec = (w1 -. w0) /. float_of_int result.executions in
+  if per_exec > 800.0 then
+    Alcotest.failf
+      "disabled-obs candidate generation: %.0f minor words/exec (budget 800)"
+      per_exec
+
 (* {1 Result timing fields} *)
 
 let test_result_timing () =
@@ -429,6 +461,8 @@ let () =
         [
           Alcotest.test_case "disabled path allocation" `Quick
             test_disabled_path_allocation;
+          Alcotest.test_case "disabled gen span allocation" `Quick
+            test_disabled_gen_span_allocation;
           Alcotest.test_case "result timing fields" `Quick test_result_timing;
         ] );
       ( "experiment",
