@@ -48,7 +48,8 @@ let valid_sections =
     "table-1"; "table-2"; "table-3"; "table-4"; "figure-2"; "figure-3";
     "headline"; "ablation-dyck"; "ablation-heuristic"; "ablation-grammar";
     "ablation-tables"; "ablation-token-taints"; "ablation-semantics";
-    "pipeline"; "micro"; "incremental"; "compiled"; "obs"; "dist"; "loop";
+    "pipeline"; "micro"; "incremental"; "compiled"; "obs"; "monitor"; "dist";
+    "loop";
   ]
 
 let usage_line =
@@ -1109,6 +1110,109 @@ let obs_bench options =
                  name off m t (pct off m) (pct off t))
              measured)))
 
+(* {1 Monitoring overhead: sampled tracing and the flight recorder}
+
+   The monitoring contract: full tracing is allowed to be expensive
+   (BENCH_obs.json puts it around double the disabled cost), but the
+   always-on production modes must not be. Sampling exec-level events
+   1-in-100 has to bring the overhead down to single digits, and the
+   flight-recorder ring — retention without serialization — must be
+   within a few percent of running blind. Interleaved rounds as in the
+   obs section: disabled, fully traced, sampled 1/100, and ring-only at
+   the same sampling rate. *)
+
+let monitor_bench options =
+  Render.section ppf "monitor: sampled tracing and flight-recorder overhead";
+  let rounds = if options.quick then 5 else 9 in
+  let execs = if options.quick then 1_000 else 10_000 in
+  let sample = 100 in
+  let measured =
+    List.map
+      (fun subject_name ->
+        let subject = Catalog.find subject_name in
+        let config = { Pfuzzer.default_config with max_executions = execs } in
+        let time_run f =
+          let t0 = Unix.gettimeofday () in
+          let (_ : Pfuzzer.result) = f () in
+          (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int execs
+        in
+        let per_round =
+          List.init rounds (fun _ ->
+              let off = time_run (fun () -> Pfuzzer.fuzz config subject) in
+              let full =
+                time_run (fun () ->
+                    let sink, _ = Pdf_obs.Trace.buffer () in
+                    let obs = Pdf_obs.Observer.create ~sink () in
+                    Pfuzzer.fuzz ~obs config subject)
+              in
+              let sampled =
+                time_run (fun () ->
+                    let sink, _ = Pdf_obs.Trace.buffer () in
+                    let obs = Pdf_obs.Observer.create ~sink ~sample () in
+                    Pfuzzer.fuzz ~obs config subject)
+              in
+              let recorder =
+                time_run (fun () ->
+                    let obs =
+                      Pdf_obs.Observer.create ~ring:(Pdf_obs.Trace.ring 512)
+                        ~sample ()
+                    in
+                    Pfuzzer.fuzz ~obs config subject)
+              in
+              (off, full, sampled, recorder))
+        in
+        let off = median (List.map (fun (a, _, _, _) -> a) per_round) in
+        let full = median (List.map (fun (_, b, _, _) -> b) per_round) in
+        let sampled = median (List.map (fun (_, _, c, _) -> c) per_round) in
+        let recorder = median (List.map (fun (_, _, _, d) -> d) per_round) in
+        (subject_name, off, full, sampled, recorder))
+      [ "json"; "tinyc" ]
+  in
+  let pct base v = 100. *. ((v /. base) -. 1.) in
+  Render.table ppf
+    ~title:
+      (Printf.sprintf
+         "whole fuzzing runs, ns/execution (%d interleaved rounds, %d execs \
+          each, sampling 1/%d)"
+         rounds execs sample)
+    ~header:
+      [
+        "subject"; "disabled"; "full trace"; "sampled"; "ring 512";
+        "full ovh"; "sampled ovh"; "ring ovh";
+      ]
+    (List.map
+       (fun (name, off, full, sampled, recorder) ->
+         [
+           name;
+           Printf.sprintf "%.0f" off;
+           Printf.sprintf "%.0f" full;
+           Printf.sprintf "%.0f" sampled;
+           Printf.sprintf "%.0f" recorder;
+           Printf.sprintf "%+.1f%%" (pct off full);
+           Printf.sprintf "%+.1f%%" (pct off sampled);
+           Printf.sprintf "%+.1f%%" (pct off recorder);
+         ])
+       measured);
+  add_json "monitor"
+    (Printf.sprintf
+       "{\n    \"rounds\": %d,\n    \"execs_per_run\": %d,\n    \"sample\": %d,\n\
+       \    \"rows\": [\n%s\n    ]\n  }"
+       rounds execs sample
+       (String.concat ",\n"
+          (List.map
+             (fun (name, off, full, sampled, recorder) ->
+               Printf.sprintf
+                 "      { \"name\": %S, \"disabled_ns_per_exec\": %.0f, \
+                  \"full_trace_ns_per_exec\": %.0f, \
+                  \"sampled_ns_per_exec\": %.0f, \
+                  \"recorder_ns_per_exec\": %.0f, \
+                  \"full_overhead_pct\": %.1f, \
+                  \"sampled_overhead_pct\": %.1f, \
+                  \"recorder_overhead_pct\": %.1f }"
+                 name off full sampled recorder (pct off full)
+                 (pct off sampled) (pct off recorder))
+             measured)))
+
 (* {1 Distributed campaigns: equivalence, then worker scaling}
 
    Equivalence before timing: the merged result of every fleet must be
@@ -1215,5 +1319,6 @@ let () =
   if wants options "compiled" then compiled_bench options;
   if wants options "loop" then loop_bench options;
   if wants options "obs" then obs_bench options;
+  if wants options "monitor" then monitor_bench options;
   write_json options;
   Format.pp_print_flush ppf ()

@@ -2,7 +2,10 @@
 
      pfuzzer fuzz --subject json --tool pfuzzer --executions 20000
      pfuzzer fuzz --subject json --trace t.jsonl --stats-interval 1
+     pfuzzer fuzz --subject json --trace-sample 100 --flight-recorder fr
      pfuzzer campaign --subject json --workers 4 --executions 20000
+     pfuzzer campaign --subject json --workers 4 --metrics-file m.prom
+     pfuzzer monitor m.prom
      pfuzzer trace-report t.jsonl
      pfuzzer run --subject tinyc "if(a<2)b=1;"
      pfuzzer evaluate --budget 2000000 --seeds 1,2,3
@@ -82,7 +85,8 @@ let tool_arg =
    staged to a temporary and renamed into place only after [f] returns:
    an interrupted or crashed run never leaves a truncated trace behind,
    only the previous complete file (if any). *)
-let with_observer ~trace ~trace_chrome ~stats_interval f =
+let with_observer ~trace ~trace_chrome ~trace_sample ~metrics_file
+    ~flight_recorder ~stats_interval f =
   let staged = ref [] in
   let open_sink path mk =
     let st = Pdf_util.Atomic_file.stage path in
@@ -107,13 +111,15 @@ let with_observer ~trace ~trace_chrome ~stats_interval f =
       Some (Pdf_obs.Progress.create ~interval_s:stats_interval ())
     else None
   in
+  let ring = Option.map (fun _ -> Pdf_obs.Trace.ring 512) flight_recorder in
   let obs =
-    match (sink, progress) with
-    | None, None -> None
+    match (sink, progress, ring, metrics_file) with
+    | None, None, None, None -> None
     | _ ->
       Some
-        (Pdf_obs.Observer.create ?sink ?progress ~metrics:(Pdf_obs.Metrics.create ())
-           ())
+        (Pdf_obs.Observer.create ?sink ?ring ?postmortem:flight_recorder
+           ~sample:trace_sample ?metrics_file ?progress
+           ~metrics:(Pdf_obs.Metrics.create ()) ())
   in
   let close_sink () =
     match sink with Some s -> Pdf_obs.Trace.close s | None -> ()
@@ -185,8 +191,9 @@ let minor_heap_arg =
 
 let fuzz_cmd =
   let run subject_name tool_name seed executions quiet no_incremental engine
-      batch trace trace_chrome stats_interval checkpoint checkpoint_every
-      resume crashes_out die_after minor_heap =
+      batch trace trace_chrome trace_sample metrics_file flight_recorder
+      stats_interval checkpoint checkpoint_every resume crashes_out die_after
+      minor_heap =
     match find_subject subject_name with
     | Error e -> Error e
     | Ok subject ->
@@ -242,7 +249,8 @@ let fuzz_cmd =
               Pdf_util.Gc_tune.default_minor_words
                 ~queue_bound:Pdf_core.Pfuzzer.default_config.queue_bound);
          let outcome =
-           with_observer ~trace ~trace_chrome ~stats_interval (fun obs ->
+           with_observer ~trace ~trace_chrome ~trace_sample ~metrics_file
+             ~flight_recorder ~stats_interval (fun obs ->
                Pdf_eval.Tool.run ?obs ?on_checkpoint ?resume_from ?on_execution
                  ?checkpoint_every ~incremental:(not no_incremental) ~engine
                  ~batch tool ~budget_units ~seed subject)
@@ -333,9 +341,44 @@ let fuzz_cmd =
       & opt (nonneg_float "stats interval") 0.0
       & info [ "stats-interval" ] ~docv:"SECS"
           ~doc:
-            "Paint a live status line (execs/sec, queue depth, valid inputs, \
-             coverage, cache hit rate, plateau age, hangs, crashes) on stderr \
-             every SECS seconds. 0 (default) disables it.")
+            "Paint a live status line (execs/sec, engine tier, queue depth, \
+             valid inputs, coverage, cache hit rate, rescues, plateau age, \
+             hangs, crashes) on stderr every SECS seconds. 0 (default) \
+             disables it.")
+  in
+  let trace_sample =
+    Arg.(
+      value
+      & opt (pos_int "sample interval") 1
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Record exec-level trace events for 1-in-N executions, chosen \
+             deterministically on the execution index (so sampled traces are \
+             reproducible and shard-merge deterministic). Structural events \
+             (valid inputs, crashes, hangs, faults, rescues) are always \
+             recorded. 1 (default) records everything.")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"FILE"
+          ~doc:
+            "Atomically rewrite FILE with a Prometheus text snapshot of the \
+             run's metrics on each status interval (1s when no \
+             --stats-interval is set). Watch it live with `pfuzzer monitor \
+             FILE'.")
+  in
+  let flight_recorder =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-recorder" ] ~docv:"PREFIX"
+          ~doc:
+            "Keep the last 512 trace events in an in-memory ring (cheap even \
+             with file tracing off) and dump them to PREFIX-<reason>.jsonl \
+             when a fresh crash is recorded, a hang fires, or a fault drill \
+             triggers.")
   in
   let checkpoint =
     Arg.(
@@ -392,8 +435,9 @@ let fuzz_cmd =
       term_result
         (const run $ subject_arg $ tool_arg $ seed_arg $ executions_arg 20_000
          $ quiet $ no_incremental $ engine $ batch $ trace $ trace_chrome
-         $ stats_interval $ checkpoint $ checkpoint_every $ resume
-         $ crashes_out $ die_after $ minor_heap_arg))
+         $ trace_sample $ metrics_file $ flight_recorder $ stats_interval
+         $ checkpoint $ checkpoint_every $ resume $ crashes_out $ die_after
+         $ minor_heap_arg))
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz one subject with one tool.") term
 
@@ -401,7 +445,7 @@ let fuzz_cmd =
 
 let campaign_cmd =
   let run subject_name seed executions workers shards frame_every retries
-      kill_worker trace out quiet minor_heap =
+      kill_worker trace metrics_file postmortem out quiet minor_heap =
     match find_subject subject_name with
     | Error e -> Error e
     | Ok subject ->
@@ -421,7 +465,8 @@ let campaign_cmd =
       let obs = Option.map (fun s -> Pdf_obs.Observer.create ~sink:s ()) sink in
       (match
          Pdf_eval.Dist.run_campaign ~workers ~shards ~frame_every ~retries
-           ~trace:(trace <> None) ?obs ?kill_worker config subject
+           ~trace:(trace <> None) ?obs ?metrics_file ?postmortem ?kill_worker
+           config subject
        with
        | exception Failure msg ->
          (* Replay rounds exhausted, or fork unavailable (a domain was
@@ -477,6 +522,14 @@ let campaign_cmd =
            (fun (w, reason) ->
              Printf.printf "# worker %d rejected frame: %s\n" w reason)
            outcome.frames_rejected;
+         (match outcome.metrics with
+          | None -> ()
+          | Some s ->
+            Printf.printf "# fleet metrics (clock %d): %s\n" s.Pdf_obs.Metrics.clock
+              (String.concat ", "
+                 (List.map
+                    (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+                    s.Pdf_obs.Metrics.counters)));
          (match out with
           | None -> ()
           | Some path ->
@@ -489,23 +542,42 @@ let campaign_cmd =
             in
             let buf = Buffer.create 256 in
             let open Pdf_obs.Json in
+            (* The merged-metrics block keeps only the deterministic
+               parts of the fleet totals — counters and histogram
+               counts. Gauges and timing quantiles are
+               scheduling-dependent and would break the byte-identity
+               of --out across worker counts. *)
+            let metric_fields =
+              match outcome.metrics with
+              | None -> []
+              | Some s ->
+                List.map
+                  (fun (n, v) -> (Pdf_obs.Exposition.metric_name n, I v))
+                  s.Pdf_obs.Metrics.counters
+                @ List.map
+                    (fun (n, h) ->
+                      ( Pdf_obs.Exposition.metric_name n ^ "_count",
+                        I (Pdf_util.Stats.Histogram.count h) ))
+                    s.Pdf_obs.Metrics.histograms
+            in
             write_flat buf
-              [
-                ("subject", S subject.name);
-                ("seed", I seed);
-                ("executions", I r.executions);
-                ("shards", I (List.length outcome.o_plan.shards));
-                ("shard_budgets", S budgets);
-                ("valid_inputs", I (List.length r.valid_inputs));
-                ( "coverage_pct",
-                  F (Pdf_instr.Coverage.percent r.valid_coverage subject.registry)
-                );
-                ("first_valid_at", I (Option.value r.first_valid_at ~default:(-1)));
-                ("crash_identities", I (List.length r.crashes));
-                ("crash_total", I r.crash_total);
-                ("hangs", I r.hangs);
-                ("result_digest", S digest);
-              ];
+              ([
+                 ("subject", S subject.name);
+                 ("seed", I seed);
+                 ("executions", I r.executions);
+                 ("shards", I (List.length outcome.o_plan.shards));
+                 ("shard_budgets", S budgets);
+                 ("valid_inputs", I (List.length r.valid_inputs));
+                 ( "coverage_pct",
+                   F (Pdf_instr.Coverage.percent r.valid_coverage subject.registry)
+                 );
+                 ("first_valid_at", I (Option.value r.first_valid_at ~default:(-1)));
+                 ("crash_identities", I (List.length r.crashes));
+                 ("crash_total", I r.crash_total);
+                 ("hangs", I r.hangs);
+                 ("result_digest", S digest);
+               ]
+              @ metric_fields);
             Buffer.add_char buf '\n';
             Pdf_util.Atomic_file.write_string path (Buffer.contents buf);
             Printf.printf "# campaign summary written to %s\n" path);
@@ -569,15 +641,36 @@ let campaign_cmd =
              lifecycle events, then every worker's per-shard event stream \
              concatenated in shard order.")
   in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"FILE"
+          ~doc:
+            "Atomically rewrite FILE with a Prometheus text snapshot of the \
+             fleet's merged metrics as sync frames arrive. Watch it live with \
+             `pfuzzer monitor FILE'.")
+  in
+  let postmortem =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "postmortem" ] ~docv:"PREFIX"
+          ~doc:
+            "Attach a flight recorder to the coordinator's lifecycle events \
+             and dump it to PREFIX-worker<W>.jsonl when worker W dies \
+             abnormally or leaves shards unfinished.")
+  in
   let out =
     Arg.(
       value
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE"
           ~doc:
-            "Write a one-line JSON campaign summary with no timing fields: \
-             byte-identical across worker counts, so CI can diff the files \
-             from --workers 1 and --workers 4 directly.")
+            "Write a one-line JSON campaign summary with no timing fields \
+             (plus the deterministic slice of the fleet metrics: counters and \
+             histogram counts): byte-identical across worker counts, so CI \
+             can diff the files from --workers 1 and --workers 4 directly.")
   in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary lines.")
@@ -586,8 +679,8 @@ let campaign_cmd =
     Term.(
       term_result
         (const run $ subject_arg $ seed_arg $ executions_arg 20_000 $ workers
-         $ shards $ frame_every $ retries $ kill_worker $ trace $ out $ quiet
-         $ minor_heap_arg))
+         $ shards $ frame_every $ retries $ kill_worker $ trace $ metrics_file
+         $ postmortem $ out $ quiet $ minor_heap_arg))
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -889,6 +982,65 @@ let check_cmd =
           --chaos) fault-injection drills.")
     term
 
+(* monitor *)
+
+let monitor_cmd =
+  let run file once interval =
+    let render_once () =
+      match Pdf_util.Atomic_file.read_string file with
+      | exception Sys_error _ ->
+        (* The fuzzer may not have written its first snapshot yet; a
+           transient miss is part of normal startup, not an error. *)
+        Printf.printf "[pfuzzer monitor] waiting for %s\n" file
+      | text ->
+        print_string (Pdf_obs.Exposition.render (Pdf_obs.Exposition.parse text))
+    in
+    if once then begin
+      render_once ();
+      flush stdout;
+      Ok ()
+    end
+    else begin
+      let tty = try Unix.isatty Unix.stdout with Unix.Unix_error _ -> false in
+      let rec loop () =
+        if tty then print_string "\027[2J\027[H";
+        render_once ();
+        flush stdout;
+        Unix.sleepf interval;
+        loop ()
+      in
+      loop ()
+    end
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Prometheus text file written by --metrics-file.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render the current snapshot once and exit (for scripts and CI).")
+  in
+  let interval =
+    Arg.(
+      value
+      & opt (nonneg_float "refresh interval") 1.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh cadence.")
+  in
+  let term = Term.(term_result (const run $ file $ once $ interval)) in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Render a live dashboard from a --metrics-file snapshot: re-read \
+          the file every --interval seconds (atomic rewrites mean a read \
+          never sees a torn snapshot) and print one aligned block per \
+          metric family.")
+    term
+
 (* subjects *)
 
 let subjects_cmd =
@@ -919,5 +1071,6 @@ let () =
             mine_cmd;
             pipeline_cmd;
             check_cmd;
+            monitor_cmd;
             subjects_cmd;
           ]))

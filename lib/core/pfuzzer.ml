@@ -536,14 +536,42 @@ let observed_snapshot st =
 let[@inline] tsink st =
   match st.obs with Some o when Obs.tracing o -> Some o | _ -> None
 
+(* High-frequency exec-level sites (exec_start/exec_done, cache
+   consult, queue push/pop) additionally respect the observer's
+   deterministic sampling predicate, keyed on the execution counter the
+   event would be stamped with. Structural events (valid, crash, hang,
+   fault, rescue, resets) always record — they are rare and are exactly
+   what a post-mortem needs. *)
+let[@inline] tsink_exec st =
+  match st.obs with
+  | Some o when Obs.tracing o && Obs.sampled o ~exec:st.executions -> Some o
+  | _ -> None
+
+(* Dump the flight recorder (when one is attached) on triage-worthy
+   moments: fresh crash identities, the first hang, fault drills. *)
+let flight_dump st reason =
+  match st.obs with None -> () | Some o -> ignore (Obs.flight_dump o ~reason)
+
+(* Phase spans obey the same sampling predicate as exec-level events:
+   at [sample > 1] only the sampled executions pay the monotonic-clock
+   reads, which is what keeps the always-on modes (sampled trace,
+   flight recorder) within a few percent of running blind. A skipped
+   [span_begin] returns the sentinel 0 and [span_end]/[span_next]
+   discard it, so a begin/end pair never mixes a real timestamp with a
+   skipped one even if the execution counter moves between them.
+   (CLOCK_MONOTONIC is ns since boot — it is never 0 in practice.) *)
 let[@inline] span_begin st =
-  match st.obs with None -> 0 | Some o -> Obs.span_start o
+  match st.obs with
+  | Some o when Obs.sampled o ~exec:st.executions -> Obs.span_start o
+  | _ -> 0
 
 let[@inline] span_end st phase t0 =
-  match st.obs with None -> () | Some o -> Obs.span_end o phase t0
+  if t0 <> 0 then
+    match st.obs with None -> () | Some o -> Obs.span_end o phase t0
 
 let[@inline] span_next st phase t0 =
-  match st.obs with None -> 0 | Some o -> Obs.span_next o phase t0
+  if t0 = 0 then 0
+  else match st.obs with None -> 0 | Some o -> Obs.span_next o phase t0
 
 let cache_counters st =
   match st.cache with
@@ -561,7 +589,7 @@ let maybe_snapshot st =
       Obs.snapshot o ~exec:st.executions ~depth:(Pqueue.length st.queue)
         ~valid:st.valid_count
         ~cov:(Coverage.cardinal st.vbr)
-        ~hits ~misses
+        ~hits ~misses ~rescues:st.cache_rescues
         ~plateau:(st.executions - st.last_progress_at)
         ~hangs:st.hangs ~crashes:st.crash_total
     end
@@ -662,7 +690,7 @@ let execute st ~prefix_len input =
      | Some o ->
        Obs.emit o ~exec:st.executions
          (Event.Fault { kind = Fault.kind_label kind }));
-  (match tsink st with
+  (match tsink_exec st with
    | None -> ()
    | Some o ->
      Obs.emit o ~exec:st.executions
@@ -690,7 +718,7 @@ let execute st ~prefix_len input =
          in
          span_end st Phase.Cache t_cache;
          (if consulted then
-            match tsink st with
+            match tsink_exec st with
             | None -> ()
             | Some o ->
               Obs.emit o ~exec:st.executions
@@ -810,7 +838,7 @@ let enqueue st (candidate : Candidate.t) =
   (match st.on_queue_event with
    | None -> ()
    | Some f -> f (Pushed (prio, candidate.data)));
-  (match tsink st with
+  (match tsink_exec st with
    | None -> ()
    | Some o ->
      Obs.emit o ~exec:st.executions
@@ -982,12 +1010,13 @@ let record_crash st (run : Runner.run) (c : Runner.crash) =
       end
       else false
   in
-  match tsink st with
-  | None -> ()
-  | Some o ->
-    Obs.emit o ~exec:st.executions
-      (Event.Crash
-         { exn = c.Runner.exn; site = c.Runner.site; fresh; total = st.crash_total })
+  (match tsink st with
+   | None -> ()
+   | Some o ->
+     Obs.emit o ~exec:st.executions
+       (Event.Crash
+          { exn = c.Runner.exn; site = c.Runner.site; fresh; total = st.crash_total }));
+  if fresh then flight_dump st "crash"
 
 let crashed (run : Runner.run) =
   match run.Runner.verdict with Runner.Crash _ -> true | _ -> false
@@ -995,25 +1024,33 @@ let crashed (run : Runner.run) =
 (* Algorithm 1, [runCheck]: an input counts as valid only if it is
    accepted and covers branches no previous valid input covered. *)
 let run_check st ~parent ~prefix_len input =
-  let t0 = match st.obs with None -> 0 | Some o -> Obs.now_ns o in
+  (* [execute] will bump the counter, so the sampling decision for this
+     execution's [Exec_done] keys on [executions + 1] — read the clock
+     only when that event will actually be recorded. *)
+  let t0 =
+    match st.obs with
+    | Some o when Obs.sampled o ~exec:(st.executions + 1) -> Obs.now_ns o
+    | _ -> 0
+  in
   let run, cached = execute st ~prefix_len input in
   (match run.Runner.verdict with
    | Runner.Hang -> begin
      st.hangs <- st.hangs + 1;
-     match tsink st with
-     | None -> ()
-     | Some o -> Obs.emit o ~exec:st.executions (Event.Hang { total = st.hangs })
+     (match tsink st with
+      | None -> ()
+      | Some o -> Obs.emit o ~exec:st.executions (Event.Hang { total = st.hangs }));
+     if st.hangs = 1 then flight_dump st "hang"
    end
    | Runner.Crash c -> record_crash st run c
    | _ -> ());
   let cov_before =
-    match tsink st with None -> 0 | Some _ -> Coverage.cardinal st.vbr
+    match tsink_exec st with None -> 0 | Some _ -> Coverage.cardinal st.vbr
   in
   let valid =
     Runner.accepted run && Coverage.new_against run.coverage ~baseline:st.vbr > 0
   in
   if valid then valid_input st ~parent run;
-  (match tsink st with
+  (match tsink_exec st with
    | None -> ()
    | Some o ->
      let cov_now = Coverage.cardinal st.vbr in
@@ -1051,6 +1088,14 @@ let extend data c =
 
 let make_state ~on_valid ~on_queue_event ~on_execution ~obs ~faults ~rng config
     subject =
+  (* Fault drills dump the flight recorder the moment they fire, via
+     pdf_fault's telemetry-agnostic trigger hook: the post-mortem shows
+     the events leading up to the drill. *)
+  (match (faults, obs) with
+   | Some plan, Some o ->
+     Fault.set_on_trigger plan (fun _index kind ->
+         ignore (Obs.flight_dump o ~reason:("fault-" ^ Fault.kind_label kind)))
+   | _ -> ());
   let machine = if config.incremental then subject.Subject.machine else None in
   let staged =
     match config.engine with
@@ -1206,7 +1251,7 @@ let drive st ~first ~checkpoint_every ~on_checkpoint =
         (match listener with
          | None -> ()
          | Some f -> f (Popped (prio, c.Candidate.data)));
-        (match tsink st with
+        (match tsink_exec st with
          | None -> ()
          | Some o ->
            Obs.emit o ~exec:st.executions

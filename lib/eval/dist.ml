@@ -5,6 +5,9 @@ module Subject = Pdf_subjects.Subject
 module Observer = Pdf_obs.Observer
 module Event = Pdf_obs.Event
 module Trace = Pdf_obs.Trace
+module Metrics = Pdf_obs.Metrics
+module Progress = Pdf_obs.Progress
+module Exposition = Pdf_obs.Exposition
 
 (* {1 Shard plan} *)
 
@@ -50,10 +53,25 @@ let scrub (r : Pfuzzer.result) = { r with wall_clock_s = 0.0; execs_per_sec = 0.
 (* {1 Sync frames} *)
 
 module Frame = struct
-  type t = { shard : int; seq : int; final : bool; result : Pfuzzer.result }
+  type t = {
+    shard : int;
+    seq : int;
+    final : bool;
+    result : Pfuzzer.result;
+    (* Per-shard metrics snapshot riding the existing sync frame — the
+       fleet telemetry channel. [None] from pre-metrics senders (the
+       in-process simulation, tests); the coordinator folds whatever
+       arrives. *)
+    metrics : Metrics.snapshot option;
+  }
 
   let magic = "pfsync"
-  let version = 1
+
+  (* v2: frames carry an optional metrics snapshot. Frames only ever
+     cross a pipe between a coordinator and the workers it forked — both
+     ends are the same binary — so the bump is pure hygiene against a
+     stale reader. *)
+  let version = 2
 
   (* Frames cross a pipe, not a filesystem: anything claiming to be
      larger than this is a corrupted length prefix, not a real frame. *)
@@ -306,17 +324,22 @@ let merge_results p (results : Pfuzzer.result list) =
 
 (* {1 Shard execution (shared by workers and the reference)} *)
 
-let run_shard ?obs ?frame_every ?send p subject sh =
+let run_shard ?obs ?metrics ?frame_every ?send p subject sh =
   let cfg = shard_config p sh in
+  let snap seq =
+    Option.map (fun m -> Metrics.snapshot ~origin:sh.shard_id ~clock:seq m) metrics
+  in
   let on_checkpoint =
     Option.map
       (fun send ck ->
+        let seq = Pfuzzer.Checkpoint.executions ck in
         send
           {
             Frame.shard = sh.shard_id;
-            seq = Pfuzzer.Checkpoint.executions ck;
+            seq;
             final = false;
             result = Pfuzzer.Checkpoint.partial_result ck;
+            metrics = snap seq;
           })
       send
   in
@@ -347,6 +370,7 @@ let simulate_campaign ?shards ?(frame_every = 500) ~workers config subject =
               seq = sh.shard_budget + 1;
               final = true;
               result = scrub result;
+              metrics = None;
             }
         end)
       p.shards;
@@ -410,27 +434,48 @@ let shard_trace_path dir sh = Filename.concat dir (Printf.sprintf "shard%04d.jso
 let worker_main ~fd ~frame_every ~trace_dir p subject shards =
   List.iter
     (fun sh ->
+      (* Every shard gets a metrics registry regardless of tracing: its
+         snapshots ride the sync frames, so the coordinator always has
+         fleet telemetry to fold. *)
+      let metrics = Metrics.create () in
       let buffered =
         Option.map (fun dir -> (dir, Trace.buffer ())) trace_dir
       in
       let obs =
-        Option.map (fun (_, (sink, _)) -> Observer.create ~sink ()) buffered
+        match buffered with
+        | Some (_, (sink, _)) -> Observer.create ~sink ~metrics ()
+        | None -> Observer.create ~metrics ()
       in
       let send f =
         let s = Frame.encode f in
         write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
       in
-      let result = run_shard ?obs ~frame_every ~send p subject sh in
+      let result = run_shard ~obs ~metrics ~frame_every ~send p subject sh in
       Option.iter
         (fun (dir, (_, contents)) ->
           Atomic_file.write_string (shard_trace_path dir sh) (contents ()))
         buffered;
+      (* Deterministic per-shard tallies: pure functions of the shard
+         result, so summed fleet counters are reproducible across worker
+         counts. Gauges and the timing histograms the observer recorded
+         are the scheduling-dependent part; deterministic reports
+         (result digests, --out) must not include them. *)
+      let tally name v = Metrics.add (Metrics.counter metrics name) v in
+      tally "shard/executions" result.Pfuzzer.executions;
+      tally "shard/valid" (List.length result.Pfuzzer.valid_inputs);
+      tally "shard/crashes" result.Pfuzzer.crash_total;
+      tally "shard/hangs" result.Pfuzzer.hangs;
+      tally "cache/hits" result.Pfuzzer.cache.Pfuzzer.hits;
+      tally "cache/misses" result.Pfuzzer.cache.Pfuzzer.misses;
+      tally "cache/rescues" result.Pfuzzer.cache.Pfuzzer.rescues;
+      let seq = sh.shard_budget + 1 in
       send
         {
           Frame.shard = sh.shard_id;
-          seq = sh.shard_budget + 1;
+          seq;
           final = true;
           result = scrub result;
+          metrics = Some (Metrics.snapshot ~origin:sh.shard_id ~clock:seq metrics);
         })
     shards
 
@@ -445,6 +490,10 @@ type outcome = {
   replays : int;
   worker_status : (int * string) list;
   shard_traces : string list;
+  metrics : Metrics.snapshot option;
+      (* fleet totals folded from the per-shard snapshots on the frames;
+         kept out of [result] so the merged result stays bit-identical
+         across worker counts *)
   wall_clock_s : float;
 }
 
@@ -484,11 +533,22 @@ let rec read_eintr fd buf =
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_eintr fd buf
 
 let run_campaign ?(workers = 2) ?shards ?(frame_every = 500) ?(retries = 2)
-    ?(trace = false) ?obs ?kill_worker config subject =
+    ?(trace = false) ?obs ?metrics_file ?postmortem ?kill_worker config subject
+    =
   let t0 = Unix.gettimeofday () in
   let p = plan ?shards config in
+  (* Coordinator-side flight recorder: a SIGKILLed worker cannot dump
+     its own post-mortem, so the coordinator retains the fleet's
+     lifecycle events and writes them the moment a worker dies
+     abnormally or leaves shards behind. *)
+  let recorder =
+    Option.map
+      (fun prefix -> Observer.create ~ring:(Trace.ring 512) ~postmortem:prefix ())
+      postmortem
+  in
   let emit ev =
-    match obs with Some o -> Observer.emit o ~exec:0 ev | None -> ()
+    (match obs with Some o -> Observer.emit o ~exec:0 ev | None -> ());
+    match recorder with Some r -> Observer.emit r ~exec:0 ev | None -> ()
   in
   List.iter
     (fun sh ->
@@ -499,6 +559,88 @@ let run_campaign ?(workers = 2) ?shards ?(frame_every = 500) ?(retries = 2)
   let rejected = ref [] in
   let statuses = ref [] in
   let replays = ref 0 in
+  (* Fleet telemetry: fold every snapshot that rides a frame. The join
+     is idempotent, so a replayed shard re-delivering snapshots the dead
+     worker already sent changes nothing. *)
+  let telemetry = ref Metrics.Fleet.empty in
+  let last_metrics_write = ref 0.0 in
+  let write_metrics ~force =
+    match metrics_file with
+    | None -> ()
+    | Some path ->
+      let now = Unix.gettimeofday () in
+      if force || now -. !last_metrics_write >= 1.0 then begin
+        last_metrics_write := now;
+        Atomic_file.write_string path
+          (Exposition.prometheus (Metrics.Fleet.totals !telemetry))
+      end
+  in
+  (* The live fleet status line: always on when stderr is a tty (no
+     opt-in flag needed), absent otherwise — a redirected campaign log
+     stays clean. Rendering reuses the single-run line, extended with
+     per-worker health columns. *)
+  let live =
+    if (try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false) then
+      Some (Progress.create ())
+    else None
+  in
+  let worker_health : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let outcomes_total =
+    Pdf_instr.Site.total_outcomes subject.Subject.registry
+  in
+  let last_paint = ref t0 in
+  let last_paint_execs = ref 0 in
+  let paint_live ~final st =
+    match live with
+    | None -> ()
+    | Some pl ->
+      let now = Unix.gettimeofday () in
+      if final || now -. !last_paint >= 0.5 then begin
+        let frames = Merge.frames st in
+        let stat f acc (fr : Frame.t) = acc + f fr.result in
+        let execs = List.fold_left (stat (fun r -> r.Pfuzzer.executions)) 0 frames in
+        let valid =
+          List.fold_left (stat (fun r -> List.length r.Pfuzzer.valid_inputs)) 0 frames
+        in
+        let cov =
+          Pdf_instr.Coverage.cardinal
+            (List.fold_left
+               (fun acc (fr : Frame.t) ->
+                 Pdf_instr.Coverage.union acc fr.result.Pfuzzer.valid_coverage)
+               Pdf_instr.Coverage.empty frames)
+        in
+        let hits = List.fold_left (stat (fun r -> r.Pfuzzer.cache.Pfuzzer.hits)) 0 frames in
+        let misses = List.fold_left (stat (fun r -> r.Pfuzzer.cache.Pfuzzer.misses)) 0 frames in
+        let rescues = List.fold_left (stat (fun r -> r.Pfuzzer.cache.Pfuzzer.rescues)) 0 frames in
+        let hangs = List.fold_left (stat (fun r -> r.Pfuzzer.hangs)) 0 frames in
+        let crashes = List.fold_left (stat (fun r -> r.Pfuzzer.crash_total)) 0 frames in
+        let queue =
+          List.fold_left (fun acc (fr : Frame.t) -> max acc fr.result.Pfuzzer.queue_peak) 0 frames
+        in
+        let engine =
+          match frames with [] -> "?" | fr :: _ -> fr.result.Pfuzzer.engine
+        in
+        let dt = now -. !last_paint in
+        let execs_per_sec =
+          if dt <= 0.0 then 0.0 else float_of_int (execs - !last_paint_execs) /. dt
+        in
+        last_paint := now;
+        last_paint_execs := execs;
+        let health =
+          Hashtbl.fold (fun w s acc -> (w, s) :: acc) worker_health []
+          |> List.sort compare
+          |> List.map (fun (w, s) -> Printf.sprintf "w%d:%s" w s)
+          |> String.concat " "
+        in
+        let line =
+          Progress.render ~execs ~max_executions:config.Pfuzzer.max_executions
+            ~execs_per_sec ~engine ~depth:queue ~valid ~cov
+            ~outcomes:outcomes_total ~hits ~misses ~rescues ~plateau:0 ~hangs
+            ~crashes
+        in
+        Progress.print pl (if health = "" then line else line ^ " | " ^ health)
+      end
+  in
   let spawn ~extra_close w_id shards =
     let r, w = Unix.pipe () in
     match Unix.fork () with
@@ -516,6 +658,7 @@ let run_campaign ?(workers = 2) ?shards ?(frame_every = 500) ?(retries = 2)
     | pid ->
       Unix.close w;
       emit (Event.Worker_spawn { worker = w_id; pid; shards = List.length shards });
+      Hashtbl.replace worker_health w_id "run";
       {
         w_id;
         w_pid = pid;
@@ -525,11 +668,16 @@ let run_campaign ?(workers = 2) ?shards ?(frame_every = 500) ?(retries = 2)
         w_killed = false;
       }
   in
-  let on_frame w (f : Frame.t) =
+  let on_frame st w (f : Frame.t) =
     incr accepted;
+    (match f.metrics with
+     | Some s -> telemetry := Metrics.Fleet.add !telemetry s
+     | None -> ());
     emit
       (Event.Worker_frame
          { worker = w.w_id; shard = f.shard; seq = f.seq; final = f.final });
+    write_metrics ~force:false;
+    paint_live ~final:false st;
     if (not w.w_killed) && kill_worker = Some w.w_id then begin
       w.w_killed <- true;
       Unix.kill w.w_pid Sys.sigkill
@@ -541,7 +689,7 @@ let run_campaign ?(workers = 2) ?shards ?(frame_every = 500) ?(retries = 2)
       match Frame.Decoder.next w.w_dec with
       | `Frame f ->
         let st = Merge.add st f in
-        on_frame w f;
+        on_frame st w f;
         go st
       | `Reject reason ->
         on_reject w reason;
@@ -586,6 +734,18 @@ let run_campaign ?(workers = 2) ?shards ?(frame_every = 500) ?(retries = 2)
                   emit
                     (Event.Worker_exit
                        { worker = w.w_id; status; missing = List.length missing });
+                  Hashtbl.replace worker_health w.w_id status;
+                  (* Abnormal death: dump the coordinator's retained
+                     lifecycle events as the post-mortem — the worker
+                     itself is in no state to write one. *)
+                  if status <> "exit:0" || missing <> [] then
+                    Option.iter
+                      (fun r ->
+                        ignore
+                          (Observer.flight_dump r
+                             ~reason:(Printf.sprintf "worker%d" w.w_id)))
+                      recorder;
+                  paint_live ~final:false !st;
                   false
                 end
               end)
@@ -639,6 +799,9 @@ let run_campaign ?(workers = 2) ?shards ?(frame_every = 500) ?(retries = 2)
       replay ()
   in
   replay ();
+  paint_live ~final:true !st;
+  (match live with None -> () | Some pl -> Progress.finish pl);
+  write_metrics ~force:true;
   let finals =
     List.map
       (fun (f : Frame.t) ->
@@ -669,5 +832,8 @@ let run_campaign ?(workers = 2) ?shards ?(frame_every = 500) ?(retries = 2)
     replays = !replays;
     worker_status = List.rev !statuses;
     shard_traces;
+    metrics =
+      (if Metrics.Fleet.equal !telemetry Metrics.Fleet.empty then None
+       else Some (Metrics.Fleet.totals !telemetry));
     wall_clock_s = Unix.gettimeofday () -. t0;
   }

@@ -72,6 +72,11 @@ module Frame : sig
             supersedes every progress frame in the merge. *)
     final : bool;  (** carries the shard's finished result *)
     result : Pfuzzer.result;
+    metrics : Pdf_obs.Metrics.snapshot option;
+        (** per-shard metrics snapshot piggybacking on the sync channel
+            ([origin] = shard id, [clock] = [seq]); [None] from senders
+            without a registry. The coordinator folds these with
+            {!Pdf_obs.Metrics.Fleet}. *)
   }
 
   val version : int
@@ -172,6 +177,12 @@ type outcome = {
   shard_traces : string list;
       (** per-shard JSONL trace streams in shard-id order, collected
           from the workers; [[]] unless [~trace:true] *)
+  metrics : Pdf_obs.Metrics.snapshot option;
+      (** fleet totals ({!Pdf_obs.Metrics.Fleet.totals}) folded from the
+          snapshots riding the frames; [None] when no frame carried one.
+          Deliberately outside [result]: counters are deterministic, but
+          gauges and timing histograms are scheduling-dependent, and
+          [result] must stay bit-identical across worker counts. *)
   wall_clock_s : float;
 }
 
@@ -182,6 +193,8 @@ val run_campaign :
   ?retries:int ->
   ?trace:bool ->
   ?obs:Pdf_obs.Observer.t ->
+  ?metrics_file:string ->
+  ?postmortem:string ->
   ?kill_worker:int ->
   Pfuzzer.config ->
   Pdf_subjects.Subject.t ->
@@ -199,9 +212,18 @@ val run_campaign :
     worker and returns the streams in {!outcome.shard_traces}. [obs]
     receives the coordinator's lifecycle events ({!Pdf_obs.Event.Shard},
     [Worker_spawn], [Worker_frame], [Worker_exit], plus a [Retry] per
-    shard replay). [kill_worker] is the chaos hook: SIGKILL that worker
-    on its first accepted frame — the campaign must still produce the
-    bit-identical merged result via replay.
+    shard replay). [metrics_file] atomically rewrites a Prometheus text
+    snapshot of the fleet totals (time-throttled, plus a final write) as
+    frames arrive — [pfuzzer_cli monitor] renders it. [postmortem]
+    attaches a coordinator-side flight recorder to the lifecycle stream
+    and dumps it to [<postmortem>-worker<id>.jsonl] when a worker dies
+    abnormally or leaves shards unfinished. [kill_worker] is the chaos
+    hook: SIGKILL that worker on its first accepted frame — the campaign
+    must still produce the bit-identical merged result via replay.
+
+    When stderr is a tty the coordinator also paints a live fleet-wide
+    status line (the single-run line plus per-worker health columns),
+    refreshed as frames arrive; redirected output stays clean.
 
     Worker-side subject crashes are ordinary {!Pfuzzer} crash verdicts
     inside the shard result ({!Pdf_instr.Runner.exec}'s containment

@@ -26,9 +26,13 @@ let pp_kind ppf = function
 type plan = {
   faults : (int, kind) Hashtbl.t;
   mutable triggered_rev : (int * kind) list;
+  (* Notified on every consumed fault. Generic so pdf_fault stays free
+     of telemetry dependencies; the fuzzer points it at the flight
+     recorder to dump a post-mortem when a drill fires. *)
+  mutable on_trigger : (int -> kind -> unit) option;
 }
 
-let empty () = { faults = Hashtbl.create 0; triggered_rev = [] }
+let empty () = { faults = Hashtbl.create 0; triggered_rev = []; on_trigger = None }
 
 let of_list bindings =
   let faults = Hashtbl.create (List.length bindings) in
@@ -37,7 +41,7 @@ let of_list bindings =
       if index < 0 then invalid_arg "Fault.of_list: negative execution index";
       Hashtbl.replace faults index kind)
     bindings;
-  { faults; triggered_rev = [] }
+  { faults; triggered_rev = []; on_trigger = None }
 
 (* All injectable kinds except Kill_worker, which only makes sense for
    grid cells, not fuzzer execution indices. *)
@@ -63,7 +67,7 @@ let seeded ~seed ~executions ~count =
       if not (Hashtbl.mem faults index) then
         Hashtbl.replace faults index ((Rng.choose rng seeded_kinds) rng)
     done;
-    { faults; triggered_rev = [] }
+    { faults; triggered_rev = []; on_trigger = None }
   end
 
 let is_empty plan = Hashtbl.length plan.faults = 0
@@ -71,11 +75,14 @@ let size plan = Hashtbl.length plan.faults
 
 let find plan index = Hashtbl.find_opt plan.faults index
 
+let set_on_trigger plan f = plan.on_trigger <- Some f
+
 let consume plan index =
   match Hashtbl.find_opt plan.faults index with
   | None -> None
   | Some kind as hit ->
     plan.triggered_rev <- (index, kind) :: plan.triggered_rev;
+    (match plan.on_trigger with None -> () | Some f -> f index kind);
     hit
 
 let triggered plan = List.rev plan.triggered_rev

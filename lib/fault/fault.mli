@@ -54,8 +54,15 @@ val find : plan -> int -> kind option
 (** Look up without recording a trigger. *)
 
 val consume : plan -> int -> kind option
-(** Look up, recording the hit in the trigger log when present. The
-    fuzzer calls this once per execution index. *)
+(** Look up, recording the hit in the trigger log when present (and
+    notifying the {!set_on_trigger} hook). The fuzzer calls this once
+    per execution index. *)
+
+val set_on_trigger : plan -> (int -> kind -> unit) -> unit
+(** Install a callback fired on every consumed fault, with the execution
+    index and kind. Deliberately generic — pdf_fault knows nothing about
+    telemetry — so the fuzzer can point it at the flight recorder and
+    dump a post-mortem the moment a drill fires. *)
 
 val triggered : plan -> (int * kind) list
 (** Faults that actually fired, in firing order. *)

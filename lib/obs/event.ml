@@ -41,6 +41,7 @@ type t =
       cov : int;
       hits : int;
       misses : int;
+      rescues : int;
       plateau : int;
       hangs : int;
       crashes : int;
@@ -139,6 +140,7 @@ let fields ev =
       ("cov", I s.cov);
       ("hits", I s.hits);
       ("misses", I s.misses);
+      ("rescues", I s.rescues);
       ("plateau", I s.plateau);
       ("hangs", I s.hangs);
       ("crashes", I s.crashes);
@@ -196,6 +198,9 @@ let bool_field fields k =
    first release of the format). *)
 let str_field_default fields k default =
   match get fields k with Some (Json.S s) -> s | _ -> default
+
+let int_field_default fields k default =
+  match get fields k with Some (Json.I i) -> i | _ -> default
 
 (* JSON has one number type: an integral float serializes without a
    fractional part only sometimes, so accept either shape for floats. *)
@@ -296,6 +301,7 @@ let of_fields fields =
           cov = int_field f "cov";
           hits = int_field f "hits";
           misses = int_field f "misses";
+          rescues = int_field_default f "rescues" 0;
           plateau = int_field f "plateau";
           hangs = int_field f "hangs";
           crashes = int_field f "crashes";

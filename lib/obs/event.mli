@@ -65,6 +65,9 @@ type t =
       cov : int;
       hits : int;
       misses : int;
+      rescues : int;
+          (** cumulative cache rescues (poisoned snapshot re-executed
+              cold); absent in pre-PR-9 traces, parsed as 0 *)
       plateau : int;  (** executions since valid coverage last grew *)
       hangs : int;
       crashes : int;

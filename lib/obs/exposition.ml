@@ -1,0 +1,147 @@
+(* Prometheus text exposition of a metrics snapshot, plus the inverse
+   parse and the `pfuzzer_cli monitor` dashboard render. Everything here
+   is pure string-to-string so both directions golden-test directly. *)
+
+module Histogram = Pdf_util.Stats.Histogram
+
+(* Prometheus metric names admit [a-zA-Z0-9_:]; registry names use '/'
+   as a namespace separator ("phase/exec_ns"), which maps to '_'. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let metric_name name = "pfuzzer_" ^ sanitize name
+
+(* Integral floats print without an exponent or trailing zeros so the
+   common case (counters, integer-valued gauges) stays readable and
+   byte-stable for goldens. *)
+let float_text v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let prometheus (s : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l; Buffer.add_char buf '\n') fmt in
+  line "# TYPE pfuzzer_snapshot_clock gauge";
+  line "pfuzzer_snapshot_clock %d" s.Metrics.clock;
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name name in
+      line "# TYPE %s counter" n;
+      line "%s %d" n v)
+    s.Metrics.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name name in
+      line "# TYPE %s gauge" n;
+      line "%s %s" n (float_text v))
+    s.Metrics.gauges;
+  List.iter
+    (fun (name, h) ->
+      let n = metric_name name in
+      line "# TYPE %s summary" n;
+      List.iter
+        (fun q ->
+          line "%s{quantile=\"%s\"} %d" n q
+            (Histogram.percentile h (100.0 *. float_of_string q)))
+        [ "0.5"; "0.9"; "0.99" ];
+      line "%s_sum %d" n (Histogram.sum h);
+      line "%s_count %d" n (Histogram.count h))
+    s.Metrics.histograms;
+  Buffer.contents buf
+
+(* {1 Parsing} *)
+
+type family = {
+  fname : string;
+  ftype : string;  (* "counter" | "gauge" | "summary" | "untyped" *)
+  samples : (string * float) list;  (* sample name incl. label suffix *)
+}
+
+let parse text =
+  let declared = Hashtbl.create 16 in
+  let order = ref [] in
+  let samples = Hashtbl.create 16 in
+  let base_of sample =
+    match String.index_opt sample '{' with
+    | Some i -> String.sub sample 0 i
+    | None -> sample
+  in
+  let family_of base =
+    (* summary child series attach to their parent family *)
+    let strip suffix b =
+      let n = String.length b and m = String.length suffix in
+      if n > m && String.sub b (n - m) m = suffix then Some (String.sub b 0 (n - m))
+      else None
+    in
+    match strip "_sum" base with
+    | Some parent when Hashtbl.mem declared parent -> parent
+    | _ ->
+      (match strip "_count" base with
+       | Some parent when Hashtbl.mem declared parent -> parent
+       | _ -> base)
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         let l = String.trim raw in
+         if l = "" then ()
+         else if String.length l > 0 && l.[0] = '#' then begin
+           match String.split_on_char ' ' l with
+           | [ "#"; "TYPE"; name; ty ] ->
+             if not (Hashtbl.mem declared name) then begin
+               Hashtbl.replace declared name ty;
+               order := name :: !order
+             end
+           | _ -> ()
+         end
+         else
+           match String.rindex_opt l ' ' with
+           | None -> ()
+           | Some i ->
+             let sample = String.sub l 0 i in
+             let v = String.sub l (i + 1) (String.length l - i - 1) in
+             (match float_of_string_opt v with
+              | None -> ()
+              | Some v ->
+                let fam = family_of (base_of sample) in
+                if not (Hashtbl.mem declared fam) then begin
+                  Hashtbl.replace declared fam "untyped";
+                  order := fam :: !order
+                end;
+                let prev = try Hashtbl.find samples fam with Not_found -> [] in
+                Hashtbl.replace samples fam ((sample, v) :: prev)));
+  List.rev_map
+    (fun name ->
+      {
+        fname = name;
+        ftype = Hashtbl.find declared name;
+        samples = List.rev (try Hashtbl.find samples name with Not_found -> []);
+      })
+    !order
+
+(* {1 Dashboard render} *)
+
+let render families =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l; Buffer.add_char buf '\n') fmt in
+  add "[pfuzzer monitor] %d %s" (List.length families)
+    (if List.length families = 1 then "family" else "families");
+  let width =
+    List.fold_left
+      (fun acc f ->
+        List.fold_left (fun acc (s, _) -> max acc (String.length s)) acc f.samples)
+      0 families
+  in
+  List.iter
+    (fun f ->
+      add "%-7s %s" f.ftype f.fname;
+      List.iter
+        (fun (sample, v) -> add "  %-*s %s" width sample (float_text v))
+        f.samples)
+    families;
+  Buffer.contents buf

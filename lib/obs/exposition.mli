@@ -1,0 +1,34 @@
+(** Prometheus text exposition of metrics snapshots, the inverse parse,
+    and the [pfuzzer_cli monitor] dashboard render.
+
+    All three are pure functions of their inputs so the whole
+    `--metrics-file` → `monitor` pipeline is golden-testable without a
+    running fuzzer. *)
+
+val metric_name : string -> string
+(** Registry name to Prometheus name: '/' and other non-identifier
+    characters become '_', with a ["pfuzzer_"] prefix. *)
+
+val prometheus : Metrics.snapshot -> string
+(** Prometheus text format: counters and gauges verbatim, histograms as
+    summaries (p50/p90/p99 quantiles plus [_sum]/[_count]), and a
+    [pfuzzer_snapshot_clock] gauge carrying the snapshot's logical
+    clock. Written atomically by the observer each status interval. *)
+
+type family = {
+  fname : string;
+  ftype : string;  (** "counter", "gauge", "summary" or "untyped" *)
+  samples : (string * float) list;
+      (** sample name (including any label suffix) and value, in file
+          order *)
+}
+
+val parse : string -> family list
+(** Parse Prometheus text back into families, tolerant of comments and
+    blank lines; [_sum]/[_count] series attach to their declared summary
+    family. Unparseable lines are skipped, never fatal — the monitor
+    must survive a half-written or foreign file. *)
+
+val render : family list -> string
+(** The monitor dashboard: one aligned block per family. Pure, so the
+    dashboard is golden-testable. *)

@@ -52,6 +52,8 @@ let histogram t name =
     (function Hist h -> Some h | _ -> None)
 
 type snapshot = {
+  origin : int;
+  clock : int;
   counters : (string * int) list;
   gauges : (string * float) list;
   histograms : (string * Histogram.t) list;
@@ -59,7 +61,7 @@ type snapshot = {
 
 let by_name (a, _) (b, _) = compare (a : string) b
 
-let snapshot t =
+let snapshot ?(origin = 0) ?(clock = 0) t =
   let cs = ref [] and gs = ref [] and hs = ref [] in
   Hashtbl.iter
     (fun name -> function
@@ -68,7 +70,82 @@ let snapshot t =
       | Hist h -> hs := (name, h) :: !hs)
     t.entries;
   {
+    origin;
+    clock;
     counters = List.sort by_name !cs;
     gauges = List.sort by_name !gs;
     histograms = List.sort by_name !hs;
   }
+
+let empty_snapshot = { origin = -1; clock = 0; counters = []; gauges = []; histograms = [] }
+
+(* {1 Fleet merge}
+
+   The coordinator folds worker snapshots the same way [Dist.Merge]
+   folds sync frames: keyed per origin, latest logical clock wins, ties
+   broken by a total structural order so duplicate and out-of-order
+   delivery are invisible. That keying is what makes the join a genuine
+   semilattice — commutative, associative and idempotent — even though
+   the cross-origin totals below *sum* counters. *)
+
+module Fleet = struct
+  (* Sorted by origin, at most one snapshot per origin. *)
+  type nonrec t = snapshot list
+
+  let empty = []
+
+  (* Total order on same-origin snapshots: clock first, then structure.
+     [compare] is safe here: snapshots are pure data (ints, floats,
+     strings, histogram bucket arrays). *)
+  let supersedes a b =
+    a.clock > b.clock || (a.clock = b.clock && compare a b >= 0)
+
+  let add t s =
+    let rec go = function
+      | [] -> [ s ]
+      | x :: rest when x.origin < s.origin -> x :: go rest
+      | x :: rest when x.origin = s.origin ->
+        (if supersedes s x then s else x) :: rest
+      | rest -> s :: rest
+    in
+    go t
+
+  let join a b = List.fold_left add a b
+  let equal (a : t) (b : t) = a = b
+  let snapshots t = t
+
+  (* Latest-by-clock across origins, ties to the higher origin: fold in
+     ascending (clock, origin) order and let later snapshots overwrite. *)
+  let latest_order a b = compare (a.clock, a.origin) (b.clock, b.origin)
+
+  let totals t =
+    let sum_int m (name, v) =
+      let prev = try List.assoc name m with Not_found -> 0 in
+      (name, prev + v) :: List.remove_assoc name m
+    in
+    let merge_hist m (name, h) =
+      match List.assoc_opt name m with
+      | None -> (name, h) :: m
+      | Some h0 -> (name, Histogram.merge h0 h) :: List.remove_assoc name m
+    in
+    let counters =
+      List.sort by_name
+        (List.fold_left (fun m s -> List.fold_left sum_int m s.counters) [] t)
+    in
+    let gauges =
+      List.sort by_name
+        (List.fold_left
+           (fun m s ->
+             List.fold_left
+               (fun m (name, v) -> (name, v) :: List.remove_assoc name m)
+               m s.gauges)
+           []
+           (List.sort latest_order t))
+    in
+    let histograms =
+      List.sort by_name
+        (List.fold_left (fun m s -> List.fold_left merge_hist m s.histograms) [] t)
+    in
+    let clock = List.fold_left (fun acc s -> max acc s.clock) 0 t in
+    { origin = -1; clock; counters; gauges; histograms }
+end

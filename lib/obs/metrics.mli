@@ -28,10 +28,39 @@ val gauge_value : gauge -> float
 val histogram : t -> string -> Pdf_util.Stats.Histogram.t
 
 type snapshot = {
+  origin : int;
+      (** which registry produced this: a shard id in distributed
+          campaigns, [0] for a local run, [-1] for fleet totals *)
+  clock : int;
+      (** logical stamp — the execution count (or frame sequence) when
+          the snapshot was taken; drives latest-wins gauge merging *)
   counters : (string * int) list;
   gauges : (string * float) list;
   histograms : (string * Pdf_util.Stats.Histogram.t) list;
 }
 
-val snapshot : t -> snapshot
-(** Name-sorted, deterministic ordering. *)
+val snapshot : ?origin:int -> ?clock:int -> t -> snapshot
+(** Name-sorted, deterministic ordering. Defaults: origin 0, clock 0. *)
+
+val empty_snapshot : snapshot
+
+(** Coordinator-side fold of fleet snapshots, mirroring [Dist.Merge]:
+    keyed per origin, latest clock wins (ties broken by a total
+    structural order). [join] is commutative, associative and idempotent
+    — duplicate and out-of-order snapshot delivery are invisible. *)
+module Fleet : sig
+  type nonrec t
+
+  val empty : t
+  val add : t -> snapshot -> t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+
+  val snapshots : t -> snapshot list
+  (** Current per-origin snapshots, in origin order. *)
+
+  val totals : t -> snapshot
+  (** Cross-origin aggregate: counters sum, gauges take the value from
+      the latest snapshot by [(clock, origin)], histograms merge. The
+      result has [origin = -1] and the fleet's maximum clock. *)
+end

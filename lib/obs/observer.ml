@@ -1,25 +1,44 @@
 type t = {
   clock : unit -> int;
   t0 : int;
-  sink : Trace.sink option;
+  sink : Trace.sink option;  (* file sink and/or flight-recorder ring *)
+  ring : Trace.ring option;
+  postmortem : string option;  (* path prefix for flight-recorder dumps *)
+  sample : int;  (* exec-level events recorded 1-in-[sample] *)
   metrics : Metrics.t option;
+  metrics_file : string option;
   progress : Progress.t option;
   phase_ns : int array;  (* cumulative span per Phase.t, always kept *)
   phase_hist : Pdf_util.Stats.Histogram.t array option;  (* iff metrics *)
   snapshot_interval_ns : int;  (* 0 = snapshots disabled *)
+  mutable engine : string;  (* resolved tier, learned from run_meta *)
   mutable max_executions : int;
   mutable outcomes : int;
   mutable last_snap_t : int;
   mutable last_snap_exec : int;
 }
 
-let create ?(clock = Clock.now_ns) ?sink ?metrics ?progress () =
+let create ?(clock = Clock.now_ns) ?sink ?ring ?postmortem ?(sample = 1)
+    ?metrics ?metrics_file ?progress () =
+  if sample < 1 then invalid_arg "Observer.create: sample must be >= 1";
   let t0 = clock () in
   {
     clock;
     t0;
-    sink;
+    (* The ring is just another sink: events reach it through the same
+       emission path, so it sees exactly what a file trace would —
+       including the sampling filter. *)
+    sink =
+      (match (sink, ring) with
+       | None, None -> None
+       | Some s, None -> Some s
+       | None, Some r -> Some (Trace.ring_sink r)
+       | Some s, Some r -> Some (Trace.tee s (Trace.ring_sink r)));
+    ring;
+    postmortem;
+    sample;
     metrics;
+    metrics_file;
     progress;
     phase_ns = Array.make Phase.count 0;
     phase_hist =
@@ -34,9 +53,13 @@ let create ?(clock = Clock.now_ns) ?sink ?metrics ?progress () =
     (* Snapshots fire on the progress cadence only: a trace without a
        live status line stays structurally deterministic (no
        time-driven events), which the jobs:1 ≡ jobs:N merged-trace
-       check relies on. *)
+       check relies on. A metrics file needs the same cadence, so it
+       opts in to snapshots exactly like a progress line does. *)
     snapshot_interval_ns =
-      (match progress with None -> 0 | Some p -> max 1 (Progress.interval_ns p));
+      (match progress with
+       | Some p -> max 1 (Progress.interval_ns p)
+       | None -> (match metrics_file with Some _ -> 1_000_000_000 | None -> 0));
+    engine = "?";
     max_executions = 0;
     outcomes = 0;
     last_snap_t = 0;
@@ -48,10 +71,28 @@ let now_ns t = t.clock () - t.t0
 let wall_ns = now_ns
 let metrics t = t.metrics
 
+(* Deterministic on the execution index alone — never on wall clock —
+   so jobs:1 and jobs:N shards sample identical executions and merged
+   traces stay reproducible. [sample = 1] keeps every event, making an
+   unsampled trace byte-identical to the pre-sampling format. *)
+let sampled t ~exec = t.sample <= 1 || exec mod t.sample = 0
+
 let emit t ~exec ev =
   match t.sink with
   | None -> ()
   | Some sink -> sink.Trace.emit { Event.t_ns = now_ns t; exec; ev }
+
+(* {1 Flight recorder} *)
+
+let flight_recorder t = t.ring
+
+let flight_dump t ~reason =
+  match (t.ring, t.postmortem) with
+  | Some r, Some prefix ->
+    let path = Printf.sprintf "%s-%s.jsonl" prefix reason in
+    Trace.dump_ring r path;
+    Some path
+  | _ -> None
 
 (* {1 Phase spans} *)
 
@@ -79,6 +120,7 @@ let phase_totals t =
 let run_meta t ~subject ~outcomes ~seed ~max_executions ~incremental ~engine =
   t.max_executions <- max_executions;
   t.outcomes <- outcomes;
+  t.engine <- engine;
   emit t ~exec:0
     (Event.Run_meta
        { subject; outcomes; seed; max_executions; incremental; engine })
@@ -90,21 +132,41 @@ let rate t ~now ~exec =
   let dt = now - t.last_snap_t in
   if dt <= 0 then 0.0 else float_of_int (exec - t.last_snap_exec) *. 1e9 /. float_of_int dt
 
-let snapshot t ~exec ~depth ~valid ~cov ~hits ~misses ~plateau ~hangs ~crashes =
+let write_metrics_file t ~exec =
+  match (t.metrics_file, t.metrics) with
+  | Some path, Some m ->
+    Pdf_util.Atomic_file.write_string path
+      (Exposition.prometheus (Metrics.snapshot ~origin:0 ~clock:exec m))
+  | _ -> ()
+
+let snapshot t ~exec ~depth ~valid ~cov ~hits ~misses ~rescues ~plateau ~hangs
+    ~crashes =
   let now = now_ns t in
   let execs_per_sec = rate t ~now ~exec in
   t.last_snap_t <- now;
   t.last_snap_exec <- exec;
   emit t ~exec
     (Event.Snapshot
-       { execs_per_sec; depth; valid; cov; hits; misses; plateau; hangs; crashes });
+       {
+         execs_per_sec;
+         depth;
+         valid;
+         cov;
+         hits;
+         misses;
+         rescues;
+         plateau;
+         hangs;
+         crashes;
+       });
+  write_metrics_file t ~exec;
   match t.progress with
   | None -> ()
   | Some p ->
     Progress.print p
       (Progress.render ~execs:exec ~max_executions:t.max_executions ~execs_per_sec
-         ~depth ~valid ~cov ~outcomes:t.outcomes ~hits ~misses ~plateau ~hangs
-         ~crashes)
+         ~engine:t.engine ~depth ~valid ~cov ~outcomes:t.outcomes ~hits ~misses
+         ~rescues ~plateau ~hangs ~crashes)
 
 let finish t ~exec ~valid ~cov =
   let wall = now_ns t in
@@ -137,4 +199,5 @@ let finish t ~exec ~valid ~cov =
               (if wall <= 0 then 0.0 else float_of_int exec *. 1e9 /. float_of_int wall);
           })
    end);
+  write_metrics_file t ~exec;
   match t.progress with None -> () | Some p -> Progress.finish p

@@ -15,18 +15,21 @@ val render :
   execs:int ->
   max_executions:int ->
   execs_per_sec:float ->
+  engine:string ->
   depth:int ->
   valid:int ->
   cov:int ->
   outcomes:int ->
   hits:int ->
   misses:int ->
+  rescues:int ->
   plateau:int ->
   hangs:int ->
   crashes:int ->
   string
-(** One status line: executions, throughput, queue depth, valid count,
-    coverage percentage, cache hit rate ("-" before any consultation),
+(** One status line: executions, throughput, the resolved engine tier
+    ("?" when unknown), queue depth, valid count, coverage percentage,
+    cache hit rate ("-" before any consultation), cache rescue count,
     plateau age in executions, and cumulative hang and crash counts. *)
 
 val print : t -> string -> unit

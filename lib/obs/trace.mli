@@ -33,6 +33,32 @@ val buffer : unit -> sink * (unit -> string)
 
 val tee : sink -> sink -> sink
 
+(** {1 Flight recorder} *)
+
+type ring
+(** A fixed-capacity ring of the most recent stamped events, for
+    post-mortem dumps. Emission is one array store — no serialization —
+    so the recorder can stay attached even with file tracing off. *)
+
+val ring : int -> ring
+(** [ring capacity]. Raises [Invalid_argument] on capacity <= 0. *)
+
+val ring_sink : ring -> sink
+
+val ring_events : ring -> Event.stamped list
+(** Retained events, oldest first: the last [capacity] emitted (fewer if
+    the ring never wrapped). *)
+
+val ring_total : ring -> int
+(** Events emitted over the ring's lifetime, including overwritten ones. *)
+
+val ring_capacity : ring -> int
+
+val dump_ring : ring -> string -> unit
+(** Atomically write the retained events as JSONL to a path (via
+    {!Pdf_util.Atomic_file}); a crash mid-dump never leaves a truncated
+    post-mortem. *)
+
 val read_channel : in_channel -> Event.stamped list
 (** Parse a JSONL trace; blank lines are skipped. Raises [Failure] with
     the offending line number on malformed input. *)

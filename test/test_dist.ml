@@ -15,6 +15,7 @@ module Hits = Pdf_instr.Hits
 module Catalog = Pdf_subjects.Catalog
 module Invariants = Pdf_check.Invariants
 module Event = Pdf_obs.Event
+module Metrics = Pdf_obs.Metrics
 module Rng = Pdf_util.Rng
 
 let qtest = QCheck_alcotest.to_alcotest
@@ -58,13 +59,25 @@ let gen_result =
     let* hangs = int_range 0 3 in
     return (mk_result ~valid ~cov ~hits ~execs ~hangs))
 
+let gen_metrics =
+  QCheck.Gen.(
+    let* present = bool in
+    if not present then return None
+    else
+      let* clock = int_range 0 5 in
+      let* execs = int_range 0 100 in
+      let m = Metrics.create () in
+      Metrics.add (Metrics.counter m "shard/executions") execs;
+      return (Some (Metrics.snapshot ~origin:0 ~clock m)))
+
 let gen_frame =
   QCheck.Gen.(
     let* shard = int_range 0 3 in
     let* seq = int_range 0 5 in
     let* final = bool in
     let* result = gen_result in
-    return { Frame.shard; seq; final; result })
+    let* metrics = gen_metrics in
+    return { Frame.shard; seq; final; result; metrics })
 
 let arb_frames =
   QCheck.make
@@ -124,6 +137,7 @@ let sample_frame ?(shard = 0) ?(seq = 5) ?(final = true) () =
     result =
       mk_result ~valid:[ "()"; "(())" ] ~cov:[ 1; 4; 9 ]
         ~hits:[ (1, 3); (4, 1) ] ~execs:40 ~hangs:1;
+    metrics = None;
   }
 
 let contains s sub =
@@ -298,6 +312,7 @@ let record_shard_frames p subject (sh : Dist.shard) =
             seq = Pfuzzer.Checkpoint.executions ck;
             final = false;
             result = Pfuzzer.Checkpoint.partial_result ck;
+            metrics = None;
           })
       cfg subject
   in
@@ -307,6 +322,7 @@ let record_shard_frames p subject (sh : Dist.shard) =
       seq = sh.Dist.shard_budget + 1;
       final = true;
       result = { result with Pfuzzer.wall_clock_s = 0.0; execs_per_sec = 0.0 };
+      metrics = None;
     };
   List.rev !frames
 

@@ -14,8 +14,11 @@ module Trace_report = Pdf_obs.Trace_report
 module Pfuzzer = Pdf_core.Pfuzzer
 module Coverage = Pdf_instr.Coverage
 module Catalog = Pdf_subjects.Catalog
+module Exposition = Pdf_obs.Exposition
+module Histogram = Pdf_util.Stats.Histogram
 
 let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
 
 (* {1 Golden serialization: the JSONL schema is a stable format} *)
 
@@ -70,11 +73,12 @@ let golden =
              cov = 12;
              hits = 3;
              misses = 1;
+             rescues = 2;
              plateau = 2;
              hangs = 1;
              crashes = 0;
            }),
-      {|{"ev":"snapshot","t":70,"n":4,"execs_per_sec":1234.0,"depth":5,"valid":1,"cov":12,"hits":3,"misses":1,"plateau":2,"hangs":1,"crashes":0}|}
+      {|{"ev":"snapshot","t":70,"n":4,"execs_per_sec":1234.0,"depth":5,"valid":1,"cov":12,"hits":3,"misses":1,"rescues":2,"plateau":2,"hangs":1,"crashes":0}|}
     );
     ( stamp 72 4 (Event.Hang { total = 3 }),
       {|{"ev":"hang","t":72,"n":4,"total":3}|} );
@@ -145,9 +149,18 @@ let test_round_trip () =
   let old_meta =
     {|{"ev":"run_meta","t":0,"n":0,"subject":"json","outcomes":76,"seed":1,"max_executions":500,"incremental":true}|}
   in
-  match (Event.of_json_line old_meta).Event.ev with
-  | Event.Run_meta m ->
-    check Alcotest.string "run_meta engine defaults" "interpreted" m.engine
+  (match (Event.of_json_line old_meta).Event.ev with
+   | Event.Run_meta m ->
+     check Alcotest.string "run_meta engine defaults" "interpreted" m.engine
+   | _ -> Alcotest.fail "wrong event kind");
+  (* Snapshot lines written before the rescue column existed parse with
+     rescues = 0. *)
+  let old_snapshot =
+    {|{"ev":"snapshot","t":70,"n":4,"execs_per_sec":1234.0,"depth":5,"valid":1,"cov":12,"hits":3,"misses":1,"plateau":2,"hangs":1,"crashes":0}|}
+  in
+  match (Event.of_json_line old_snapshot).Event.ev with
+  | Event.Snapshot s ->
+    check Alcotest.int "rescues defaults on old traces" 0 s.rescues
   | _ -> Alcotest.fail "wrong event kind"
 
 let test_normalize () =
@@ -204,15 +217,15 @@ let test_observer_spans () =
 
 let test_progress_render () =
   check Alcotest.string "status line"
-    "[pfuzzer] 500/2000 execs | 1234/s | queue 42 | valid 7 | cov 50.0% | cache 99.0% | plateau 12 | hang 2 | crash 3"
+    "[pfuzzer] 500/2000 execs | 1234/s | compiled | queue 42 | valid 7 | cov 50.0% | cache 99.0% | rescue 4 | plateau 12 | hang 2 | crash 3"
     (Progress.render ~execs:500 ~max_executions:2000 ~execs_per_sec:1234.0
-       ~depth:42 ~valid:7 ~cov:38 ~outcomes:76 ~hits:99 ~misses:1 ~plateau:12
-       ~hangs:2 ~crashes:3);
-  check Alcotest.string "no cache consultations"
-    "[pfuzzer] 1/10 execs | 0/s | queue 0 | valid 0 | cov 0.0% | cache - | plateau 1 | hang 0 | crash 0"
-    (Progress.render ~execs:1 ~max_executions:10 ~execs_per_sec:0.0 ~depth:0
-       ~valid:0 ~cov:0 ~outcomes:0 ~hits:0 ~misses:0 ~plateau:1 ~hangs:0
-       ~crashes:0)
+       ~engine:"compiled" ~depth:42 ~valid:7 ~cov:38 ~outcomes:76 ~hits:99
+       ~misses:1 ~rescues:4 ~plateau:12 ~hangs:2 ~crashes:3);
+  check Alcotest.string "no cache consultations, unknown engine"
+    "[pfuzzer] 1/10 execs | 0/s | ? | queue 0 | valid 0 | cov 0.0% | cache - | rescue 0 | plateau 1 | hang 0 | crash 0"
+    (Progress.render ~execs:1 ~max_executions:10 ~execs_per_sec:0.0 ~engine:""
+       ~depth:0 ~valid:0 ~cov:0 ~outcomes:0 ~hits:0 ~misses:0 ~rescues:0
+       ~plateau:1 ~hangs:0 ~crashes:0)
 
 (* {1 A real traced run: schema, consistency with the result, report} *)
 
@@ -398,6 +411,261 @@ let test_result_timing () =
        (result.execs_per_sec -. (float_of_int result.executions /. result.wall_clock_s))
      < 1.0)
 
+(* {1 Metrics fleet merge: the same semilattice laws as Dist.Merge}
+
+   Snapshots are adversarial by design: colliding origins, colliding
+   clocks, disagreeing contents. The join must be commutative,
+   associative and idempotent on these — duplicate and out-of-order
+   snapshot delivery over the frame channel is then invisible. *)
+
+let mk_snapshot ~origin ~clock ~execs ~valid ~rate ~spans =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "shard/executions") execs;
+  Metrics.add (Metrics.counter m "shard/valid") valid;
+  Metrics.set (Metrics.gauge m "rate") rate;
+  let h = Metrics.histogram m "phase/exec_ns" in
+  List.iter (Histogram.record h) spans;
+  Metrics.snapshot ~origin ~clock m
+
+let gen_snapshot =
+  QCheck.Gen.(
+    let* origin = int_range 0 3 in
+    let* clock = int_range 0 5 in
+    let* execs = int_range 0 50 in
+    let* valid = int_range 0 10 in
+    (* Integer-valued rates keep structural comparison exact. *)
+    let* rate = int_range 0 1000 in
+    let* spans = small_list (int_range 1 100_000) in
+    return (mk_snapshot ~origin ~clock ~execs ~valid ~rate:(float_of_int rate) ~spans))
+
+let arb_snapshots =
+  QCheck.make
+    ~print:(fun ss ->
+      String.concat ";"
+        (List.map
+           (fun (s : Metrics.snapshot) ->
+             Printf.sprintf "(origin %d, clock %d)" s.origin s.clock)
+           ss))
+    QCheck.Gen.(list_size (int_range 0 12) gen_snapshot)
+
+let fleet_of ss = List.fold_left Metrics.Fleet.add Metrics.Fleet.empty ss
+
+let prop_fleet_commutative =
+  QCheck.Test.make ~name:"fleet join is commutative" ~count:300
+    (QCheck.pair arb_snapshots arb_snapshots)
+    (fun (sa, sb) ->
+      let a = fleet_of sa and b = fleet_of sb in
+      Metrics.Fleet.equal (Metrics.Fleet.join a b) (Metrics.Fleet.join b a))
+
+let prop_fleet_associative =
+  QCheck.Test.make ~name:"fleet join is associative" ~count:300
+    (QCheck.triple arb_snapshots arb_snapshots arb_snapshots)
+    (fun (sa, sb, sc) ->
+      let a = fleet_of sa and b = fleet_of sb and c = fleet_of sc in
+      Metrics.Fleet.equal
+        (Metrics.Fleet.join a (Metrics.Fleet.join b c))
+        (Metrics.Fleet.join (Metrics.Fleet.join a b) c))
+
+let prop_fleet_idempotent =
+  QCheck.Test.make ~name:"fleet join is idempotent" ~count:300 arb_snapshots
+    (fun ss ->
+      let a = fleet_of ss in
+      Metrics.Fleet.equal (Metrics.Fleet.join a a) a)
+
+let prop_fleet_duplicate_delivery =
+  QCheck.Test.make ~name:"snapshot duplicate delivery is invisible" ~count:300
+    arb_snapshots
+    (fun ss -> Metrics.Fleet.equal (fleet_of ss) (fleet_of (ss @ ss)))
+
+let test_fleet_totals () =
+  let s0 = mk_snapshot ~origin:0 ~clock:10 ~execs:100 ~valid:3 ~rate:50.0 ~spans:[ 10; 20 ] in
+  let s1 = mk_snapshot ~origin:1 ~clock:25 ~execs:40 ~valid:1 ~rate:75.0 ~spans:[ 30 ] in
+  let t = Metrics.Fleet.totals (fleet_of [ s0; s1 ]) in
+  check Alcotest.int "totals origin" (-1) t.Metrics.origin;
+  check Alcotest.int "totals clock is the fleet max" 25 t.Metrics.clock;
+  check Alcotest.int "counters sum" 140
+    (List.assoc "shard/executions" t.Metrics.counters);
+  check Alcotest.int "counters sum (valid)" 4
+    (List.assoc "shard/valid" t.Metrics.counters);
+  check (Alcotest.float 0.0) "gauge is latest by clock" 75.0
+    (List.assoc "rate" t.Metrics.gauges);
+  check Alcotest.int "histograms merge" 3
+    (Histogram.count (List.assoc "phase/exec_ns" t.Metrics.histograms))
+
+(* {1 Flight recorder: wraparound and dump determinism} *)
+
+let test_ring_wraparound () =
+  let r = Trace.ring 4 in
+  let sink = Trace.ring_sink r in
+  for i = 1 to 10 do
+    Trace.emit sink (stamp (i * 10) i (Event.Cache_hit { saved = i }))
+  done;
+  check Alcotest.int "total emitted" 10 (Trace.ring_total r);
+  check Alcotest.int "capacity" 4 (Trace.ring_capacity r);
+  check
+    Alcotest.(list int)
+    "retains the newest events, oldest first" [ 7; 8; 9; 10 ]
+    (List.map (fun (s : Event.stamped) -> s.exec) (Trace.ring_events r));
+  (* Under capacity: everything retained, no dummy slots visible. *)
+  let r2 = Trace.ring 8 in
+  let sink2 = Trace.ring_sink r2 in
+  for i = 1 to 3 do
+    Trace.emit sink2 (stamp i i Event.Cache_miss)
+  done;
+  check Alcotest.int "partial fill" 3 (List.length (Trace.ring_events r2));
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Trace.ring: capacity must be positive") (fun () ->
+      ignore (Trace.ring 0))
+
+let test_ring_dump_deterministic () =
+  let r = Trace.ring 3 in
+  let sink = Trace.ring_sink r in
+  for i = 1 to 5 do
+    Trace.emit sink (stamp (i * 7) i (Event.Rescue { prefix = i }))
+  done;
+  let path = Filename.temp_file "pdf_obs" ".ring.jsonl" in
+  Trace.dump_ring r path;
+  let once = Pdf_util.Atomic_file.read_string path in
+  Trace.dump_ring r path;
+  let twice = Pdf_util.Atomic_file.read_string path in
+  Sys.remove path;
+  check Alcotest.string "dumping twice writes identical bytes" once twice;
+  check Alcotest.string "dump is the retained events as JSONL"
+    (String.concat ""
+       (List.map (fun s -> Event.to_json_line s ^ "\n") (Trace.ring_events r)))
+    once
+
+let test_observer_flight_dump () =
+  let dir = Filename.temp_dir "pdf_obs" "" in
+  let prefix = Filename.concat dir "pm" in
+  let obs =
+    Observer.create ~ring:(Trace.ring 16) ~postmortem:prefix ()
+  in
+  Observer.emit obs ~exec:1 (Event.Hang { total = 1 });
+  (match Observer.flight_dump obs ~reason:"hang" with
+   | None -> Alcotest.fail "flight_dump returned no path"
+   | Some path ->
+     check Alcotest.string "dump path" (prefix ^ "-hang.jsonl") path;
+     let content = Pdf_util.Atomic_file.read_string path in
+     check Alcotest.bool "dump holds the hang event" true
+       (match String.index_opt content '\n' with
+        | None -> false
+        | Some _ ->
+          (match (Event.of_json_line (List.hd (String.split_on_char '\n' content))).Event.ev with
+           | Event.Hang h -> h.total = 1
+           | _ -> false));
+     Sys.remove path);
+  Unix.rmdir dir;
+  (* No ring or no prefix: dump is a no-op. *)
+  check Alcotest.bool "no ring, no dump" true
+    (Observer.flight_dump (Observer.create ()) ~reason:"x" = None)
+
+(* {1 Sampled tracing: 1/1 is today's full trace, 1/N is deterministic} *)
+
+let sampled_trace ?sample () =
+  let subject = Catalog.find "json" in
+  let config = { Pfuzzer.default_config with max_executions = 200 } in
+  let sink, contents = Trace.buffer () in
+  let obs = Observer.create ~sink ?sample () in
+  let result = Pfuzzer.fuzz ~obs config subject in
+  (result, contents ())
+
+let count_events pred trace =
+  List.length
+    (List.filter
+       (fun l -> l <> "" && pred (Event.of_json_line l).Event.ev)
+       (String.split_on_char '\n' trace))
+
+let test_sample_one_is_full_trace () =
+  let _, full = sampled_trace () in
+  let _, one = sampled_trace ~sample:1 () in
+  check Alcotest.string "sample 1 ≡ unsampled trace"
+    (Trace.normalize full) (Trace.normalize one)
+
+let test_sampling_thins_exec_events () =
+  let result, full = sampled_trace () in
+  let result', sampled = sampled_trace ~sample:100 () in
+  check Alcotest.int "fuzzing result unaffected by sampling"
+    result.Pfuzzer.executions result'.Pfuzzer.executions;
+  let is_exec = function
+    | Event.Exec_start _ | Event.Exec_done _ -> true
+    | _ -> false
+  in
+  let full_exec = count_events is_exec full in
+  let sampled_exec = count_events is_exec sampled in
+  check Alcotest.bool "exec-level events thinned" true
+    (sampled_exec * 10 < full_exec);
+  (* Structural events survive sampling untouched. *)
+  let is_valid = function Event.Valid _ -> true | _ -> false in
+  check Alcotest.int "valid events all retained"
+    (count_events is_valid full) (count_events is_valid sampled);
+  let is_run_done = function Event.Run_done _ -> true | _ -> false in
+  check Alcotest.int "run_done retained" 1 (count_events is_run_done sampled);
+  (* Deterministic on the execution index: two sampled runs agree. *)
+  let _, sampled' = sampled_trace ~sample:100 () in
+  check Alcotest.string "sampling is deterministic"
+    (Trace.normalize sampled) (Trace.normalize sampled');
+  Alcotest.check_raises "sample must be >= 1"
+    (Invalid_argument "Observer.create: sample must be >= 1") (fun () ->
+      ignore (Observer.create ~sample:0 ()))
+
+(* {1 Prometheus exposition and the monitor dashboard} *)
+
+let test_exposition_golden () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "shard/executions") 500;
+  Metrics.set (Metrics.gauge m "rate") 1234.5;
+  let text = Exposition.prometheus (Metrics.snapshot ~origin:0 ~clock:500 m) in
+  check Alcotest.string "exposition text"
+    "# TYPE pfuzzer_snapshot_clock gauge\n\
+     pfuzzer_snapshot_clock 500\n\
+     # TYPE pfuzzer_shard_executions counter\n\
+     pfuzzer_shard_executions 500\n\
+     # TYPE pfuzzer_rate gauge\n\
+     pfuzzer_rate 1234.5\n"
+    text
+
+let test_exposition_roundtrip () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "shard/executions") 42;
+  Metrics.set (Metrics.gauge m "rate") 7.0;
+  let h = Metrics.histogram m "phase/exec_ns" in
+  List.iter (Histogram.record h) [ 100; 200; 300 ];
+  let text = Exposition.prometheus (Metrics.snapshot ~origin:0 ~clock:9 m) in
+  let fams = Exposition.parse text in
+  check
+    Alcotest.(list (pair string string))
+    "family names and types in declaration order"
+    [
+      ("pfuzzer_snapshot_clock", "gauge");
+      ("pfuzzer_shard_executions", "counter");
+      ("pfuzzer_rate", "gauge");
+      ("pfuzzer_phase_exec_ns", "summary");
+    ]
+    (List.map (fun f -> (f.Exposition.fname, f.Exposition.ftype)) fams);
+  (* The summary family owns its quantile, _sum and _count series. *)
+  let summary =
+    List.find (fun f -> f.Exposition.fname = "pfuzzer_phase_exec_ns") fams
+  in
+  check Alcotest.int "summary series count" 5
+    (List.length summary.Exposition.samples);
+  check (Alcotest.float 0.0) "count series" 3.0
+    (List.assoc "pfuzzer_phase_exec_ns_count" summary.Exposition.samples);
+  (* The dashboard render is pure and headed by the family count. *)
+  let rendered = Exposition.render fams in
+  check Alcotest.bool "render headed by family count" true
+    (String.length rendered > 0
+    && List.hd (String.split_on_char '\n' rendered)
+       = "[pfuzzer monitor] 4 families");
+  (* Unparseable lines are skipped, not fatal. *)
+  check
+    Alcotest.(list (pair string string))
+    "garbage lines skipped"
+    [ ("pfuzzer_x", "counter") ]
+    (List.map
+       (fun f -> (f.Exposition.fname, f.Exposition.ftype))
+       (Exposition.parse "# TYPE pfuzzer_x counter\nnot a sample line\npfuzzer_x 1\n"))
+
 (* {1 jobs:1 ≡ jobs:N merged-trace determinism} *)
 
 let grid_trace ~jobs =
@@ -450,6 +718,35 @@ let () =
           Alcotest.test_case "phase spans" `Quick test_observer_spans;
         ] );
       ("progress", [ Alcotest.test_case "render" `Quick test_progress_render ]);
+      ( "fleet metrics",
+        [
+          qtest prop_fleet_commutative;
+          qtest prop_fleet_associative;
+          qtest prop_fleet_idempotent;
+          qtest prop_fleet_duplicate_delivery;
+          Alcotest.test_case "totals" `Quick test_fleet_totals;
+        ] );
+      ( "flight recorder",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "dump determinism" `Quick
+            test_ring_dump_deterministic;
+          Alcotest.test_case "observer flight dump" `Quick
+            test_observer_flight_dump;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "sample 1 is the full trace" `Quick
+            test_sample_one_is_full_trace;
+          Alcotest.test_case "sample N thins exec events" `Quick
+            test_sampling_thins_exec_events;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "prometheus golden" `Quick test_exposition_golden;
+          Alcotest.test_case "parse and render" `Quick
+            test_exposition_roundtrip;
+        ] );
       ( "traced run",
         [
           Alcotest.test_case "schema and consistency" `Quick test_traced_run_schema;
